@@ -1,0 +1,216 @@
+//! Conversations: joint backward error recovery with acceptance tests.
+//!
+//! A conversation (§2.2, originally Randell 1975) is the
+//! backward-recovery leg of a CA action: every participant checkpoints
+//! its state on entry, participants inside may only communicate with
+//! each other, and all leave together once every acceptance test
+//! passes. If any test fails, **all** participants roll back to their
+//! checkpoints and run the next alternate (recovery-block style). The
+//! `start`/`abort`/`commit` of Fig. 2b happen implicitly around each
+//! attempt.
+//!
+//! # Examples
+//!
+//! ```
+//! use caex_action::conversation::Conversation;
+//!
+//! # fn main() -> Result<(), caex_action::ActionError> {
+//! // Two participants each hold an integer state.
+//! let mut conv = Conversation::new(vec![10_i64, 20]);
+//! // Primary overshoots; the alternate lands within bounds.
+//! conv.attempt(|states| {
+//!     states[0] += 1000;
+//!     states[1] += 1000;
+//! });
+//! conv.attempt(|states| {
+//!     states[0] += 1;
+//!     states[1] += 1;
+//! });
+//! let report = conv.run(|states| states.iter().all(|&s| s < 100))?;
+//! assert_eq!(report.accepted_attempt, 1); // alternate succeeded
+//! assert_eq!(report.states, vec![11, 21]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::ActionError;
+
+type Attempt<S> = Box<dyn FnMut(&mut [S]) + Send>;
+
+/// Outcome of a successful conversation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConversationReport<S> {
+    /// Index of the attempt (0 = primary) whose acceptance test passed.
+    pub accepted_attempt: usize,
+    /// Number of attempts that were rolled back before success.
+    pub rollbacks: usize,
+    /// The accepted final states, in participant order.
+    pub states: Vec<S>,
+}
+
+/// A conversation over `S`-typed participant states with a list of
+/// alternates. See the [module documentation](self) for semantics.
+pub struct Conversation<S> {
+    states: Vec<S>,
+    attempts: Vec<Attempt<S>>,
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for Conversation<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conversation")
+            .field("participants", &self.states.len())
+            .field("attempts", &self.attempts.len())
+            .finish()
+    }
+}
+
+impl<S: Clone> Conversation<S> {
+    /// Creates a conversation whose participants start in `states`
+    /// (one entry per participant). Entry checkpoints are taken from
+    /// these states when [`run`](Self::run) begins.
+    #[must_use]
+    pub fn new(states: Vec<S>) -> Self {
+        Conversation {
+            states,
+            attempts: Vec::new(),
+        }
+    }
+
+    /// Number of participants.
+    #[must_use]
+    pub fn participants(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Appends an attempt: the primary first, then alternates in
+    /// decreasing preference (recovery-block order).
+    pub fn attempt<F>(&mut self, body: F) -> &mut Self
+    where
+        F: FnMut(&mut [S]) + Send + 'static,
+    {
+        self.attempts.push(Box::new(body));
+        self
+    }
+
+    /// Runs attempts in order until `acceptance` passes on the joint
+    /// state. Each failed attempt rolls *all* participants back to the
+    /// entry checkpoint — the coordinated rollback that distinguishes a
+    /// conversation from independent recovery blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActionError::ConversationFailed`] when every attempt
+    /// fails; participant states are left at the entry checkpoint (the
+    /// conversation as a whole then signals a failure exception to its
+    /// containing action).
+    pub fn run<A>(&mut self, acceptance: A) -> Result<ConversationReport<S>, ActionError>
+    where
+        A: Fn(&[S]) -> bool,
+    {
+        let checkpoint = self.states.clone();
+        for (i, attempt) in self.attempts.iter_mut().enumerate() {
+            attempt(&mut self.states);
+            if acceptance(&self.states) {
+                return Ok(ConversationReport {
+                    accepted_attempt: i,
+                    // Every preceding attempt was rolled back.
+                    rollbacks: i,
+                    states: self.states.clone(),
+                });
+            }
+            // Coordinated rollback of every participant.
+            self.states.clone_from(&checkpoint);
+        }
+        Err(ActionError::ConversationFailed)
+    }
+
+    /// The current participant states (the entry states before `run`,
+    /// the accepted states after a successful `run`, the checkpoint
+    /// after a failed one).
+    #[must_use]
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_success_needs_no_rollback() {
+        let mut conv = Conversation::new(vec![1, 2, 3]);
+        conv.attempt(|s| s.iter_mut().for_each(|x| *x += 1));
+        let report = conv.run(|s| s == [2, 3, 4]).unwrap();
+        assert_eq!(report.accepted_attempt, 0);
+        assert_eq!(report.rollbacks, 0);
+    }
+
+    #[test]
+    fn failed_primary_rolls_all_participants_back() {
+        let mut conv = Conversation::new(vec![0, 0]);
+        conv.attempt(|s| {
+            s[0] = 999; // poisons participant 0
+            s[1] = 1;
+        });
+        conv.attempt(|s| {
+            s[0] = 1;
+            s[1] = 1;
+        });
+        let report = conv.run(|s| s.iter().all(|&x| x < 10)).unwrap();
+        assert_eq!(report.accepted_attempt, 1);
+        assert_eq!(report.rollbacks, 1);
+        // Participant 1's partial progress from the failed attempt was
+        // rolled back too, not just the failing participant's.
+        assert_eq!(report.states, vec![1, 1]);
+    }
+
+    #[test]
+    fn all_attempts_failing_restores_checkpoint() {
+        let mut conv = Conversation::new(vec![7]);
+        conv.attempt(|s| s[0] = 100);
+        conv.attempt(|s| s[0] = 200);
+        let err = conv.run(|s| s[0] < 10).unwrap_err();
+        assert_eq!(err, ActionError::ConversationFailed);
+        assert_eq!(conv.states(), &[7]);
+    }
+
+    #[test]
+    fn no_attempts_fails_immediately() {
+        let mut conv: Conversation<i32> = Conversation::new(vec![1]);
+        assert_eq!(
+            conv.run(|_| true).unwrap_err(),
+            ActionError::ConversationFailed
+        );
+    }
+
+    #[test]
+    fn acceptance_sees_joint_state() {
+        // The acceptance test is a predicate over ALL participants —
+        // a conversation-wide test, not per-process.
+        let mut conv = Conversation::new(vec![5, 5]);
+        conv.attempt(|s| {
+            s[0] = 10;
+            s[1] = 0;
+        });
+        // Sum preserved => accept.
+        let report = conv.run(|s| s.iter().sum::<i32>() == 10).unwrap();
+        assert_eq!(report.states, vec![10, 0]);
+    }
+
+    #[test]
+    fn attempts_observe_exchange_between_participants() {
+        // Participants may exchange information inside the conversation:
+        // here participant 1 derives its state from participant 0's.
+        let mut conv = Conversation::new(vec![3, 0]);
+        conv.attempt(|s| s[1] = s[0] * 2);
+        let report = conv.run(|s| s[1] == 6).unwrap();
+        assert_eq!(report.states, vec![3, 6]);
+    }
+
+    #[test]
+    fn debug_renders() {
+        let conv: Conversation<i32> = Conversation::new(vec![1, 2]);
+        assert!(format!("{conv:?}").contains("participants"));
+    }
+}

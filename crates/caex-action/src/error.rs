@@ -1,0 +1,122 @@
+//! Error type for the CA action framework.
+
+use crate::ActionId;
+use caex_net::NodeId;
+use caex_tree::ExceptionId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by action declaration, handler registration and the
+/// atomic-object substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ActionError {
+    /// An [`ActionId`] is not declared in the registry.
+    UnknownAction(ActionId),
+    /// The parent named by a nested declaration is not declared.
+    UnknownParent(ActionId),
+    /// A nested action's participants are not a subset of its parent's.
+    ParticipantsNotNested {
+        /// The offending nested action.
+        action: ActionId,
+        /// A participant not present in the parent action.
+        object: NodeId,
+    },
+    /// An action was declared with no participants.
+    NoParticipants,
+    /// The object is not a participant of the action.
+    NotAParticipant {
+        /// The action consulted.
+        action: ActionId,
+        /// The non-member object.
+        object: NodeId,
+    },
+    /// A handler table is missing a handler for a declared exception —
+    /// the paper requires handlers for *all* declared exceptions (§3.3).
+    MissingHandler {
+        /// The uncovered exception.
+        exception: ExceptionId,
+    },
+    /// Two actions are not on one nesting chain.
+    NotOnOneChain(ActionId, ActionId),
+    /// A transactional operation conflicted with a lock held by another
+    /// transaction (competing concurrency).
+    LockConflict {
+        /// Name of the contended atomic object.
+        object: String,
+    },
+    /// A transactional operation referenced an unknown transaction.
+    UnknownTransaction,
+    /// An operation used a transaction that is not active (already
+    /// committed or aborted).
+    TransactionNotActive,
+    /// An acceptance test failed on every alternate of a conversation.
+    ConversationFailed,
+    /// Every attempt of a retried transaction failed.
+    RetriesExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for ActionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionError::UnknownAction(a) => write!(f, "unknown action {a}"),
+            ActionError::UnknownParent(a) => write!(f, "unknown parent action {a}"),
+            ActionError::ParticipantsNotNested { action, object } => write!(
+                f,
+                "participant {object} of nested action {action} is not in the parent action"
+            ),
+            ActionError::NoParticipants => write!(f, "action declared with no participants"),
+            ActionError::NotAParticipant { action, object } => {
+                write!(f, "object {object} is not a participant of action {action}")
+            }
+            ActionError::MissingHandler { exception } => {
+                write!(f, "no handler declared for exception {exception}")
+            }
+            ActionError::NotOnOneChain(a, b) => {
+                write!(f, "actions {a} and {b} are not on one nesting chain")
+            }
+            ActionError::LockConflict { object } => {
+                write!(f, "lock conflict on atomic object `{object}`")
+            }
+            ActionError::UnknownTransaction => write!(f, "unknown transaction"),
+            ActionError::TransactionNotActive => write!(f, "transaction is not active"),
+            ActionError::ConversationFailed => {
+                write!(
+                    f,
+                    "all conversation alternates failed their acceptance test"
+                )
+            }
+            ActionError::RetriesExhausted { attempts } => {
+                write!(f, "transaction failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl Error for ActionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let e = ActionError::LockConflict {
+            object: "account".into(),
+        };
+        assert!(e.to_string().contains("account"));
+        let e = ActionError::MissingHandler {
+            exception: ExceptionId::new(4),
+        };
+        assert!(e.to_string().contains("e4"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>(_: E) {}
+        check(ActionError::NoParticipants);
+    }
+}

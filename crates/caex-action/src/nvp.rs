@@ -1,0 +1,205 @@
+//! N-version programming — the second of the paper's "two basic
+//! techniques for building fault-tolerant software" (§2.1, Avižienis).
+//!
+//! `N` independently designed versions of a computation run on the same
+//! input; an adjudicator (here: exact-match majority voting, the
+//! classic choice) selects the result. The paper's §4.4 notes that the
+//! Arche exception model "can be used for NVP-type schemes" — the
+//! [`caex::arche`-style comparison] builds on this module.
+//!
+//! [`caex::arche`-style comparison]: crate
+//!
+//! # Examples
+//!
+//! ```
+//! use caex_action::nvp::NVersion;
+//!
+//! # fn main() -> Result<(), caex_action::ActionError> {
+//! let mut nvp: NVersion<i64, i64> = NVersion::new();
+//! nvp.version(|x| Ok(x * 2))
+//!    .version(|x| Ok(x * 2))
+//!    .version(|x| Ok(x + 1)); // the buggy minority version
+//! let verdict = nvp.execute(21)?;
+//! assert_eq!(verdict.output, 42);
+//! assert_eq!(verdict.agreeing, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::ActionError;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+type Version<I, O> = Box<dyn FnMut(I) -> Result<O, ActionError> + Send>;
+
+/// The adjudicated outcome of one N-version execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict<O> {
+    /// The majority output.
+    pub output: O,
+    /// How many versions produced it.
+    pub agreeing: usize,
+    /// How many versions ran (failures included).
+    pub total: usize,
+    /// Indices of versions that returned an error instead of a value.
+    pub failed_versions: Vec<usize>,
+}
+
+/// An N-version computation from `I` to `O` with majority voting. See
+/// the [module docs](self).
+pub struct NVersion<I, O> {
+    versions: Vec<Version<I, O>>,
+}
+
+impl<I, O> fmt::Debug for NVersion<I, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NVersion")
+            .field("versions", &self.versions.len())
+            .finish()
+    }
+}
+
+impl<I, O> Default for NVersion<I, O> {
+    fn default() -> Self {
+        NVersion {
+            versions: Vec::new(),
+        }
+    }
+}
+
+impl<I: Clone, O: Clone + Eq + Hash> NVersion<I, O> {
+    /// Creates an empty N-version set.
+    #[must_use]
+    pub fn new() -> Self {
+        NVersion::default()
+    }
+
+    /// Number of registered versions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// `true` if no versions are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Registers one independently designed version.
+    pub fn version<F>(&mut self, body: F) -> &mut Self
+    where
+        F: FnMut(I) -> Result<O, ActionError> + Send + 'static,
+    {
+        self.versions.push(Box::new(body));
+        self
+    }
+
+    /// Runs every version on (a clone of) `input` and adjudicates by
+    /// strict majority (> half of *all* versions, the conservative
+    /// rule: erroring versions count against the majority).
+    ///
+    /// # Errors
+    ///
+    /// [`ActionError::ConversationFailed`] when no output achieves a
+    /// strict majority — the NVP unit as a whole fails, exactly the
+    /// situation whose exception the enclosing CA action would resolve.
+    pub fn execute(&mut self, input: I) -> Result<Verdict<O>, ActionError> {
+        assert!(!self.versions.is_empty(), "no versions registered");
+        let total = self.versions.len();
+        let mut counts: HashMap<O, usize> = HashMap::new();
+        let mut order: Vec<O> = Vec::new();
+        let mut failed_versions = Vec::new();
+        for (i, version) in self.versions.iter_mut().enumerate() {
+            match version(input.clone()) {
+                Ok(output) => {
+                    let seen = counts.contains_key(&output);
+                    *counts.entry(output.clone()).or_insert(0) += 1;
+                    if !seen {
+                        order.push(output);
+                    }
+                }
+                Err(_) => failed_versions.push(i),
+            }
+        }
+        // Deterministic winner selection: first output (in production
+        // order) reaching the strict majority.
+        for output in order {
+            let agreeing = counts[&output];
+            if agreeing * 2 > total {
+                return Ok(Verdict {
+                    output,
+                    agreeing,
+                    total,
+                    failed_versions,
+                });
+            }
+        }
+        Err(ActionError::ConversationFailed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_versions_agree() {
+        let mut nvp: NVersion<u32, u32> = NVersion::new();
+        nvp.version(|x| Ok(x + 1))
+            .version(|x| Ok(x + 1))
+            .version(|x| Ok(x + 1));
+        let v = nvp.execute(1).unwrap();
+        assert_eq!(v.output, 2);
+        assert_eq!(v.agreeing, 3);
+        assert!(v.failed_versions.is_empty());
+    }
+
+    #[test]
+    fn majority_outvotes_a_faulty_version() {
+        let mut nvp: NVersion<u32, u32> = NVersion::new();
+        nvp.version(Ok).version(Ok).version(|x| Ok(x + 999));
+        let v = nvp.execute(7).unwrap();
+        assert_eq!(v.output, 7);
+        assert_eq!(v.agreeing, 2);
+    }
+
+    #[test]
+    fn erroring_version_counts_against_majority() {
+        let mut nvp: NVersion<u32, u32> = NVersion::new();
+        nvp.version(Ok)
+            .version(|_| Err(ActionError::ConversationFailed))
+            .version(|_| Err(ActionError::ConversationFailed));
+        // 1 of 3 is not a strict majority.
+        assert_eq!(nvp.execute(7).unwrap_err(), ActionError::ConversationFailed);
+    }
+
+    #[test]
+    fn two_two_split_has_no_majority() {
+        let mut nvp: NVersion<u32, u32> = NVersion::new();
+        nvp.version(Ok)
+            .version(Ok)
+            .version(|x| Ok(x + 1))
+            .version(|x| Ok(x + 1));
+        assert!(nvp.execute(0).is_err());
+    }
+
+    #[test]
+    fn failed_versions_are_reported_by_index() {
+        let mut nvp: NVersion<u32, u32> = NVersion::new();
+        nvp.version(Ok)
+            .version(|_| Err(ActionError::ConversationFailed))
+            .version(Ok);
+        let v = nvp.execute(3).unwrap();
+        assert_eq!(v.failed_versions, vec![1]);
+        assert_eq!(v.total, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no versions registered")]
+    fn empty_set_panics() {
+        let mut nvp: NVersion<u32, u32> = NVersion::new();
+        let _ = nvp.execute(0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Recovery blocks — the first of the paper's "two basic techniques for
+//! building fault-tolerant software" (§2.1, originally Randell 1975).
+//!
+//! A recovery block guards one computation with an acceptance test and
+//! a stack of alternates: run the primary; if the test rejects (or the
+//! alternate itself reports failure), restore the checkpointed state
+//! and try the next alternate. A [`Conversation`](crate::conversation)
+//! is the multi-process generalisation; this module is the
+//! single-state building block, usable inside exception handlers.
+//!
+//! # Examples
+//!
+//! ```
+//! use caex_action::recovery_block::RecoveryBlock;
+//!
+//! # fn main() -> Result<(), caex_action::ActionError> {
+//! let mut block = RecoveryBlock::new(10_i64);
+//! block
+//!     .ensure(|v| *v >= 0)
+//!     .attempt(|v| { *v -= 100; Ok(()) })          // overshoots
+//!     .attempt(|v| { *v -= 5; Ok(()) });           // acceptable
+//! let report = block.run()?;
+//! assert_eq!(report.accepted_attempt, 1);
+//! assert_eq!(*report.value(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::ActionError;
+use std::fmt;
+
+type Attempt<S> = Box<dyn FnMut(&mut S) -> Result<(), ActionError> + Send>;
+type Test<S> = Box<dyn Fn(&S) -> bool + Send>;
+
+/// Outcome of a successful recovery block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockReport<S> {
+    /// Index of the accepted attempt (0 = primary).
+    pub accepted_attempt: usize,
+    /// Number of state restorations performed.
+    pub restorations: usize,
+    value: S,
+}
+
+impl<S> BlockReport<S> {
+    /// The accepted final state.
+    #[must_use]
+    pub fn value(&self) -> &S {
+        &self.value
+    }
+
+    /// Consumes the report, returning the accepted state.
+    #[must_use]
+    pub fn into_value(self) -> S {
+        self.value
+    }
+}
+
+/// A recovery block over state `S`. See the [module docs](self).
+pub struct RecoveryBlock<S> {
+    state: S,
+    test: Option<Test<S>>,
+    attempts: Vec<Attempt<S>>,
+}
+
+impl<S: fmt::Debug> fmt::Debug for RecoveryBlock<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecoveryBlock")
+            .field("state", &self.state)
+            .field("attempts", &self.attempts.len())
+            .field("has_test", &self.test.is_some())
+            .finish()
+    }
+}
+
+impl<S: Clone> RecoveryBlock<S> {
+    /// Creates a block over the given initial (checkpointed) state.
+    #[must_use]
+    pub fn new(state: S) -> Self {
+        RecoveryBlock {
+            state,
+            test: None,
+            attempts: Vec::new(),
+        }
+    }
+
+    /// Sets the acceptance test (required before [`run`](Self::run)).
+    pub fn ensure<T>(&mut self, test: T) -> &mut Self
+    where
+        T: Fn(&S) -> bool + Send + 'static,
+    {
+        self.test = Some(Box::new(test));
+        self
+    }
+
+    /// Appends an attempt: the primary first, then alternates. An
+    /// attempt may also reject itself by returning `Err` (internal
+    /// error detection), which counts like a failed acceptance test.
+    pub fn attempt<F>(&mut self, body: F) -> &mut Self
+    where
+        F: FnMut(&mut S) -> Result<(), ActionError> + Send + 'static,
+    {
+        self.attempts.push(Box::new(body));
+        self
+    }
+
+    /// Runs attempts until one passes the acceptance test.
+    ///
+    /// # Errors
+    ///
+    /// [`ActionError::ConversationFailed`] when every attempt fails
+    /// (the state is left at the entry checkpoint — the caller then
+    /// signals a failure exception, per the idealised fault-tolerant
+    /// component model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no acceptance test was installed — running a recovery
+    /// block without one is a structural programming error.
+    pub fn run(&mut self) -> Result<BlockReport<S>, ActionError> {
+        let test = self
+            .test
+            .as_ref()
+            .expect("recovery block requires an acceptance test");
+        let checkpoint = self.state.clone();
+        for (i, attempt) in self.attempts.iter_mut().enumerate() {
+            let ok = attempt(&mut self.state).is_ok() && test(&self.state);
+            if ok {
+                return Ok(BlockReport {
+                    accepted_attempt: i,
+                    // Every preceding attempt restored the checkpoint.
+                    restorations: i,
+                    value: self.state.clone(),
+                });
+            }
+            self.state.clone_from(&checkpoint);
+        }
+        Err(ActionError::ConversationFailed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_passing_needs_no_restoration() {
+        let mut block = RecoveryBlock::new(vec![1, 2, 3]);
+        block.ensure(|v: &Vec<i32>| v.len() == 4).attempt(|v| {
+            v.push(4);
+            Ok(())
+        });
+        let report = block.run().unwrap();
+        assert_eq!(report.accepted_attempt, 0);
+        assert_eq!(report.restorations, 0);
+        assert_eq!(report.value(), &vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn failed_acceptance_restores_and_tries_alternate() {
+        let mut block = RecoveryBlock::new(0_i64);
+        block
+            .ensure(|v| (1..10).contains(v))
+            .attempt(|v| {
+                *v = 99;
+                Ok(())
+            })
+            .attempt(|v| {
+                *v += 7;
+                Ok(())
+            });
+        let report = block.run().unwrap();
+        assert_eq!(report.accepted_attempt, 1);
+        assert_eq!(report.restorations, 1);
+        // The alternate saw the *restored* state (0), not 99.
+        assert_eq!(report.into_value(), 7);
+    }
+
+    #[test]
+    fn attempts_may_self_reject() {
+        let mut block = RecoveryBlock::new(1_u32);
+        block
+            .ensure(|_| true)
+            .attempt(|_| Err(ActionError::ConversationFailed))
+            .attempt(|v| {
+                *v = 2;
+                Ok(())
+            });
+        let report = block.run().unwrap();
+        assert_eq!(report.accepted_attempt, 1);
+    }
+
+    #[test]
+    fn exhaustion_restores_checkpoint_and_errors() {
+        let mut block = RecoveryBlock::new(5_i32);
+        block.ensure(|v| *v < 0).attempt(|v| {
+            *v = 10;
+            Ok(())
+        });
+        assert_eq!(block.run().unwrap_err(), ActionError::ConversationFailed);
+        // Internal state back at the checkpoint for the next run.
+        block.attempt(|v| {
+            *v = -1;
+            Ok(())
+        });
+        let report = block.run().unwrap();
+        assert_eq!(report.accepted_attempt, 1);
+        assert_eq!(report.into_value(), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an acceptance test")]
+    fn missing_test_panics() {
+        let mut block = RecoveryBlock::new(0_u8);
+        block.attempt(|_| Ok(()));
+        let _ = block.run();
+    }
+}

@@ -1,0 +1,21 @@
+//! Criterion bench for E11: resolution cost versus nesting depth
+//! (abortion handlers execute innermost-first; §4.4 notes the protocol
+//! "may suffer some delays because of the execution of abortion
+//! handlers in nested actions").
+
+use caex_bench::table_abort_depth;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_abort_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abort_depth");
+    for depth in [0u32, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| black_box(table_abort_depth(&[depth], 1_000)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_abort_depth);
+criterion_main!(benches);

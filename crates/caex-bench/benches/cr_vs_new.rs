@@ -1,0 +1,41 @@
+//! Criterion bench for E5: the new algorithm against the
+//! Campbell–Randell baseline on matched worst cases. Message counts are
+//! printed by the `tables` binary; this bench times the executions.
+
+use caex::{cr, workloads};
+use caex_net::{NetConfig, NodeId};
+use caex_tree::{chain_tree, ExceptionId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_cr_vs_new(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cr_vs_new");
+    for n in [4u32, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("new_all_raise", n), &n, |b, &n| {
+            b.iter(|| {
+                let report = workloads::case3(n, NetConfig::default()).run();
+                black_box(report.total_messages())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cr_domino", n), &n, |b, &n| {
+            b.iter(|| {
+                let len = 2 * n;
+                let tree = Arc::new(chain_tree(len));
+                let reduced = cr::interleaved_parties(&tree, len, n);
+                let report = cr::run(
+                    n,
+                    tree,
+                    reduced,
+                    &[(NodeId::new(0), ExceptionId::new(len))],
+                    NetConfig::default(),
+                );
+                black_box(report.total_messages())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cr_vs_new);
+criterion_main!(benches);

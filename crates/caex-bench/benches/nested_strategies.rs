@@ -1,0 +1,23 @@
+//! Criterion bench for E9 (Fig. 1): abort-nested vs wait-for-nested
+//! strategies across nested-action remaining durations.
+
+use caex_bench::table_strategies;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nested_strategies");
+    for remaining in [0u64, 1_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("wait_vs_abort", remaining),
+            &remaining,
+            |b, &remaining| {
+                b.iter(|| black_box(table_strategies(&[remaining], 50)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for E1–E3: end-to-end resolution of the three §4.4
+//! cases across N. The interesting output is the scaling shape (the
+//! simulator makes message counts exact; wall time tracks them).
+
+use caex::workloads;
+use caex_net::NetConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_cases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resolution");
+    for n in [4u32, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("case1_one_exception", n), &n, |b, &n| {
+            b.iter(|| {
+                let report = workloads::case1(n, NetConfig::default()).run();
+                black_box(report.total_messages())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("case2_all_nested", n), &n, |b, &n| {
+            b.iter(|| {
+                let report = workloads::case2(n, NetConfig::default()).run();
+                black_box(report.total_messages())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("case3_all_raise", n), &n, |b, &n| {
+            b.iter(|| {
+                let report = workloads::case3(n, NetConfig::default()).run();
+                black_box(report.total_messages())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cases);
+criterion_main!(benches);

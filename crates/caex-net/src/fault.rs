@@ -1,0 +1,286 @@
+//! Fault injection for robustness experiments.
+//!
+//! The paper's fault model (§2) admits node crashes and transient
+//! errors of nodes or the network. The resolution algorithm itself
+//! assumes reliable FIFO channels, so faults are **off by default**; the
+//! robustness tests and the fault-injection example turn them on to
+//! observe how the protocol degrades (e.g. quiescence without commit
+//! when a raiser's messages are lost).
+
+use crate::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A fault the plan injected into a concrete message or node, reported
+/// through the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FaultEvent {
+    /// The message was silently dropped.
+    Dropped,
+    /// The message was delivered twice.
+    Duplicated,
+    /// The destination node had crashed; delivery suppressed.
+    DestinationCrashed,
+    /// The source node had crashed; send suppressed.
+    SourceCrashed,
+    /// The message crossed an active partition boundary; dropped.
+    Partitioned,
+}
+
+/// Declarative fault plan applied by [`SimNet`](crate::SimNet).
+///
+/// # Examples
+///
+/// ```
+/// use caex_net::{FaultPlan, NodeId, SimTime};
+///
+/// let plan = FaultPlan::none()
+///     .with_drop_probability(0.05)
+///     .with_crash(NodeId::new(2), SimTime::from_millis(10));
+/// assert!(plan.crashes_at(NodeId::new(2)).is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    drop_probability: f64,
+    duplicate_probability: f64,
+    crashes: Vec<(NodeId, SimTime)>,
+    partitions: Vec<Partition>,
+    slowdowns: Vec<Slowdown>,
+}
+
+/// A transient network degradation: latencies are multiplied while the
+/// window is active (congestion, rerouting — the paper's "transient
+/// errors … of the communication network", §2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Slowdown {
+    factor: u32,
+    from: SimTime,
+    until: SimTime,
+}
+
+/// A transient network partition: messages between `group` and the
+/// rest of the network are dropped while the window is active.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    group: Vec<NodeId>,
+    from: SimTime,
+    until: SimTime,
+}
+
+impl Partition {
+    /// `true` if a `src → dst` message at time `at` crosses this
+    /// partition while it is active.
+    #[must_use]
+    pub fn severs(&self, src: NodeId, dst: NodeId, at: SimTime) -> bool {
+        if at < self.from || at >= self.until {
+            return false;
+        }
+        self.group.contains(&src) != self.group.contains(&dst)
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults (the algorithm's assumed regime).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan {
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            crashes: Vec::new(),
+            partitions: Vec::new(),
+            slowdowns: Vec::new(),
+        }
+    }
+
+    /// Sets the probability that any message is silently dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    #[must_use]
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_probability = p;
+        self
+    }
+
+    /// Sets the probability that any message is delivered twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    #[must_use]
+    pub fn with_duplicate_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Schedules a crash-stop failure of `node` at virtual time `at`.
+    /// From that moment the node neither sends nor receives.
+    #[must_use]
+    pub fn with_crash(mut self, node: NodeId, at: SimTime) -> Self {
+        self.crashes.push((node, at));
+        self
+    }
+
+    /// Returns the probability of dropping each message.
+    #[must_use]
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// Returns the probability of duplicating each message.
+    #[must_use]
+    pub fn duplicate_probability(&self) -> f64 {
+        self.duplicate_probability
+    }
+
+    /// Adds a transient partition: messages between `group` and the
+    /// rest of the network are dropped during `[from, until)`.
+    #[must_use]
+    pub fn with_partition<I>(mut self, group: I, from: SimTime, until: SimTime) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        self.partitions.push(Partition {
+            group: group.into_iter().collect(),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// `true` if a `src → dst` message at time `at` crosses any active
+    /// partition.
+    #[must_use]
+    pub fn is_partitioned(&self, src: NodeId, dst: NodeId, at: SimTime) -> bool {
+        self.partitions.iter().any(|p| p.severs(src, dst, at))
+    }
+
+    /// Adds a transient slowdown: message latencies sampled during
+    /// `[from, until)` are multiplied by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    #[must_use]
+    pub fn with_slowdown(mut self, factor: u32, from: SimTime, until: SimTime) -> Self {
+        assert!(factor >= 1, "slowdown factor must be at least 1");
+        self.slowdowns.push(Slowdown {
+            factor,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// The combined latency multiplier active at time `at` (1 when no
+    /// slowdown window covers it).
+    #[must_use]
+    pub fn slowdown_at(&self, at: SimTime) -> u64 {
+        self.slowdowns
+            .iter()
+            .filter(|s| at >= s.from && at < s.until)
+            .map(|s| u64::from(s.factor))
+            .product::<u64>()
+            .max(1)
+    }
+
+    /// Returns when `node` crashes, if it is scheduled to.
+    #[must_use]
+    pub fn crashes_at(&self, node: NodeId) -> Option<SimTime> {
+        self.crashes
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|&(_, t)| t)
+    }
+
+    /// `true` if the plan can never perturb an execution.
+    #[must_use]
+    pub fn is_benign(&self) -> bool {
+        self.drop_probability == 0.0
+            && self.duplicate_probability == 0.0
+            && self.crashes.is_empty()
+            && self.partitions.is_empty()
+            && self.slowdowns.is_empty()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_benign() {
+        assert!(FaultPlan::none().is_benign());
+        assert!(FaultPlan::default().is_benign());
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let plan = FaultPlan::none()
+            .with_drop_probability(0.25)
+            .with_duplicate_probability(0.5)
+            .with_crash(NodeId::new(1), SimTime::from_micros(9));
+        assert_eq!(plan.drop_probability(), 0.25);
+        assert_eq!(plan.duplicate_probability(), 0.5);
+        assert_eq!(
+            plan.crashes_at(NodeId::new(1)),
+            Some(SimTime::from_micros(9))
+        );
+        assert_eq!(plan.crashes_at(NodeId::new(2)), None);
+        assert!(!plan.is_benign());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn rejects_bad_probability() {
+        let _ = FaultPlan::none().with_drop_probability(1.5);
+    }
+
+    #[test]
+    fn slowdowns_multiply_within_windows_only() {
+        let plan = FaultPlan::none()
+            .with_slowdown(3, SimTime::from_micros(10), SimTime::from_micros(20))
+            .with_slowdown(2, SimTime::from_micros(15), SimTime::from_micros(30));
+        assert_eq!(plan.slowdown_at(SimTime::from_micros(5)), 1);
+        assert_eq!(plan.slowdown_at(SimTime::from_micros(12)), 3);
+        assert_eq!(plan.slowdown_at(SimTime::from_micros(17)), 6); // overlap
+        assert_eq!(plan.slowdown_at(SimTime::from_micros(25)), 2);
+        assert_eq!(plan.slowdown_at(SimTime::from_micros(30)), 1);
+        assert!(!plan.is_benign());
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor")]
+    fn zero_slowdown_rejected() {
+        let _ = FaultPlan::none().with_slowdown(0, SimTime::ZERO, SimTime::ZERO);
+    }
+
+    #[test]
+    fn partition_severs_only_across_groups_in_window() {
+        let plan = FaultPlan::none().with_partition(
+            [NodeId::new(0), NodeId::new(1)],
+            SimTime::from_micros(10),
+            SimTime::from_micros(20),
+        );
+        let inside = SimTime::from_micros(15);
+        // Across the boundary, inside the window.
+        assert!(plan.is_partitioned(NodeId::new(0), NodeId::new(2), inside));
+        assert!(plan.is_partitioned(NodeId::new(2), NodeId::new(1), inside));
+        // Same side: fine.
+        assert!(!plan.is_partitioned(NodeId::new(0), NodeId::new(1), inside));
+        assert!(!plan.is_partitioned(NodeId::new(2), NodeId::new(3), inside));
+        // Outside the window: fine.
+        assert!(!plan.is_partitioned(NodeId::new(0), NodeId::new(2), SimTime::from_micros(9)));
+        assert!(!plan.is_partitioned(NodeId::new(0), NodeId::new(2), SimTime::from_micros(20)));
+        assert!(!plan.is_benign());
+    }
+}

@@ -1,0 +1,884 @@
+//! The deterministic discrete-event network simulator.
+
+use crate::{
+    FaultEvent, FaultPlan, Kinded, LatencyModel, NetStats, NodeId, SimTime, TraceEvent,
+    TraceEventKind, TraceLog,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration of a [`SimNet`].
+///
+/// # Examples
+///
+/// ```
+/// use caex_net::{LatencyModel, NetConfig, SimTime};
+///
+/// let config = NetConfig::default()
+///     .with_latency(LatencyModel::Constant(SimTime::from_micros(250)))
+///     .with_seed(42)
+///     .with_trace(true);
+/// assert_eq!(config.seed, 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// In-flight time model for remote messages.
+    pub latency: LatencyModel,
+    /// Faults to inject (benign by default).
+    pub faults: FaultPlan,
+    /// Seed for the latency/fault RNG; equal seeds give equal runs.
+    pub seed: u64,
+    /// Whether to record a full [`TraceLog`].
+    pub record_trace: bool,
+    /// Per-ordered-pair FIFO delivery (default `true` — the §4.2
+    /// substrate assumption). Setting `false` lets a later message
+    /// overtake an earlier one on the same channel; protocols that rely
+    /// on FIFO (the resolution algorithm does) may then misbehave —
+    /// that is the point of the ablation.
+    pub fifo: bool,
+    /// Link bandwidth in bytes per millisecond; `None` = unlimited.
+    /// When set, each message adds `wire_len / bandwidth` of
+    /// serialization delay on top of the latency model (§2.1's
+    /// "relatively narrow bandwidth communication channels").
+    pub bandwidth_bytes_per_ms: Option<u64>,
+    /// Per-ordered-pair latency overrides (heterogeneous topologies:
+    /// a WAN link between two LAN clusters, one slow node, …); pairs
+    /// not listed use [`Self::latency`].
+    pub link_latency: Vec<(NodeId, NodeId, LatencyModel)>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            latency: LatencyModel::default(),
+            faults: FaultPlan::none(),
+            seed: 0,
+            record_trace: false,
+            fifo: true,
+            bandwidth_bytes_per_ms: None,
+            link_latency: Vec::new(),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Replaces the latency model.
+    #[must_use]
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Replaces the fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables trace recording.
+    #[must_use]
+    pub fn with_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// Enables or disables per-channel FIFO ordering (ablation knob;
+    /// the resolution algorithm assumes FIFO).
+    #[must_use]
+    pub fn with_fifo(mut self, fifo: bool) -> Self {
+        self.fifo = fifo;
+        self
+    }
+
+    /// Limits link bandwidth (bytes per millisecond); each message then
+    /// pays `wire_len / bandwidth` of serialization delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_ms` is zero.
+    #[must_use]
+    pub fn with_bandwidth(mut self, bytes_per_ms: u64) -> Self {
+        assert!(bytes_per_ms > 0, "bandwidth must be positive");
+        self.bandwidth_bytes_per_ms = Some(bytes_per_ms);
+        self
+    }
+
+    /// Overrides the latency model of the ordered link `from → to`
+    /// (call twice for a symmetric override).
+    #[must_use]
+    pub fn with_link_latency(mut self, from: NodeId, to: NodeId, model: LatencyModel) -> Self {
+        self.link_latency.push((from, to, model));
+        self
+    }
+}
+
+/// Where a delivered payload came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliverySource {
+    /// A remote message sent by this node.
+    Remote(NodeId),
+    /// A locally scheduled event (timer, scenario step).
+    Local,
+}
+
+/// One payload handed to a node by [`SimNet::next_delivery`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// Virtual time of delivery; the simulator clock equals this.
+    pub at: SimTime,
+    /// The receiving node.
+    pub to: NodeId,
+    /// Remote sender or local event.
+    pub source: DeliverySource,
+    /// The message or event payload.
+    pub payload: M,
+}
+
+#[derive(Debug)]
+struct Queued<M> {
+    at: SimTime,
+    seq: u64,
+    to: NodeId,
+    source: DeliverySource,
+    payload: M,
+    label: &'static str,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then lowest
+        // sequence number) event pops first. Sequence numbers are unique,
+        // making the order total and runs deterministic.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event message-passing network.
+///
+/// Guarantees, matching the paper's §4.2 substrate assumptions:
+///
+/// - **Reliable delivery** (with the default benign [`FaultPlan`]);
+/// - **FIFO per ordered pair**: if `a` sends `m1` then `m2` to `b`, `b`
+///   receives `m1` first, even under random latency jitter;
+/// - **Determinism**: equal configs, seeds and send sequences produce
+///   identical delivery sequences and timestamps.
+///
+/// The simulator is *passive*: it never invokes user code. Callers pull
+/// deliveries with [`next_delivery`](Self::next_delivery) and feed them
+/// to their own state machines, which keeps the borrow structure simple
+/// and makes every interleaving decision explicit and reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use caex_net::{NetConfig, NodeId, SimNet, SimTime};
+///
+/// let mut net: SimNet<&'static str> = SimNet::new(NetConfig::default(), 3);
+/// net.schedule_local(SimTime::from_micros(10), NodeId::new(2), "tick");
+/// net.send(NodeId::new(0), NodeId::new(1), "hello");
+///
+/// while let Some(d) = net.next_delivery() {
+///     println!("{} got {} at {}", d.to, d.payload, d.at);
+/// }
+/// assert!(net.is_quiescent());
+/// ```
+#[derive(Debug)]
+pub struct SimNet<M> {
+    config: NetConfig,
+    now: SimTime,
+    queue: BinaryHeap<Queued<M>>,
+    /// Earliest permissible delivery time per ordered (from, to) pair;
+    /// enforces FIFO under jittery latency models.
+    channel_clock: HashMap<(NodeId, NodeId), SimTime>,
+    next_seq: u64,
+    num_nodes: u32,
+    rng: StdRng,
+    stats: NetStats,
+    trace: TraceLog,
+    delivered_count: u64,
+}
+
+impl<M> SimNet<M> {
+    /// Creates a network of `num_nodes` nodes (ids `0..num_nodes`).
+    #[must_use]
+    pub fn new(config: NetConfig, num_nodes: u32) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        SimNet {
+            config,
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            channel_clock: HashMap::new(),
+            next_seq: 0,
+            num_nodes,
+            rng,
+            stats: NetStats::default(),
+            trace: TraceLog::default(),
+            delivered_count: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes in the network.
+    #[must_use]
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes).map(NodeId::new)
+    }
+
+    /// `true` once `node` has passed its scheduled crash time.
+    #[must_use]
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.config
+            .faults
+            .crashes_at(node)
+            .is_some_and(|at| at <= self.now)
+    }
+
+    /// `true` when no events remain in flight.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of events currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total deliveries performed so far.
+    #[must_use]
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// Accumulated per-kind statistics.
+    #[must_use]
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The recorded trace (empty unless `record_trace` was set).
+    #[must_use]
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    fn assert_node(&self, node: NodeId) {
+        assert!(
+            node.index() < self.num_nodes,
+            "node {node} outside network of {} nodes",
+            self.num_nodes
+        );
+    }
+
+    fn record(&mut self, at: SimTime, kind: TraceEventKind, from: NodeId, to: NodeId, label: &str) {
+        if self.config.record_trace {
+            self.trace.push(TraceEvent {
+                at,
+                kind,
+                from,
+                to,
+                label: label.to_owned(),
+            });
+        }
+    }
+
+    fn enqueue(
+        &mut self,
+        at: SimTime,
+        to: NodeId,
+        source: DeliverySource,
+        payload: M,
+        label: &'static str,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Queued {
+            at,
+            seq,
+            to,
+            source,
+            payload,
+            label,
+        });
+        let in_flight = self.queue.len();
+        self.stats.observe_in_flight(in_flight);
+    }
+}
+
+impl<M: Kinded> SimNet<M> {
+    /// Schedules a local event at absolute virtual time `at` (clamped to
+    /// "now" if already past). Local events do not count as messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the network.
+    pub fn schedule_local(&mut self, at: SimTime, node: NodeId, payload: M) {
+        self.assert_node(node);
+        let at = at.max(self.now);
+        let kind = payload.kind();
+        self.enqueue(at, node, DeliverySource::Local, payload, kind);
+    }
+
+    /// Schedules a local event `delay` after the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the network.
+    pub fn schedule_local_in(&mut self, delay: SimTime, node: NodeId, payload: M) {
+        self.schedule_local(self.now + delay, node, payload);
+    }
+}
+
+impl<M: Kinded + Clone> SimNet<M> {
+    /// Sends `payload` from `from` to `to`, subject to the latency model
+    /// and fault plan. Self-sends are permitted (delivered like any other
+    /// message).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is outside the network.
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
+        self.assert_node(from);
+        self.assert_node(to);
+        let kind = payload.kind();
+
+        if self.is_crashed(from) {
+            self.record(
+                self.now,
+                TraceEventKind::Fault(FaultEvent::SourceCrashed),
+                from,
+                to,
+                kind,
+            );
+            return;
+        }
+
+        self.stats.record_send(kind);
+        self.stats.record_channel(from, to);
+        self.record(self.now, TraceEventKind::Sent, from, to, kind);
+
+        // Partitions sever at send time: messages already in flight
+        // when a partition begins still arrive (they left the sender).
+        if self.config.faults.is_partitioned(from, to, self.now) {
+            self.stats.record_drop(kind);
+            self.record(
+                self.now,
+                TraceEventKind::Fault(FaultEvent::Partitioned),
+                from,
+                to,
+                kind,
+            );
+            return;
+        }
+
+        if self.config.faults.drop_probability() > 0.0
+            && self.rng.gen_bool(self.config.faults.drop_probability())
+        {
+            self.stats.record_drop(kind);
+            self.record(
+                self.now,
+                TraceEventKind::Fault(FaultEvent::Dropped),
+                from,
+                to,
+                kind,
+            );
+            return;
+        }
+
+        let duplicate = self.config.faults.duplicate_probability() > 0.0
+            && self
+                .rng
+                .gen_bool(self.config.faults.duplicate_probability());
+
+        let wire_len = payload.wire_len();
+        self.enqueue_remote(from, to, payload.clone(), kind, wire_len);
+        if duplicate {
+            self.record(
+                self.now,
+                TraceEventKind::Fault(FaultEvent::Duplicated),
+                from,
+                to,
+                kind,
+            );
+            self.enqueue_remote(from, to, payload, kind, wire_len);
+        }
+    }
+
+    fn enqueue_remote(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: M,
+        kind: &'static str,
+        wire_len: usize,
+    ) {
+        let model = self
+            .config
+            .link_latency
+            .iter()
+            .find(|(f, t, _)| *f == from && *t == to)
+            .map_or(self.config.latency, |&(_, _, m)| m);
+        let mut latency = model.sample(&mut self.rng);
+        let slowdown = self.config.faults.slowdown_at(self.now);
+        if slowdown > 1 {
+            latency = SimTime::from_micros(latency.as_micros().saturating_mul(slowdown));
+        }
+        let mut at = self.now + latency;
+        if let Some(bandwidth) = self.config.bandwidth_bytes_per_ms {
+            // Serialization delay: micros = bytes * 1000 / (bytes/ms).
+            let micros = (wire_len as u64 * 1_000).div_ceil(bandwidth);
+            at += SimTime::from_micros(micros);
+        }
+        if self.config.fifo {
+            let channel = (from, to);
+            let earliest = self
+                .channel_clock
+                .get(&channel)
+                .copied()
+                .unwrap_or(SimTime::ZERO);
+            // FIFO: a later send on the same channel may not arrive
+            // before an earlier one, whatever latency it drew.
+            at = at.max(earliest);
+            self.channel_clock.insert(channel, at);
+        }
+        self.enqueue(at, to, DeliverySource::Remote(from), payload, kind);
+    }
+
+    /// Sends `payload` from `from` to every node in `to` (cloned per
+    /// destination). Order of sends follows the iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node is outside the network.
+    pub fn broadcast<I>(&mut self, from: NodeId, to: I, payload: M)
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        for dest in to {
+            self.send(from, dest, payload.clone());
+        }
+    }
+
+    /// Pops the next event, advancing the virtual clock to its time.
+    ///
+    /// Deliveries to crashed nodes are suppressed (traced as
+    /// [`FaultEvent::DestinationCrashed`]) and the following event is
+    /// tried, so `None` really means quiescence.
+    pub fn next_delivery(&mut self) -> Option<Delivery<M>> {
+        while let Some(ev) = self.queue.pop() {
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            if let DeliverySource::Remote(from) = ev.source {
+                if self.is_crashed(ev.to) {
+                    self.stats.record_drop(ev.label);
+                    self.record(
+                        ev.at,
+                        TraceEventKind::Fault(FaultEvent::DestinationCrashed),
+                        from,
+                        ev.to,
+                        ev.label,
+                    );
+                    continue;
+                }
+                self.stats.record_delivery(ev.label);
+                self.record(ev.at, TraceEventKind::Delivered, from, ev.to, ev.label);
+            } else {
+                if self.is_crashed(ev.to) {
+                    self.record(
+                        ev.at,
+                        TraceEventKind::Fault(FaultEvent::DestinationCrashed),
+                        ev.to,
+                        ev.to,
+                        ev.label,
+                    );
+                    continue;
+                }
+                self.record(ev.at, TraceEventKind::LocalEvent, ev.to, ev.to, ev.label);
+            }
+            self.delivered_count += 1;
+            return Some(Delivery {
+                at: ev.at,
+                to: ev.to,
+                source: ev.source,
+                payload: ev.payload,
+            });
+        }
+        None
+    }
+
+    /// Drains the network to quiescence, collecting every delivery —
+    /// convenient when the caller only inspects the schedule and never
+    /// reacts to it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use caex_net::{NetConfig, NodeId, SimNet};
+    ///
+    /// let mut net: SimNet<&'static str> = SimNet::new(NetConfig::default(), 2);
+    /// net.send(NodeId::new(0), NodeId::new(1), "a");
+    /// net.send(NodeId::new(1), NodeId::new(0), "b");
+    /// let all = net.drain();
+    /// assert_eq!(all.len(), 2);
+    /// assert!(net.is_quiescent());
+    /// ```
+    pub fn drain(&mut self) -> Vec<Delivery<M>> {
+        std::iter::from_fn(|| self.next_delivery()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(latency: LatencyModel, seed: u64) -> SimNet<&'static str> {
+        SimNet::new(
+            NetConfig::default()
+                .with_latency(latency)
+                .with_seed(seed)
+                .with_trace(true),
+            4,
+        )
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut n = net(LatencyModel::Constant(SimTime::from_micros(10)), 0);
+        n.schedule_local(SimTime::from_micros(5), NodeId::new(0), "early");
+        n.send(NodeId::new(0), NodeId::new(1), "later"); // arrives at 10
+        let first = n.next_delivery().unwrap();
+        let second = n.next_delivery().unwrap();
+        assert_eq!(first.payload, "early");
+        assert_eq!(second.payload, "later");
+        assert_eq!(n.now(), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn fifo_holds_under_jitter() {
+        let mut n = net(
+            LatencyModel::Uniform {
+                min: SimTime::from_micros(1),
+                max: SimTime::from_micros(1000),
+            },
+            123,
+        );
+        for _ in 0..50 {
+            n.send(NodeId::new(0), NodeId::new(1), "a");
+        }
+        let mut count = 0;
+        let mut last = SimTime::ZERO;
+        while let Some(d) = n.next_delivery() {
+            assert!(d.at >= last);
+            last = d.at;
+            count += 1;
+        }
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn fifo_across_interleaved_kinds() {
+        let mut n = net(
+            LatencyModel::Uniform {
+                min: SimTime::ZERO,
+                max: SimTime::from_micros(500),
+            },
+            7,
+        );
+        n.send(NodeId::new(2), NodeId::new(3), "first");
+        n.send(NodeId::new(2), NodeId::new(3), "second");
+        n.send(NodeId::new(2), NodeId::new(3), "third");
+        let order: Vec<_> = std::iter::from_fn(|| n.next_delivery())
+            .map(|d| d.payload)
+            .collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn determinism_under_equal_seeds() {
+        let run = |seed| {
+            let mut n = net(
+                LatencyModel::Uniform {
+                    min: SimTime::ZERO,
+                    max: SimTime::from_micros(100),
+                },
+                seed,
+            );
+            n.send(NodeId::new(0), NodeId::new(1), "x");
+            n.send(NodeId::new(1), NodeId::new(2), "y");
+            n.send(NodeId::new(2), NodeId::new(0), "z");
+            std::iter::from_fn(|| n.next_delivery())
+                .map(|d| (d.at, d.to, d.payload))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn broadcast_reaches_all_targets() {
+        let mut n = net(LatencyModel::zero(), 0);
+        let targets: Vec<_> = (1..4).map(NodeId::new).collect();
+        n.broadcast(NodeId::new(0), targets.iter().copied(), "hi");
+        let mut seen = Vec::new();
+        while let Some(d) = n.next_delivery() {
+            seen.push(d.to);
+        }
+        assert_eq!(seen, targets);
+        assert_eq!(n.stats().sent_of_kind("hi"), 3);
+    }
+
+    #[test]
+    fn stats_track_send_and_delivery() {
+        let mut n = net(LatencyModel::zero(), 0);
+        n.send(NodeId::new(0), NodeId::new(1), "ping");
+        assert_eq!(n.stats().sent_total(), 1);
+        assert_eq!(n.stats().delivered_total(), 0);
+        n.next_delivery().unwrap();
+        assert_eq!(n.stats().delivered_total(), 1);
+        assert_eq!(n.delivered_count(), 1);
+    }
+
+    #[test]
+    fn drop_fault_loses_messages() {
+        let config = NetConfig::default()
+            .with_faults(FaultPlan::none().with_drop_probability(1.0))
+            .with_trace(true);
+        let mut n: SimNet<&'static str> = SimNet::new(config, 2);
+        n.send(NodeId::new(0), NodeId::new(1), "gone");
+        assert!(n.next_delivery().is_none());
+        assert_eq!(n.stats().dropped_total(), 1);
+        assert_eq!(n.stats().sent_total(), 1);
+        let faults: Vec<_> = n
+            .trace()
+            .of_kind(&TraceEventKind::Fault(FaultEvent::Dropped))
+            .collect();
+        assert_eq!(faults.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_twice() {
+        let config = NetConfig::default()
+            .with_faults(FaultPlan::none().with_duplicate_probability(1.0))
+            .with_latency(LatencyModel::zero());
+        let mut n: SimNet<&'static str> = SimNet::new(config, 2);
+        n.send(NodeId::new(0), NodeId::new(1), "twice");
+        let mut count = 0;
+        while n.next_delivery().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn crashed_source_sends_nothing() {
+        let config = NetConfig::default()
+            .with_faults(FaultPlan::none().with_crash(NodeId::new(0), SimTime::ZERO));
+        let mut n: SimNet<&'static str> = SimNet::new(config, 2);
+        n.send(NodeId::new(0), NodeId::new(1), "never");
+        assert!(n.next_delivery().is_none());
+        assert_eq!(n.stats().sent_total(), 0);
+    }
+
+    #[test]
+    fn crashed_destination_receives_nothing() {
+        let config = NetConfig::default()
+            .with_latency(LatencyModel::Constant(SimTime::from_micros(100)))
+            .with_faults(FaultPlan::none().with_crash(NodeId::new(1), SimTime::from_micros(50)));
+        let mut n: SimNet<&'static str> = SimNet::new(config, 2);
+        n.send(NodeId::new(0), NodeId::new(1), "late");
+        // Crash (t=50) precedes delivery (t=100): suppressed.
+        assert!(n.next_delivery().is_none());
+        assert_eq!(n.stats().dropped_total(), 1);
+    }
+
+    #[test]
+    fn crash_only_takes_effect_at_its_time() {
+        let config = NetConfig::default()
+            .with_latency(LatencyModel::Constant(SimTime::from_micros(10)))
+            .with_faults(FaultPlan::none().with_crash(NodeId::new(1), SimTime::from_micros(50)));
+        let mut n: SimNet<&'static str> = SimNet::new(config, 2);
+        n.send(NodeId::new(0), NodeId::new(1), "early");
+        assert!(n.next_delivery().is_some());
+    }
+
+    #[test]
+    fn local_events_are_not_messages() {
+        let mut n = net(LatencyModel::zero(), 0);
+        n.schedule_local(SimTime::from_micros(3), NodeId::new(2), "tick");
+        let d = n.next_delivery().unwrap();
+        assert_eq!(d.source, DeliverySource::Local);
+        assert_eq!(n.stats().sent_total(), 0);
+        assert_eq!(n.stats().delivered_total(), 0);
+    }
+
+    #[test]
+    fn local_events_clamp_to_now() {
+        let mut n = net(LatencyModel::Constant(SimTime::from_micros(100)), 0);
+        n.send(NodeId::new(0), NodeId::new(1), "advance-clock");
+        n.next_delivery().unwrap();
+        assert_eq!(n.now(), SimTime::from_micros(100));
+        n.schedule_local(SimTime::from_micros(5), NodeId::new(0), "past");
+        let d = n.next_delivery().unwrap();
+        assert_eq!(d.at, SimTime::from_micros(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside network")]
+    fn send_to_unknown_node_panics() {
+        let mut n = net(LatencyModel::zero(), 0);
+        n.send(NodeId::new(0), NodeId::new(99), "bad");
+    }
+
+    #[test]
+    fn quiescence_reports_correctly() {
+        let mut n = net(LatencyModel::zero(), 0);
+        assert!(n.is_quiescent());
+        n.send(NodeId::new(0), NodeId::new(1), "m");
+        assert!(!n.is_quiescent());
+        assert_eq!(n.in_flight(), 1);
+        n.next_delivery().unwrap();
+        assert!(n.is_quiescent());
+    }
+
+    #[test]
+    fn trace_records_send_and_delivery() {
+        let mut n = net(LatencyModel::zero(), 0);
+        n.send(NodeId::new(0), NodeId::new(1), "traced");
+        n.next_delivery().unwrap();
+        assert_eq!(n.trace().of_kind(&TraceEventKind::Sent).count(), 1);
+        assert_eq!(n.trace().of_kind(&TraceEventKind::Delivered).count(), 1);
+    }
+
+    #[test]
+    fn link_latency_override_applies_to_that_link_only() {
+        let config = NetConfig::default()
+            .with_latency(LatencyModel::Constant(SimTime::from_micros(100)))
+            .with_link_latency(
+                NodeId::new(0),
+                NodeId::new(1),
+                LatencyModel::Constant(SimTime::from_millis(5)),
+            );
+        let mut n: SimNet<&'static str> = SimNet::new(config, 3);
+        n.send(NodeId::new(0), NodeId::new(1), "wan");
+        n.send(NodeId::new(0), NodeId::new(2), "lan");
+        n.send(NodeId::new(1), NodeId::new(0), "reverse-lan");
+        let delivered = n.drain();
+        let at = |payload: &str| delivered.iter().find(|d| d.payload == payload).unwrap().at;
+        assert_eq!(at("wan"), SimTime::from_millis(5));
+        assert_eq!(at("lan"), SimTime::from_micros(100));
+        // The override is directional.
+        assert_eq!(at("reverse-lan"), SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn slowdown_window_stretches_latency() {
+        let config = NetConfig::default()
+            .with_latency(LatencyModel::Constant(SimTime::from_micros(100)))
+            .with_faults(FaultPlan::none().with_slowdown(
+                5,
+                SimTime::ZERO,
+                SimTime::from_micros(50),
+            ));
+        let mut n: SimNet<&'static str> = SimNet::new(config, 2);
+        // Sent at t=0, inside the window: 5 × 100µs.
+        n.send(NodeId::new(0), NodeId::new(1), "slow");
+        let d = n.next_delivery().unwrap();
+        assert_eq!(d.at, SimTime::from_micros(500));
+        // Sent at t=500, after the window: normal latency.
+        n.send(NodeId::new(0), NodeId::new(1), "fast");
+        let d = n.next_delivery().unwrap();
+        assert_eq!(d.at, SimTime::from_micros(600));
+    }
+
+    #[test]
+    fn bandwidth_adds_serialization_delay() {
+        // 16-byte default payload at 1 byte/ms = 16ms extra.
+        let config = NetConfig::default()
+            .with_latency(LatencyModel::Constant(SimTime::from_micros(100)))
+            .with_bandwidth(1);
+        let mut n: SimNet<&'static str> = SimNet::new(config, 2);
+        n.send(NodeId::new(0), NodeId::new(1), "x");
+        let d = n.next_delivery().unwrap();
+        assert_eq!(d.at, SimTime::from_micros(100) + SimTime::from_millis(16));
+    }
+
+    #[test]
+    fn unlimited_bandwidth_charges_nothing() {
+        let config =
+            NetConfig::default().with_latency(LatencyModel::Constant(SimTime::from_micros(100)));
+        let mut n: SimNet<&'static str> = SimNet::new(config, 2);
+        n.send(NodeId::new(0), NodeId::new(1), "x");
+        assert_eq!(n.next_delivery().unwrap().at, SimTime::from_micros(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = NetConfig::default().with_bandwidth(0);
+    }
+
+    #[test]
+    fn partition_drops_cross_group_sends_in_window() {
+        let config = NetConfig::default()
+            .with_latency(LatencyModel::zero())
+            .with_faults(FaultPlan::none().with_partition(
+                [NodeId::new(0)],
+                SimTime::ZERO,
+                SimTime::from_micros(100),
+            ))
+            .with_trace(true);
+        let mut n: SimNet<&'static str> = SimNet::new(config, 3);
+        n.send(NodeId::new(0), NodeId::new(1), "cut");
+        n.send(NodeId::new(1), NodeId::new(2), "same-side");
+        assert_eq!(n.stats().dropped_of_kind("cut"), 1);
+        let delivered: Vec<_> = std::iter::from_fn(|| n.next_delivery())
+            .map(|d| d.payload)
+            .collect();
+        assert_eq!(delivered, vec!["same-side"]);
+        // After the window heals, the link works again.
+        n.schedule_local(SimTime::from_micros(200), NodeId::new(0), "tick");
+        n.next_delivery().unwrap();
+        n.send(NodeId::new(0), NodeId::new(1), "healed");
+        assert_eq!(n.next_delivery().unwrap().payload, "healed");
+    }
+
+    #[test]
+    fn self_send_is_delivered() {
+        let mut n = net(LatencyModel::zero(), 0);
+        n.send(NodeId::new(1), NodeId::new(1), "loop");
+        let d = n.next_delivery().unwrap();
+        assert_eq!(d.to, NodeId::new(1));
+        assert_eq!(d.source, DeliverySource::Remote(NodeId::new(1)));
+    }
+}

@@ -1,0 +1,270 @@
+//! Per-kind message statistics.
+
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Message counters accumulated by a network.
+///
+/// Tracks sends, deliveries and drops, each broken down by message kind
+/// (see [`Kinded`](crate::Kinded)). The §4.4 message-complexity tables
+/// are produced directly from these counters.
+///
+/// # Examples
+///
+/// ```
+/// use caex_net::NetStats;
+///
+/// let mut stats = NetStats::default();
+/// stats.record_send("exception");
+/// stats.record_send("ack");
+/// stats.record_delivery("exception");
+/// assert_eq!(stats.sent_total(), 2);
+/// assert_eq!(stats.sent_of_kind("exception"), 1);
+/// assert_eq!(stats.delivered_total(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    sent: BTreeMap<String, u64>,
+    delivered: BTreeMap<String, u64>,
+    dropped: BTreeMap<String, u64>,
+    /// Messages sent per ordered (source, destination) pair.
+    channels: BTreeMap<(NodeId, NodeId), u64>,
+    max_in_flight: usize,
+}
+
+impl NetStats {
+    /// Records one send of a message of `kind`.
+    pub fn record_send(&mut self, kind: &str) {
+        *self.sent.entry(kind.to_owned()).or_default() += 1;
+    }
+
+    /// Records the channel a send used (load accounting).
+    pub fn record_channel(&mut self, from: NodeId, to: NodeId) {
+        *self.channels.entry((from, to)).or_default() += 1;
+    }
+
+    /// Messages sent on one ordered channel.
+    #[must_use]
+    pub fn channel_load(&self, from: NodeId, to: NodeId) -> u64 {
+        self.channels.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Total messages a node received (its in-degree load) — the
+    /// hot-spot metric for centralized designs.
+    #[must_use]
+    pub fn node_in_load(&self, node: NodeId) -> u64 {
+        self.channels
+            .iter()
+            .filter(|((_, to), _)| *to == node)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Total messages a node sent (its out-degree load).
+    #[must_use]
+    pub fn node_out_load(&self, node: NodeId) -> u64 {
+        self.channels
+            .iter()
+            .filter(|((from, _), _)| *from == node)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// The node with the highest in-degree load, with that load.
+    #[must_use]
+    pub fn hottest_receiver(&self) -> Option<(NodeId, u64)> {
+        let mut per_node: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for ((_, to), &c) in &self.channels {
+            *per_node.entry(*to).or_default() += c;
+        }
+        per_node.into_iter().max_by_key(|&(_, load)| load)
+    }
+
+    /// Records one delivery of a message of `kind`.
+    pub fn record_delivery(&mut self, kind: &str) {
+        *self.delivered.entry(kind.to_owned()).or_default() += 1;
+    }
+
+    /// Records one drop of a message of `kind`.
+    pub fn record_drop(&mut self, kind: &str) {
+        *self.dropped.entry(kind.to_owned()).or_default() += 1;
+    }
+
+    /// Updates the high-water mark of simultaneously in-flight messages.
+    pub fn observe_in_flight(&mut self, current: usize) {
+        self.max_in_flight = self.max_in_flight.max(current);
+    }
+
+    /// Total messages sent (all kinds).
+    #[must_use]
+    pub fn sent_total(&self) -> u64 {
+        self.sent.values().sum()
+    }
+
+    /// Total messages delivered (all kinds).
+    #[must_use]
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered.values().sum()
+    }
+
+    /// Total messages dropped (all kinds).
+    #[must_use]
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.values().sum()
+    }
+
+    /// Messages sent of one kind.
+    #[must_use]
+    pub fn sent_of_kind(&self, kind: &str) -> u64 {
+        self.sent.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Messages delivered of one kind.
+    #[must_use]
+    pub fn delivered_of_kind(&self, kind: &str) -> u64 {
+        self.delivered.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Messages dropped of one kind.
+    #[must_use]
+    pub fn dropped_of_kind(&self, kind: &str) -> u64 {
+        self.dropped.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(kind, sent)` pairs in kind order.
+    pub fn sent_by_kind(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.sent.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// The largest number of messages that were in flight at once.
+    #[must_use]
+    pub fn max_in_flight(&self) -> usize {
+        self.max_in_flight
+    }
+
+    /// Merges another stats record into this one (kind-wise sums).
+    pub fn merge(&mut self, other: &NetStats) {
+        for (k, v) in &other.sent {
+            *self.sent.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.delivered {
+            *self.delivered.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.dropped {
+            *self.dropped.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.channels {
+            *self.channels.entry(*k).or_default() += v;
+        }
+        self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sent={} delivered={} dropped={} max_in_flight={}",
+            self.sent_total(),
+            self.delivered_total(),
+            self.dropped_total(),
+            self.max_in_flight
+        )?;
+        for (kind, count) in &self.sent {
+            writeln!(f, "  {kind}: sent {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_kind() {
+        let mut s = NetStats::default();
+        s.record_send("a");
+        s.record_send("a");
+        s.record_send("b");
+        s.record_delivery("a");
+        s.record_drop("b");
+        assert_eq!(s.sent_of_kind("a"), 2);
+        assert_eq!(s.sent_of_kind("b"), 1);
+        assert_eq!(s.sent_of_kind("c"), 0);
+        assert_eq!(s.sent_total(), 3);
+        assert_eq!(s.delivered_total(), 1);
+        assert_eq!(s.dropped_of_kind("b"), 1);
+    }
+
+    #[test]
+    fn in_flight_high_water_mark() {
+        let mut s = NetStats::default();
+        s.observe_in_flight(3);
+        s.observe_in_flight(1);
+        s.observe_in_flight(7);
+        s.observe_in_flight(2);
+        assert_eq!(s.max_in_flight(), 7);
+    }
+
+    #[test]
+    fn merge_sums_kinds() {
+        let mut a = NetStats::default();
+        a.record_send("x");
+        a.observe_in_flight(2);
+        let mut b = NetStats::default();
+        b.record_send("x");
+        b.record_send("y");
+        b.observe_in_flight(5);
+        a.merge(&b);
+        assert_eq!(a.sent_of_kind("x"), 2);
+        assert_eq!(a.sent_of_kind("y"), 1);
+        assert_eq!(a.max_in_flight(), 5);
+    }
+
+    #[test]
+    fn display_mentions_totals() {
+        let mut s = NetStats::default();
+        s.record_send("exception");
+        let text = s.to_string();
+        assert!(text.contains("sent=1"));
+        assert!(text.contains("exception"));
+    }
+
+    #[test]
+    fn channel_and_node_loads() {
+        let mut s = NetStats::default();
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        s.record_channel(a, c);
+        s.record_channel(b, c);
+        s.record_channel(b, c);
+        s.record_channel(c, a);
+        assert_eq!(s.channel_load(b, c), 2);
+        assert_eq!(s.channel_load(c, b), 0);
+        assert_eq!(s.node_in_load(c), 3);
+        assert_eq!(s.node_out_load(b), 2);
+        assert_eq!(s.hottest_receiver(), Some((c, 3)));
+    }
+
+    #[test]
+    fn merge_sums_channels() {
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let mut x = NetStats::default();
+        x.record_channel(a, b);
+        let mut y = NetStats::default();
+        y.record_channel(a, b);
+        x.merge(&y);
+        assert_eq!(x.channel_load(a, b), 2);
+    }
+
+    #[test]
+    fn sent_by_kind_is_sorted() {
+        let mut s = NetStats::default();
+        s.record_send("b");
+        s.record_send("a");
+        let kinds: Vec<_> = s.sent_by_kind().map(|(k, _)| k.to_owned()).collect();
+        assert_eq!(kinds, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,348 @@
+//! Execution traces: an ordered record of everything the network did.
+
+use crate::{FaultEvent, NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What happened in one trace entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TraceEventKind {
+    /// A message left its source node.
+    Sent,
+    /// A message arrived at its destination node.
+    Delivered,
+    /// A fault perturbed a message or node.
+    Fault(FaultEvent),
+    /// A locally scheduled event fired at its node.
+    LocalEvent,
+}
+
+impl fmt::Display for TraceEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEventKind::Sent => f.write_str("sent"),
+            TraceEventKind::Delivered => f.write_str("delivered"),
+            TraceEventKind::Fault(e) => write!(f, "fault({e:?})"),
+            TraceEventKind::LocalEvent => f.write_str("local"),
+        }
+    }
+}
+
+/// One entry in a [`TraceLog`].
+///
+/// `label` carries the message kind (for sends/deliveries) or a free-form
+/// event description; payloads themselves are not stored so traces stay
+/// cheap and serializable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time the event occurred at.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Sending node (or the node a local event fired at).
+    pub from: NodeId,
+    /// Receiving node (same as `from` for local events).
+    pub to: NodeId,
+    /// Message kind or event description.
+    pub label: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>10}] {:<9} {} -> {} : {}",
+            self.at.to_string(),
+            self.kind.to_string(),
+            self.from,
+            self.to,
+            self.label
+        )
+    }
+}
+
+/// An append-only log of [`TraceEvent`]s for one execution.
+///
+/// # Examples
+///
+/// ```
+/// use caex_net::{NodeId, SimTime, TraceEvent, TraceEventKind, TraceLog};
+///
+/// let mut log = TraceLog::default();
+/// log.push(TraceEvent {
+///     at: SimTime::ZERO,
+///     kind: TraceEventKind::Sent,
+///     from: NodeId::new(0),
+///     to: NodeId::new(1),
+///     label: "exception".into(),
+/// });
+/// assert_eq!(log.len(), 1);
+/// assert_eq!(log.of_kind(&TraceEventKind::Sent).count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over all events in record order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Iterates over the events of one kind.
+    pub fn of_kind<'a>(
+        &'a self,
+        kind: &'a TraceEventKind,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| &e.kind == kind)
+    }
+
+    /// Iterates over events whose label equals `label`.
+    pub fn with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.label == label)
+    }
+
+    /// Renders the whole log, one event per line (for examples/tests).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders an ASCII message-sequence chart over `nodes` lifelines:
+    /// one row per *delivery* (sends are implicit), arrows from source
+    /// to destination column, local events as `*`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use caex_net::{NetConfig, NodeId, SimNet};
+    ///
+    /// let mut net: SimNet<&'static str> =
+    ///     SimNet::new(NetConfig::default().with_trace(true), 3);
+    /// net.send(NodeId::new(0), NodeId::new(2), "ping");
+    /// while net.next_delivery().is_some() {}
+    /// let chart = net.trace().render_sequence_chart(3);
+    /// assert!(chart.contains("O0"));
+    /// assert!(chart.contains("ping"));
+    /// ```
+    #[must_use]
+    pub fn render_sequence_chart(&self, nodes: u32) -> String {
+        const COL: usize = 8;
+        let mut out = String::new();
+        // Header: lifeline names.
+        out.push_str(&format!("{:>10} ", "time"));
+        for i in 0..nodes {
+            out.push_str(&format!("{:^COL$}", format!("O{i}")));
+        }
+        out.push('\n');
+        let center = |i: usize| i * COL + COL / 2;
+        for e in &self.events {
+            let deliver = match &e.kind {
+                TraceEventKind::Delivered => true,
+                TraceEventKind::LocalEvent => false,
+                _ => continue, // sends & faults are implicit
+            };
+            let mut row = vec![' '; nodes as usize * COL];
+            for i in 0..nodes as usize {
+                row[center(i)] = '|';
+            }
+            let (from, to) = (e.from.index() as usize, e.to.index() as usize);
+            if deliver && from != to {
+                let (lo, hi) = (center(from).min(center(to)), center(from).max(center(to)));
+                for cell in row.iter_mut().take(hi).skip(lo) {
+                    *cell = '-';
+                }
+                row[center(from)] = '+';
+                row[center(to)] = if from < to { '>' } else { '<' };
+            } else {
+                row[center(to)] = '*';
+            }
+            out.push_str(&format!("{:>10} ", e.at.to_string()));
+            out.push_str(&row.into_iter().collect::<String>());
+            out.push_str(&format!(" {}", e.label));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Exports the log as CSV (`time_us,kind,from,to,label`) for
+    /// analysis outside the process.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use caex_net::TraceLog;
+    ///
+    /// let log = TraceLog::default();
+    /// assert_eq!(log.to_csv(), "time_us,kind,from,to,label\n");
+    /// ```
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_us,kind,from,to,label\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                e.at.as_micros(),
+                e.kind,
+                e.from,
+                e.to,
+                e.label
+            ));
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceLog {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl FromIterator<TraceEvent> for TraceLog {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        TraceLog {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TraceEvent> for TraceLog {
+    fn extend<I: IntoIterator<Item = TraceEvent>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, kind: TraceEventKind, label: &str) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_micros(at),
+            kind,
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            label: label.to_owned(),
+        }
+    }
+
+    #[test]
+    fn push_and_iterate_in_order() {
+        let mut log = TraceLog::default();
+        log.push(ev(1, TraceEventKind::Sent, "a"));
+        log.push(ev(2, TraceEventKind::Delivered, "a"));
+        let times: Vec<_> = log.iter().map(|e| e.at.as_micros()).collect();
+        assert_eq!(times, vec![1, 2]);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn filter_by_kind_and_label() {
+        let mut log = TraceLog::default();
+        log.push(ev(1, TraceEventKind::Sent, "x"));
+        log.push(ev(2, TraceEventKind::Sent, "y"));
+        log.push(ev(3, TraceEventKind::Delivered, "x"));
+        assert_eq!(log.of_kind(&TraceEventKind::Sent).count(), 2);
+        assert_eq!(log.with_label("x").count(), 2);
+    }
+
+    #[test]
+    fn render_has_one_line_per_event() {
+        let mut log = TraceLog::default();
+        log.push(ev(1, TraceEventKind::Sent, "a"));
+        log.push(ev(2, TraceEventKind::LocalEvent, "raise"));
+        let rendered = log.render();
+        assert_eq!(rendered.lines().count(), 2);
+        assert!(rendered.contains("raise"));
+    }
+
+    #[test]
+    fn fault_events_render_their_cause() {
+        let e = ev(5, TraceEventKind::Fault(FaultEvent::Dropped), "m");
+        assert!(e.to_string().contains("Dropped"));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let events = vec![
+            ev(1, TraceEventKind::Sent, "a"),
+            ev(2, TraceEventKind::Delivered, "a"),
+        ];
+        let mut log: TraceLog = events.clone().into_iter().collect();
+        assert_eq!(log.len(), 2);
+        log.extend(events);
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn sequence_chart_draws_arrows_and_locals() {
+        let mut log = TraceLog::default();
+        log.push(TraceEvent {
+            at: SimTime::from_micros(1),
+            kind: TraceEventKind::LocalEvent,
+            from: NodeId::new(1),
+            to: NodeId::new(1),
+            label: "raise".into(),
+        });
+        log.push(TraceEvent {
+            at: SimTime::from_micros(2),
+            kind: TraceEventKind::Delivered,
+            from: NodeId::new(0),
+            to: NodeId::new(2),
+            label: "exception".into(),
+        });
+        log.push(TraceEvent {
+            at: SimTime::from_micros(3),
+            kind: TraceEventKind::Delivered,
+            from: NodeId::new(2),
+            to: NodeId::new(0),
+            label: "ack".into(),
+        });
+        let chart = log.render_sequence_chart(3);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].contains("O0") && lines[0].contains("O2"));
+        assert!(lines[1].contains('*') && lines[1].ends_with("raise"));
+        assert!(lines[2].contains('>') && lines[2].contains('+'));
+        assert!(lines[3].contains('<'));
+        // Sends are implicit: 3 events -> 3 rows + header.
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut log = TraceLog::default();
+        log.push(ev(7, TraceEventKind::Sent, "exception"));
+        let csv = log.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("time_us,kind,from,to,label"));
+        assert_eq!(lines.next(), Some("7,sent,O0,O1,exception"));
+        assert_eq!(lines.next(), None);
+    }
+}

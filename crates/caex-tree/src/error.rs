@@ -1,0 +1,91 @@
+//! Error type for tree construction and queries.
+
+use crate::ExceptionId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or querying an exception tree.
+///
+/// # Examples
+///
+/// ```
+/// use caex_tree::{TreeBuilder, TreeError, ExceptionId};
+///
+/// let tree = TreeBuilder::new("root").build().unwrap();
+/// let err = tree.parent(ExceptionId::new(42)).unwrap_err();
+/// assert!(matches!(err, TreeError::UnknownId(_)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreeError {
+    /// An [`ExceptionId`] does not belong to this tree.
+    UnknownId(ExceptionId),
+    /// A name was declared twice in the same tree.
+    DuplicateName(String),
+    /// A name was looked up but never declared.
+    UnknownName(String),
+    /// `resolve` was called with an empty set of raised exceptions.
+    EmptyResolutionSet,
+    /// A reduced tree would be empty (it must retain at least the root).
+    EmptyReducedTree,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::UnknownId(id) => write!(f, "unknown exception id {id}"),
+            TreeError::DuplicateName(name) => {
+                write!(f, "duplicate exception name `{name}`")
+            }
+            TreeError::UnknownName(name) => write!(f, "unknown exception name `{name}`"),
+            TreeError::EmptyResolutionSet => {
+                write!(f, "cannot resolve an empty set of exceptions")
+            }
+            TreeError::EmptyReducedTree => {
+                write!(f, "reduced tree must contain at least the root")
+            }
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let cases: Vec<(TreeError, &str)> = vec![
+            (
+                TreeError::UnknownId(ExceptionId::new(7)),
+                "unknown exception id e7",
+            ),
+            (
+                TreeError::DuplicateName("boom".into()),
+                "duplicate exception name `boom`",
+            ),
+            (
+                TreeError::UnknownName("gone".into()),
+                "unknown exception name `gone`",
+            ),
+            (
+                TreeError::EmptyResolutionSet,
+                "cannot resolve an empty set of exceptions",
+            ),
+            (
+                TreeError::EmptyReducedTree,
+                "reduced tree must contain at least the root",
+            ),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_error(TreeError::EmptyResolutionSet);
+    }
+}

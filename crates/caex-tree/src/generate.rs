@@ -1,0 +1,195 @@
+//! Generators for the tree shapes the paper analyses.
+
+use crate::{ExceptionId, ExceptionTree, ReducedTree, TreeBuilder};
+
+/// Builds the paper's §3.3 chain tree `root → e1 → e2 → … → e<len>`.
+///
+/// A chain is the worst case for the CR domino effect: with interleaved
+/// reduced trees every informed participant must re-raise, climbing the
+/// chain one link at a time.
+///
+/// # Examples
+///
+/// ```
+/// use caex_tree::{chain_tree, ExceptionId};
+///
+/// let tree = chain_tree(8);
+/// assert_eq!(tree.len(), 9); // root + e1..e8
+/// assert_eq!(tree.height(), 8);
+/// assert_eq!(tree.leaves(), vec![ExceptionId::new(8)]);
+/// ```
+#[must_use]
+pub fn chain_tree(len: u32) -> ExceptionTree {
+    let mut b = TreeBuilder::new("universal_exception");
+    let mut parent = ExceptionId::ROOT;
+    for i in 1..=len {
+        parent = b
+            .child(format!("e{i}"), parent)
+            .expect("generated names are unique");
+    }
+    b.build().expect("builder is valid by construction")
+}
+
+/// Builds a balanced tree with the given branching `factor` and `depth`
+/// (depth 0 is just the root). Node names are `n<index>`.
+///
+/// # Panics
+///
+/// Panics if `factor` is 0 and `depth` > 0.
+///
+/// # Examples
+///
+/// ```
+/// use caex_tree::balanced_tree;
+///
+/// let tree = balanced_tree(2, 3);
+/// assert_eq!(tree.len(), 1 + 2 + 4 + 8);
+/// assert_eq!(tree.height(), 3);
+/// ```
+#[must_use]
+pub fn balanced_tree(factor: u32, depth: u32) -> ExceptionTree {
+    assert!(
+        factor > 0 || depth == 0,
+        "branching factor must be positive"
+    );
+    let mut b = TreeBuilder::new("universal_exception");
+    let mut frontier = vec![ExceptionId::ROOT];
+    let mut counter = 0u64;
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * factor as usize);
+        for parent in frontier {
+            for _ in 0..factor {
+                counter += 1;
+                let id = b
+                    .child(format!("n{counter}"), parent)
+                    .expect("generated names are unique");
+                next.push(id);
+            }
+        }
+        frontier = next;
+    }
+    b.build().expect("builder is valid by construction")
+}
+
+/// Builds the paper's §3.2 aircraft-engine exception hierarchy:
+///
+/// ```text
+/// universal_exception
+/// └── emergency_engine_loss_exception
+///     ├── left_engine_exception
+///     └── right_engine_exception
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use caex_tree::aircraft_tree;
+///
+/// let tree = aircraft_tree();
+/// let left = tree.id_of("left_engine_exception").unwrap();
+/// let right = tree.id_of("right_engine_exception").unwrap();
+/// let emergency = tree.id_of("emergency_engine_loss_exception").unwrap();
+/// assert_eq!(tree.resolve([left, right]).unwrap(), emergency);
+/// ```
+#[must_use]
+pub fn aircraft_tree() -> ExceptionTree {
+    let mut b = TreeBuilder::new("universal_exception");
+    let emergency = b
+        .child_of_root("emergency_engine_loss_exception")
+        .expect("unique");
+    b.child("left_engine_exception", emergency).expect("unique");
+    b.child("right_engine_exception", emergency)
+        .expect("unique");
+    b.build().expect("builder is valid by construction")
+}
+
+/// Builds the §3.3 interleaved reduced trees over a chain of length
+/// `len`: participant 0 handles odd-numbered exceptions, participant 1
+/// handles even-numbered ones. Returns `(odd, even)`.
+///
+/// With the paper's `len = 8` this is exactly `T_{O1} = e1 e3 e5 e7`,
+/// `T_{O2} = e2 e4 e6 e8` — the configuration whose mutual re-raising
+/// walks any raised exception all the way up the chain.
+///
+/// # Examples
+///
+/// ```
+/// use caex_tree::{chain_tree, interleaved_reduced_trees, ExceptionId};
+///
+/// let tree = chain_tree(8);
+/// let (odd, even) = interleaved_reduced_trees(&tree, 8);
+/// assert!(odd.handles(ExceptionId::new(7)));
+/// assert!(!odd.handles(ExceptionId::new(8)));
+/// assert!(even.handles(ExceptionId::new(8)));
+/// ```
+#[must_use]
+pub fn interleaved_reduced_trees(tree: &ExceptionTree, len: u32) -> (ReducedTree, ReducedTree) {
+    let odd = ReducedTree::new(tree, (1..=len).step_by(2).map(ExceptionId::new))
+        .expect("chain ids are valid");
+    let even = ReducedTree::new(tree, (2..=len).step_by(2).map(ExceptionId::new))
+        .expect("chain ids are valid");
+    (odd, even)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_tree_structure() {
+        let tree = chain_tree(5);
+        assert_eq!(tree.len(), 6);
+        assert_eq!(tree.height(), 5);
+        for i in 1..=5u32 {
+            assert_eq!(tree.depth(ExceptionId::new(i)).unwrap(), i);
+            assert_eq!(tree.name(ExceptionId::new(i)).unwrap(), format!("e{i}"));
+        }
+    }
+
+    #[test]
+    fn chain_tree_zero_is_root_only() {
+        let tree = chain_tree(0);
+        assert_eq!(tree.len(), 1);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn balanced_tree_counts() {
+        let tree = balanced_tree(3, 2);
+        assert_eq!(tree.len(), 1 + 3 + 9);
+        assert_eq!(tree.height(), 2);
+        assert_eq!(tree.leaves().len(), 9);
+    }
+
+    #[test]
+    fn balanced_depth_zero_is_root_only() {
+        let tree = balanced_tree(5, 0);
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn aircraft_matches_paper_hierarchy() {
+        let tree = aircraft_tree();
+        assert_eq!(tree.len(), 4);
+        let emergency = tree.id_of("emergency_engine_loss_exception").unwrap();
+        let left = tree.id_of("left_engine_exception").unwrap();
+        let right = tree.id_of("right_engine_exception").unwrap();
+        assert_eq!(tree.parent(left).unwrap(), Some(emergency));
+        assert_eq!(tree.parent(right).unwrap(), Some(emergency));
+        assert_eq!(tree.parent(emergency).unwrap(), Some(tree.root()));
+    }
+
+    #[test]
+    fn interleaved_trees_partition_the_chain() {
+        let tree = chain_tree(8);
+        let (odd, even) = interleaved_reduced_trees(&tree, 8);
+        for i in 1..=8u32 {
+            let id = ExceptionId::new(i);
+            if i % 2 == 1 {
+                assert!(odd.handles(id) && !even.handles(id));
+            } else {
+                assert!(even.handles(id) && !odd.handles(id));
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Exception values and exception trees for coordinated atomic (CA) actions.
+//!
+//! This crate is the exception-model substrate of the `caex` workspace, a
+//! reproduction of *Exception Handling and Resolution in Distributed
+//! Object-Oriented Systems* (Romanovsky, Xu & Randell, 1996). The paper
+//! models exceptions as a run-time class hierarchy — an **exception tree**
+//! imposing a partial order in which "a higher exception has a handler
+//! which is intended to handle any lower level exception" (§2.2). Because
+//! Rust has no native exception classes, exceptions here are first-class
+//! values ([`Exception`]) whose identities ([`ExceptionId`]) live in an
+//! explicit [`ExceptionTree`].
+//!
+//! The central operation is [`ExceptionTree::resolve`]: given the set of
+//! exceptions raised concurrently by the participants of a CA action, it
+//! returns the *least* exception in the tree that covers all of them —
+//! the exception whose handler is then started in every participant.
+//!
+//! # Quick example
+//!
+//! The paper's §3.2 aircraft-engine hierarchy:
+//!
+//! ```
+//! use caex_tree::{TreeBuilder, ExceptionTree};
+//!
+//! # fn main() -> Result<(), caex_tree::TreeError> {
+//! let mut b = TreeBuilder::new("universal_exception");
+//! let emergency = b.child_of_root("emergency_engine_loss_exception")?;
+//! let left = b.child("left_engine_exception", emergency)?;
+//! let right = b.child("right_engine_exception", emergency)?;
+//! let tree = b.build()?;
+//!
+//! // Both engines fail concurrently: the resolved exception is the
+//! // least ancestor covering both raised exceptions.
+//! assert_eq!(tree.resolve([left, right])?, emergency);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod parse;
+
+mod error;
+mod exception;
+mod generate;
+mod id;
+mod reduced;
+mod resolve;
+mod tree;
+
+pub use error::TreeError;
+pub use exception::{Exception, ExceptionBuilder, Severity};
+pub use generate::{aircraft_tree, balanced_tree, chain_tree, interleaved_reduced_trees};
+pub use id::ExceptionId;
+pub use parse::ParseError;
+pub use reduced::ReducedTree;
+pub use resolve::Resolution;
+pub use tree::{ExceptionTree, TreeBuilder, TreeStats};

@@ -1,0 +1,285 @@
+//! A compact text format for declaring exception trees.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! tree  :=  name [ '(' tree (',' tree)* ')' ]
+//! name  :=  [A-Za-z0-9_.-]+
+//! ```
+//!
+//! So the paper's §3.2 hierarchy is simply:
+//!
+//! ```text
+//! universal_exception(emergency_engine_loss_exception(
+//!     left_engine_exception, right_engine_exception))
+//! ```
+
+use crate::{ExceptionTree, TreeBuilder, TreeError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`ExceptionTree::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// Unexpected character at the given byte offset.
+    Unexpected {
+        /// Byte offset into the spec.
+        at: usize,
+        /// The offending character, or `None` at end of input.
+        found: Option<char>,
+    },
+    /// Input ended before the tree was complete.
+    UnexpectedEnd,
+    /// Input continued after a complete tree.
+    TrailingInput {
+        /// Byte offset where the trailing input starts.
+        at: usize,
+    },
+    /// A structural error from the underlying builder (e.g. duplicate
+    /// names).
+    Tree(TreeError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Unexpected { at, found: Some(c) } => {
+                write!(f, "unexpected character `{c}` at offset {at}")
+            }
+            ParseError::Unexpected { at, found: None } => {
+                write!(f, "unexpected end of input at offset {at}")
+            }
+            ParseError::UnexpectedEnd => write!(f, "input ended before the tree was complete"),
+            ParseError::TrailingInput { at } => {
+                write!(f, "trailing input after the tree at offset {at}")
+            }
+            ParseError::Tree(e) => write!(f, "invalid tree: {e}"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<TreeError> for ParseError {
+    fn from(e: TreeError) -> Self {
+        ParseError::Tree(e)
+    }
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(char::is_whitespace) {
+            self.pos += self.src[self.pos..]
+                .chars()
+                .next()
+                .expect("starts_with matched")
+                .len_utf8();
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn name(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let rest = &self.src[start..];
+        let len = rest
+            .char_indices()
+            .find(|&(_, c)| !(c.is_alphanumeric() || "_-.".contains(c)))
+            .map_or(rest.len(), |(i, _)| i);
+        if len == 0 {
+            return Err(ParseError::Unexpected {
+                at: start,
+                found: rest.chars().next(),
+            });
+        }
+        self.pos = start + len;
+        Ok(&self.src[start..start + len])
+    }
+
+    fn children(
+        &mut self,
+        builder: &mut TreeBuilder,
+        parent: crate::ExceptionId,
+    ) -> Result<(), ParseError> {
+        if self.peek() != Some('(') {
+            return Ok(());
+        }
+        self.pos += 1;
+        loop {
+            let name = self.name()?;
+            let id = builder.child(name, parent)?;
+            self.children(builder, id)?;
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some(')') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                found => {
+                    return Err(found.map_or(ParseError::UnexpectedEnd, |c| {
+                        ParseError::Unexpected {
+                            at: self.pos,
+                            found: Some(c),
+                        }
+                    }))
+                }
+            }
+        }
+    }
+}
+
+impl ExceptionTree {
+    /// Serialises the tree back into the compact spec format parsed by
+    /// [`parse`](Self::parse); `parse(tree.to_spec())` reproduces the
+    /// tree exactly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use caex_tree::ExceptionTree;
+    ///
+    /// let spec = "sys(net(timeout,refused),disk)";
+    /// let tree = ExceptionTree::parse(spec).unwrap();
+    /// assert_eq!(tree.to_spec(), spec);
+    /// ```
+    #[must_use]
+    pub fn to_spec(&self) -> String {
+        fn rec(tree: &ExceptionTree, node: crate::ExceptionId, out: &mut String) {
+            out.push_str(tree.name(node).expect("node from this tree"));
+            let children: Vec<_> = tree.children(node).expect("node from this tree").collect();
+            if children.is_empty() {
+                return;
+            }
+            out.push('(');
+            for (i, child) in children.into_iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                rec(tree, child, out);
+            }
+            out.push(')');
+        }
+        let mut out = String::new();
+        rec(self, crate::ExceptionId::ROOT, &mut out);
+        out
+    }
+
+    /// Parses a tree from the compact spec format (see the
+    /// [`parse` module](crate::parse) docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ParseError`] variant, including structural errors such as
+    /// duplicate names.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use caex_tree::ExceptionTree;
+    ///
+    /// let tree = ExceptionTree::parse(
+    ///     "universal(engine_loss(left, right), io_error)",
+    /// ).unwrap();
+    /// assert_eq!(tree.len(), 5);
+    /// let left = tree.id_of("left").unwrap();
+    /// let right = tree.id_of("right").unwrap();
+    /// let loss = tree.id_of("engine_loss").unwrap();
+    /// assert_eq!(tree.resolve([left, right]).unwrap(), loss);
+    /// ```
+    pub fn parse(spec: &str) -> Result<ExceptionTree, ParseError> {
+        let mut parser = Parser { src: spec, pos: 0 };
+        let root = parser.name()?;
+        let mut builder = TreeBuilder::new(root);
+        parser.children(&mut builder, crate::ExceptionId::ROOT)?;
+        parser.skip_ws();
+        if parser.pos != spec.len() {
+            return Err(ParseError::TrailingInput { at: parser.pos });
+        }
+        Ok(builder.build()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_only() {
+        let tree = ExceptionTree::parse("root").unwrap();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.name(tree.root()).unwrap(), "root");
+    }
+
+    #[test]
+    fn paper_hierarchy_round_trips() {
+        let tree = ExceptionTree::parse(
+            "universal_exception(emergency_engine_loss_exception(\
+             left_engine_exception, right_engine_exception))",
+        )
+        .unwrap();
+        let reference = crate::aircraft_tree();
+        assert_eq!(tree.len(), reference.len());
+        for id in tree.iter() {
+            assert_eq!(tree.name(id).unwrap(), reference.name(id).unwrap());
+            assert_eq!(tree.parent(id).unwrap(), reference.parent(id).unwrap());
+        }
+    }
+
+    #[test]
+    fn whitespace_is_free() {
+        let a = ExceptionTree::parse("r(a(b,c),d)").unwrap();
+        let b = ExceptionTree::parse("  r ( a ( b , c ) , d )  ").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deep_nesting_parses() {
+        let tree = ExceptionTree::parse("a(b(c(d(e(f)))))").unwrap();
+        assert_eq!(tree.height(), 5);
+        let f = tree.id_of("f").unwrap();
+        assert_eq!(tree.depth(f).unwrap(), 5);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert!(matches!(
+            ExceptionTree::parse(""),
+            Err(ParseError::Unexpected { at: 0, found: None })
+        ));
+        assert!(matches!(
+            ExceptionTree::parse("r(a"),
+            Err(ParseError::UnexpectedEnd)
+        ));
+        assert!(matches!(
+            ExceptionTree::parse("r(a))"),
+            Err(ParseError::TrailingInput { .. })
+        ));
+        assert!(matches!(
+            ExceptionTree::parse("r(a,,b)"),
+            Err(ParseError::Unexpected { .. })
+        ));
+        assert!(matches!(
+            ExceptionTree::parse("r(a,a)"),
+            Err(ParseError::Tree(TreeError::DuplicateName(_)))
+        ));
+    }
+
+    #[test]
+    fn parse_then_dot_round_trip_names() {
+        let tree = ExceptionTree::parse("sys(net(timeout,refused),disk)").unwrap();
+        let dot = tree.to_dot();
+        for name in ["sys", "net", "timeout", "refused", "disk"] {
+            assert!(dot.contains(name));
+        }
+    }
+}

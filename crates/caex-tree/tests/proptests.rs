@@ -1,0 +1,198 @@
+//! Property-based tests for the exception-tree invariants the resolution
+//! algorithm relies on.
+
+use caex_tree::{balanced_tree, chain_tree, ExceptionId, ExceptionTree, ReducedTree, TreeBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a random tree built by attaching each new node to a random
+/// existing node, plus the node count.
+fn arb_tree() -> impl Strategy<Value = ExceptionTree> {
+    // Parent choices: node i+1 attaches to some index in [0, i].
+    prop::collection::vec(0usize..=usize::MAX, 0..40).prop_map(|choices| {
+        let mut b = TreeBuilder::new("root");
+        let mut ids = vec![ExceptionId::ROOT];
+        for (i, c) in choices.into_iter().enumerate() {
+            let parent = ids[c % ids.len()];
+            let id = b.child(format!("n{i}"), parent).unwrap();
+            ids.push(id);
+        }
+        b.build().unwrap()
+    })
+}
+
+fn arb_tree_and_ids() -> impl Strategy<Value = (ExceptionTree, Vec<ExceptionId>)> {
+    arb_tree().prop_flat_map(|tree| {
+        let n = tree.len() as u32;
+        let ids = prop::collection::vec(0..n, 1..12)
+            .prop_map(|v| v.into_iter().map(ExceptionId::new).collect::<Vec<_>>());
+        (Just(tree), ids)
+    })
+}
+
+proptest! {
+    /// The resolved exception is an ancestor of every raised exception —
+    /// invariant 3 of DESIGN.md ("coverage").
+    #[test]
+    fn resolved_covers_all_raised((tree, raised) in arb_tree_and_ids()) {
+        let resolved = tree.resolve(raised.iter().copied()).unwrap();
+        for &r in &raised {
+            prop_assert!(tree.is_ancestor(resolved, r).unwrap());
+        }
+    }
+
+    /// The resolved exception is the *least* covering one: no strict
+    /// descendant of it covers the whole raised set — invariant 4
+    /// ("minimality").
+    #[test]
+    fn resolved_is_minimal((tree, raised) in arb_tree_and_ids()) {
+        let resolved = tree.resolve(raised.iter().copied()).unwrap();
+        for candidate in tree.subtree(resolved).unwrap() {
+            if candidate == resolved {
+                continue;
+            }
+            let covers_all = raised
+                .iter()
+                .all(|&r| tree.is_ancestor(candidate, r).unwrap());
+            prop_assert!(
+                !covers_all,
+                "strict descendant {candidate} also covers the raised set"
+            );
+        }
+    }
+
+    /// Resolution is independent of the order exceptions arrive in.
+    #[test]
+    fn resolution_is_commutative((tree, raised) in arb_tree_and_ids()) {
+        let forward = tree.resolve(raised.iter().copied()).unwrap();
+        let mut reversed = raised.clone();
+        reversed.reverse();
+        let backward = tree.resolve(reversed).unwrap();
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Resolution is idempotent: feeding the result back in changes
+    /// nothing.
+    #[test]
+    fn resolution_is_idempotent((tree, raised) in arb_tree_and_ids()) {
+        let resolved = tree.resolve(raised.iter().copied()).unwrap();
+        let mut extended = raised.clone();
+        extended.push(resolved);
+        prop_assert_eq!(tree.resolve(extended).unwrap(), resolved);
+    }
+
+    /// A singleton set resolves to itself.
+    #[test]
+    fn singleton_resolves_to_itself(tree in arb_tree(), seed in 0u32..1000) {
+        let id = ExceptionId::new(seed % tree.len() as u32);
+        prop_assert_eq!(tree.resolve([id]).unwrap(), id);
+    }
+
+    /// `lca` is symmetric and dominated by the root.
+    #[test]
+    fn lca_symmetric((tree, raised) in arb_tree_and_ids()) {
+        let a = raised[0];
+        let b = *raised.last().unwrap();
+        let ab = tree.lca(a, b).unwrap();
+        let ba = tree.lca(b, a).unwrap();
+        prop_assert_eq!(ab, ba);
+        prop_assert!(tree.is_ancestor(tree.root(), ab).unwrap());
+    }
+
+    /// `path_to_root` has strictly decreasing depth and correct endpoints.
+    #[test]
+    fn path_to_root_is_monotone(tree in arb_tree(), seed in 0u32..1000) {
+        let id = ExceptionId::new(seed % tree.len() as u32);
+        let path = tree.path_to_root(id).unwrap();
+        prop_assert_eq!(path[0], id);
+        prop_assert_eq!(*path.last().unwrap(), tree.root());
+        for w in path.windows(2) {
+            prop_assert_eq!(
+                tree.depth(w[0]).unwrap(),
+                tree.depth(w[1]).unwrap() + 1
+            );
+            prop_assert_eq!(tree.parent(w[0]).unwrap(), Some(w[1]));
+        }
+    }
+
+    /// A reduced tree's climb always lands on a handled ancestor of the
+    /// raised exception.
+    #[test]
+    fn reduced_climb_lands_on_handled_ancestor(
+        (tree, raised) in arb_tree_and_ids(),
+        subset_mask in prop::collection::vec(any::<bool>(), 40),
+    ) {
+        let handled = tree
+            .iter()
+            .filter(|id| subset_mask.get(id.index() as usize).copied().unwrap_or(false))
+            .collect::<Vec<_>>();
+        let rt = ReducedTree::new(&tree, handled).unwrap();
+        for &r in &raised {
+            let landed = rt.closest_handled_ancestor(&tree, r).unwrap();
+            prop_assert!(rt.handles(landed));
+            prop_assert!(tree.is_ancestor(landed, r).unwrap());
+        }
+    }
+
+    /// Subtree membership is equivalent to the ancestor relation.
+    #[test]
+    fn subtree_matches_ancestor_relation(tree in arb_tree(), seed in 0u32..1000) {
+        let id = ExceptionId::new(seed % tree.len() as u32);
+        let sub: std::collections::HashSet<_> =
+            tree.subtree(id).unwrap().into_iter().collect();
+        for other in tree.iter() {
+            prop_assert_eq!(
+                sub.contains(&other),
+                tree.is_ancestor(id, other).unwrap()
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Spec round trip: any tree serialises to a spec that parses back
+    /// to a structurally identical tree (ids are renumbered in DFS
+    /// order by the parser, so compare by names and parent names).
+    #[test]
+    fn spec_round_trip(tree in arb_tree()) {
+        let spec = tree.to_spec();
+        let parsed = ExceptionTree::parse(&spec).unwrap();
+        prop_assert_eq!(parsed.len(), tree.len());
+        for id in tree.iter() {
+            let name = tree.name(id).unwrap();
+            let parsed_id = parsed.id_of(name).unwrap();
+            let parent_name = tree
+                .parent(id)
+                .unwrap()
+                .map(|p| tree.name(p).unwrap().to_owned());
+            let parsed_parent_name = parsed
+                .parent(parsed_id)
+                .unwrap()
+                .map(|p| parsed.name(p).unwrap().to_owned());
+            prop_assert_eq!(parent_name, parsed_parent_name, "parent of {}", name);
+            prop_assert_eq!(
+                tree.depth(id).unwrap(),
+                parsed.depth(parsed_id).unwrap()
+            );
+        }
+        // And serialisation is a fixpoint.
+        prop_assert_eq!(parsed.to_spec(), spec);
+    }
+}
+
+#[test]
+fn chain_resolution_picks_shallowest() {
+    let tree = chain_tree(10);
+    let raised = [
+        ExceptionId::new(3),
+        ExceptionId::new(7),
+        ExceptionId::new(9),
+    ];
+    assert_eq!(tree.resolve(raised).unwrap(), ExceptionId::new(3));
+}
+
+#[test]
+fn balanced_resolution_of_all_leaves_is_root() {
+    let tree = balanced_tree(2, 3);
+    let resolved = tree.resolve(tree.leaves()).unwrap();
+    assert_eq!(resolved, tree.root());
+}

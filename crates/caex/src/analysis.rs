@@ -1,0 +1,306 @@
+//! Closed-form message-count predictions from §4.4 of the paper.
+//!
+//! These are the paper's "tables": exact message counts for the three
+//! canonical cases and the general law, plus the asymptotic bound model
+//! used for the CR comparison. The benchmark harness runs the real
+//! protocol and checks the executed counts against these functions.
+
+/// §4.4 case 1: one exception raised, no nested actions —
+/// `3 × (N − 1)` messages.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(caex::analysis::messages_case1(4), 9);
+/// ```
+#[must_use]
+pub fn messages_case1(n: u64) -> u64 {
+    assert!(n >= 1, "need at least one participant");
+    3 * (n - 1)
+}
+
+/// §4.4 case 2: one exception raised and every other object inside a
+/// nested action — `3N × (N − 1)` messages.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(caex::analysis::messages_case2(4), 36);
+/// ```
+#[must_use]
+pub fn messages_case2(n: u64) -> u64 {
+    assert!(n >= 1, "need at least one participant");
+    3 * n * (n - 1)
+}
+
+/// §4.4 case 3: all `N` objects raise exceptions simultaneously —
+/// `(N − 1) × (2N + 1)` messages.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(caex::analysis::messages_case3(4), 27);
+/// ```
+#[must_use]
+pub fn messages_case3(n: u64) -> u64 {
+    assert!(n >= 1, "need at least one participant");
+    (n - 1) * (2 * n + 1)
+}
+
+/// §4.4 general law: `N` participants, `P` of which raise exceptions
+/// and `Q` of which sit in nested actions —
+/// `(N − 1) × (2P + 3Q + 1)` messages.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ P`, `P + Q ≤ N` (raisers and nested objects are
+/// disjoint sets in the canonical workload).
+///
+/// # Examples
+///
+/// ```
+/// use caex::analysis::{messages_case1, messages_case2, messages_case3,
+///                      messages_general};
+/// // The general law specialises to all three cases.
+/// assert_eq!(messages_general(6, 1, 0), messages_case1(6));
+/// assert_eq!(messages_general(6, 1, 5), messages_case2(6));
+/// assert_eq!(messages_general(6, 6, 0), messages_case3(6));
+/// ```
+#[must_use]
+pub fn messages_general(n: u64, p: u64, q: u64) -> u64 {
+    assert!(n >= 1, "need at least one participant");
+    assert!(p >= 1, "at least one raiser (otherwise no resolution runs)");
+    assert!(
+        p + q <= n,
+        "raisers and nested objects are disjoint subsets"
+    );
+    (n - 1) * (2 * p + 3 * q + 1)
+}
+
+/// Per-kind breakdown of the general law, in the order
+/// `(exception, ack, have_nested, nested_completed, commit)`.
+///
+/// # Examples
+///
+/// ```
+/// let (exc, ack, hn, nc, commit) = caex::analysis::breakdown_general(4, 2, 1);
+/// assert_eq!(exc, 6);      // P(N−1)
+/// assert_eq!(ack, 9);      // P(N−1) + Q(N−1)
+/// assert_eq!(hn, 3);       // Q(N−1)
+/// assert_eq!(nc, 3);       // Q(N−1)
+/// assert_eq!(commit, 3);   // N−1
+/// assert_eq!(exc + ack + hn + nc + commit,
+///            caex::analysis::messages_general(4, 2, 1));
+/// ```
+#[must_use]
+pub fn breakdown_general(n: u64, p: u64, q: u64) -> (u64, u64, u64, u64, u64) {
+    assert!(n >= 1 && p >= 1 && p + q <= n);
+    let m = n - 1;
+    (p * m, (p + q) * m, q * m, q * m, m)
+}
+
+/// §4.5 reliable-multicast regime: "acknowledgement messages will be no
+/// longer necessary and so communications in our algorithm would
+/// consist of only several multicasts (Exception, Commit, HaveNested,
+/// and NestedCompleted)". One multicast per fan-out: `P` Exceptions,
+/// `Q` HaveNesteds, `Q` NestedCompleteds, 1 Commit.
+///
+/// # Examples
+///
+/// ```
+/// // 3 raisers + 2·2 nested fan-outs + 1 commit = 8 multicasts,
+/// // versus (N−1)(2P+3Q+1) = 7·13 = 91 point-to-point messages.
+/// assert_eq!(caex::analysis::multicasts_general(8, 3, 2), 8);
+/// assert_eq!(caex::analysis::messages_general(8, 3, 2), 91);
+/// ```
+#[must_use]
+pub fn multicasts_general(n: u64, p: u64, q: u64) -> u64 {
+    assert!(n >= 1 && p >= 1 && p + q <= n);
+    if n == 1 {
+        return 0; // a lone participant has nobody to multicast to
+    }
+    p + 2 * q + 1
+}
+
+/// §4.4 resolver-group extension: `k` resolvers each broadcast a commit,
+/// adding `(min(k, P) − 1) × (N − 1)` messages over the base law —
+/// "only … a constant factor".
+///
+/// # Examples
+///
+/// ```
+/// use caex::analysis::{messages_general, messages_general_grouped};
+/// assert_eq!(messages_general_grouped(8, 3, 0, 1), messages_general(8, 3, 0));
+/// assert_eq!(
+///     messages_general_grouped(8, 3, 0, 2),
+///     messages_general(8, 3, 0) + 7
+/// );
+/// ```
+#[must_use]
+pub fn messages_general_grouped(n: u64, p: u64, q: u64, k: u64) -> u64 {
+    assert!(k >= 1, "resolver group must contain at least one object");
+    messages_general(n, p, q) + (k.min(p) - 1) * (n - 1)
+}
+
+/// Cost of the decentralized synchronized-leave protocol (§4's
+/// "decentralized manager"): every participant broadcasts `LeaveReady`
+/// to its peers, so one completing action costs `N(N−1)` messages. The
+/// paper's §4.4 laws assume the manager provides synchronous leave for
+/// free; this formula prices the assumption.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(caex::analysis::leave_messages(4), 12);
+/// assert_eq!(caex::analysis::leave_messages(1), 0);
+/// ```
+#[must_use]
+pub fn leave_messages(n: u64) -> u64 {
+    assert!(n >= 1);
+    n * (n - 1)
+}
+
+/// Commit latency of a flat resolution under constant link latency
+/// `l`: two hops after the raise (`Exception` out, `ACK` back; the
+/// resolver then commits locally). Independent of `N` and of the
+/// number of concurrent raisers — the protocol's fan-outs are fully
+/// parallel.
+///
+/// # Examples
+///
+/// ```
+/// use caex_net::SimTime;
+/// let l = SimTime::from_micros(100);
+/// assert_eq!(caex::analysis::commit_latency_flat(l), SimTime::from_micros(200));
+/// ```
+#[must_use]
+pub fn commit_latency_flat(l: caex_net::SimTime) -> caex_net::SimTime {
+    l + l
+}
+
+/// Commit latency when some participant must abort nested actions
+/// whose abortion handlers cost `c` in total: the `NestedCompleted`
+/// the resolver waits for leaves only after the handlers ran —
+/// `2l + c` after the raise (§4.4's abortion-delay note, as a law).
+///
+/// # Examples
+///
+/// ```
+/// use caex_net::SimTime;
+/// let l = SimTime::from_micros(100);
+/// let c = SimTime::from_micros(40);
+/// assert_eq!(
+///     caex::analysis::commit_latency_nested(l, c),
+///     SimTime::from_micros(240),
+/// );
+/// ```
+#[must_use]
+pub fn commit_latency_nested(l: caex_net::SimTime, c: caex_net::SimTime) -> caex_net::SimTime {
+    l + l + c
+}
+
+/// Time until the *last* handler starts: commit latency plus one more
+/// hop for the `Commit` delivery.
+///
+/// # Examples
+///
+/// ```
+/// use caex_net::SimTime;
+/// let l = SimTime::from_micros(100);
+/// assert_eq!(
+///     caex::analysis::last_handler_latency_flat(l),
+///     SimTime::from_micros(300),
+/// );
+/// ```
+#[must_use]
+pub fn last_handler_latency_flat(l: caex_net::SimTime) -> caex_net::SimTime {
+    l + l + l
+}
+
+/// A simple operation-count model of the Campbell–Randell algorithm on
+/// the same workload: every newly raised exception is broadcast and
+/// acknowledged, and after each of the `R` raised exceptions **all**
+/// `N` participants re-resolve and exchange their proposals
+/// (`N(N−1)` messages per round) — the behaviour §4.4 summarises as
+/// `O(N³)`. With interleaved reduced trees over a depth-`D` tree, the
+/// domino effect makes `R ≈ D`, and `D` grows with the action's
+/// exception tree, hence the cubic bound.
+///
+/// The `caex::cr` module *executes* this model; this function is its
+/// closed form.
+///
+/// # Examples
+///
+/// ```
+/// // One exception, full handlers: still quadratic for CR.
+/// assert_eq!(caex::analysis::cr_messages(4, 1), 2 * 3 + 1 * 4 * 3);
+/// ```
+#[must_use]
+pub fn cr_messages(n: u64, raised_total: u64) -> u64 {
+    assert!(n >= 1);
+    // Per raised exception: broadcast (N−1) + ACKs (N−1) + an
+    // all-participants resolution exchange N(N−1).
+    raised_total * (2 * (n - 1) + n * (n - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_values_match_paper_text() {
+        // Spot values implied by the formulas in §4.4.
+        assert_eq!(messages_case1(2), 3);
+        assert_eq!(messages_case2(2), 6);
+        assert_eq!(messages_case3(2), 5);
+        assert_eq!(messages_case1(10), 27);
+        assert_eq!(messages_case2(10), 270);
+        assert_eq!(messages_case3(10), 189);
+    }
+
+    #[test]
+    fn general_law_specialises() {
+        for n in 2..=20 {
+            assert_eq!(messages_general(n, 1, 0), messages_case1(n));
+            assert_eq!(messages_general(n, 1, n - 1), messages_case2(n));
+            assert_eq!(messages_general(n, n, 0), messages_case3(n));
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        for n in 2..=12 {
+            for p in 1..=n {
+                for q in 0..=(n - p) {
+                    let (a, b, c, d, e) = breakdown_general(n, p, q);
+                    assert_eq!(a + b + c + d + e, messages_general(n, p, q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_participant_degenerates_to_zero() {
+        assert_eq!(messages_case1(1), 0);
+        assert_eq!(messages_case3(1), 0);
+        assert_eq!(messages_general(1, 1, 0), 0);
+    }
+
+    #[test]
+    fn growth_is_quadratic_vs_cubic() {
+        // Doubling N roughly quadruples ours (case 3) but roughly
+        // octuples CR's worst case (raised ≈ N).
+        let ours = |n: u64| messages_case3(n) as f64;
+        let cr = |n: u64| cr_messages(n, n) as f64;
+        let ratio_ours = ours(64) / ours(32);
+        let ratio_cr = cr(64) / cr(32);
+        assert!((3.5..4.5).contains(&ratio_ours), "{ratio_ours}");
+        assert!((7.0..9.0).contains(&ratio_cr), "{ratio_cr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn general_rejects_overlapping_sets() {
+        let _ = messages_general(4, 3, 2);
+    }
+}

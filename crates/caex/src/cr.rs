@@ -1,0 +1,419 @@
+//! The Campbell–Randell (1986) exception-resolution baseline.
+//!
+//! The paper (§3.3, §4.4) compares its algorithm against the original
+//! resolution scheme of Campbell & Randell, *of which only "a draft"
+//! was published*. This module executes the behaviour the paper
+//! attributes to it, so the `O(N³)`-vs-`O(N²)` comparison runs on real
+//! counted messages:
+//!
+//! 1. **Reduced trees** — each participant holds specific handlers for
+//!    only a subset of the action's exceptions.
+//! 2. **The "third source"** — a participant informed of an exception it
+//!    has no handler for climbs the full tree to the closest ancestor it
+//!    *does* handle and raises that as a new exception (another full
+//!    broadcast). With interleaved reduced trees over a chain this
+//!    yields the §3.3 domino effect.
+//! 3. **Everybody resolves** — after every change to its known set,
+//!    *each* participant re-resolves and broadcasts its proposal
+//!    ("each participant … has to look through it after raising each
+//!    exception and after each resolution"); the paper's algorithm
+//!    instead elects one resolver.
+//!
+//! Termination detection is idealised in CR's favour: when the network
+//! goes quiescent, the highest-numbered participant broadcasts the final
+//! commit. Even with that head start the message count grows as
+//! `O(N³)` on domino workloads, versus `O(N²)` for the new algorithm.
+
+use caex_net::{Kinded, NetConfig, NetStats, NodeId, SimNet, SimTime};
+use caex_tree::{ExceptionId, ExceptionTree, ReducedTree};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Messages of the modelled CR protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrMsg {
+    /// An exception broadcast (original raise or third-source re-raise).
+    Exception {
+        /// The raising participant.
+        from: NodeId,
+        /// The raised exception class.
+        exc: ExceptionId,
+    },
+    /// Acknowledgement of an exception broadcast.
+    Ack {
+        /// The acknowledging participant.
+        from: NodeId,
+    },
+    /// A participant's current resolution proposal.
+    Proposal {
+        /// The proposing participant.
+        from: NodeId,
+        /// Its locally resolved exception.
+        resolved: ExceptionId,
+    },
+    /// Final commit from the highest-numbered participant.
+    Commit {
+        /// The agreed exception.
+        exc: ExceptionId,
+    },
+    /// Local event: raise this exception here.
+    LocalRaise(ExceptionId),
+}
+
+impl Kinded for CrMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            CrMsg::Exception { .. } => "cr_exception",
+            CrMsg::Ack { .. } => "cr_ack",
+            CrMsg::Proposal { .. } => "cr_proposal",
+            CrMsg::Commit { .. } => "cr_commit",
+            CrMsg::LocalRaise(_) => "local_raise",
+        }
+    }
+}
+
+struct CrParticipant {
+    id: NodeId,
+    reduced: ReducedTree,
+    known: BTreeSet<ExceptionId>,
+    raised_by_me: BTreeSet<ExceptionId>,
+    committed: Option<ExceptionId>,
+}
+
+/// Report of one CR execution.
+#[derive(Debug)]
+pub struct CrReport {
+    /// Message statistics (kinds `cr_exception`, `cr_ack`,
+    /// `cr_proposal`, `cr_commit`).
+    pub stats: NetStats,
+    /// Total distinct exceptions that ended up raised (original +
+    /// third-source re-raises) — the domino length.
+    pub raised_total: u32,
+    /// The finally committed exception.
+    pub committed: ExceptionId,
+    /// Virtual completion time.
+    pub finished_at: SimTime,
+}
+
+impl CrReport {
+    /// Total protocol messages (excluding local events).
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.stats.sent_total()
+    }
+}
+
+/// Executes the CR model: `n` participants of one action over `tree`,
+/// participant `i` holding `reduced[i]`, with the given initial raises
+/// happening concurrently at virtual time zero.
+///
+/// # Panics
+///
+/// Panics if `reduced.len() != n` or `initial_raises` is empty.
+///
+/// # Examples
+///
+/// The §3.3 domino: a chain of 8 exceptions, two participants with
+/// interleaved reduced trees. Raising `e8` re-raises all the way to the
+/// root.
+///
+/// ```
+/// use caex::cr;
+/// use caex_net::NodeId;
+/// use caex_tree::{chain_tree, interleaved_reduced_trees, ExceptionId};
+/// use std::sync::Arc;
+///
+/// let tree = Arc::new(chain_tree(8));
+/// let (odd, even) = interleaved_reduced_trees(&tree, 8);
+/// let report = cr::run(
+///     2,
+///     tree,
+///     vec![odd, even],
+///     &[(NodeId::new(1), ExceptionId::new(8))],
+///     Default::default(),
+/// );
+/// assert!(report.raised_total >= 8); // the domino climbed the chain
+/// assert_eq!(report.committed, ExceptionId::ROOT);
+/// ```
+#[must_use]
+pub fn run(
+    n: u32,
+    tree: Arc<ExceptionTree>,
+    reduced: Vec<ReducedTree>,
+    initial_raises: &[(NodeId, ExceptionId)],
+    net_config: NetConfig,
+) -> CrReport {
+    assert_eq!(
+        reduced.len(),
+        n as usize,
+        "one reduced tree per participant"
+    );
+    assert!(!initial_raises.is_empty(), "nothing to resolve");
+
+    let mut net: SimNet<CrMsg> = SimNet::new(net_config, n);
+    let mut parts: Vec<CrParticipant> = (0..n)
+        .zip(reduced)
+        .map(|(i, reduced)| CrParticipant {
+            id: NodeId::new(i),
+            reduced,
+            known: BTreeSet::new(),
+            raised_by_me: BTreeSet::new(),
+            committed: None,
+        })
+        .collect();
+
+    for &(node, exc) in initial_raises {
+        net.schedule_local(SimTime::ZERO, node, CrMsg::LocalRaise(exc));
+    }
+
+    let mut raised_total = 0u32;
+    // Two phases: exception storm to quiescence, then the idealised
+    // final commit.
+    loop {
+        while let Some(d) = net.next_delivery() {
+            let idx = d.to.index() as usize;
+            match d.payload {
+                CrMsg::LocalRaise(exc) => {
+                    raise(&mut parts[idx], exc, &mut net, &mut raised_total);
+                    propose(&mut parts[idx], &tree, &mut net);
+                }
+                CrMsg::Exception { from, exc } => {
+                    net.send(d.to, from, CrMsg::Ack { from: d.to });
+                    let newly = parts[idx].known.insert(exc);
+                    if newly {
+                        // Third source: climb to the nearest handled
+                        // ancestor and re-raise if it is new knowledge.
+                        let climbed = parts[idx]
+                            .reduced
+                            .closest_handled_ancestor(&tree, exc)
+                            .expect("exception ids come from this tree");
+                        if climbed != exc
+                            && !parts[idx].known.contains(&climbed)
+                            && !parts[idx].raised_by_me.contains(&climbed)
+                        {
+                            raise(&mut parts[idx], climbed, &mut net, &mut raised_total);
+                        }
+                        propose(&mut parts[idx], &tree, &mut net);
+                    }
+                }
+                CrMsg::Ack { .. } | CrMsg::Proposal { .. } => {
+                    // Proposals inform but carry no protocol obligation
+                    // in this model; acknowledgements complete a raise.
+                }
+                CrMsg::Commit { exc } => {
+                    parts[idx].committed = Some(exc);
+                }
+            }
+        }
+        // Quiescent. If the final commit has not happened, the
+        // highest-numbered participant issues it; the loop then drains
+        // those deliveries and exits.
+        let max = parts.last_mut().expect("n >= 1");
+        if max.committed.is_none() {
+            let resolved = tree
+                .resolve(max.known.iter().copied())
+                .expect("at least the initial raise is known");
+            max.committed = Some(resolved);
+            let me = max.id;
+            for peer in 0..n {
+                let peer = NodeId::new(peer);
+                if peer != me {
+                    net.send(me, peer, CrMsg::Commit { exc: resolved });
+                }
+            }
+        } else {
+            break;
+        }
+    }
+
+    let committed = parts
+        .last()
+        .and_then(|p| p.committed)
+        .expect("commit happened");
+    CrReport {
+        stats: net.stats().clone(),
+        raised_total,
+        committed,
+        finished_at: net.now(),
+    }
+}
+
+fn raise(p: &mut CrParticipant, exc: ExceptionId, net: &mut SimNet<CrMsg>, raised_total: &mut u32) {
+    if !p.known.insert(exc) && !p.raised_by_me.insert(exc) {
+        return;
+    }
+    p.raised_by_me.insert(exc);
+    *raised_total += 1;
+    let me = p.id;
+    for peer in 0..net.num_nodes() {
+        let peer = NodeId::new(peer);
+        if peer != me {
+            net.send(me, peer, CrMsg::Exception { from: me, exc });
+        }
+    }
+}
+
+/// "Each participant … has to look through [its handlers] after raising
+/// each exception and after each resolution": every knowledge change
+/// triggers a local resolution and a proposal broadcast.
+fn propose(p: &mut CrParticipant, tree: &ExceptionTree, net: &mut SimNet<CrMsg>) {
+    let resolved = tree
+        .resolve(p.known.iter().copied())
+        .expect("known is non-empty here");
+    let proposal = p
+        .reduced
+        .closest_handled_ancestor(tree, resolved)
+        .expect("resolved id comes from this tree");
+    let me = p.id;
+    for peer in 0..net.num_nodes() {
+        let peer = NodeId::new(peer);
+        if peer != me {
+            net.send(
+                me,
+                peer,
+                CrMsg::Proposal {
+                    from: me,
+                    resolved: proposal,
+                },
+            );
+        }
+    }
+}
+
+/// Builds the interleaved reduced trees for an `n`-participant CR run
+/// over a chain of `len` exceptions: participant `i` handles the
+/// exceptions `{e : e ≡ i (mod n)}` — the n-way generalisation of the
+/// §3.3 two-party domino configuration.
+#[must_use]
+pub fn interleaved_parties(tree: &ExceptionTree, len: u32, n: u32) -> Vec<ReducedTree> {
+    (0..n)
+        .map(|i| {
+            ReducedTree::new(tree, (1..=len).filter(|e| e % n == i).map(ExceptionId::new))
+                .expect("chain ids are valid")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caex_tree::{chain_tree, interleaved_reduced_trees};
+
+    fn chain_setup(len: u32) -> (Arc<ExceptionTree>, Vec<ReducedTree>) {
+        let tree = Arc::new(chain_tree(len));
+        let (odd, even) = interleaved_reduced_trees(&tree, len);
+        (tree, vec![odd, even])
+    }
+
+    #[test]
+    fn single_exception_full_handlers_terminates_fast() {
+        let tree = Arc::new(chain_tree(4));
+        let reduced = vec![ReducedTree::full(&tree); 3];
+        let report = run(
+            3,
+            tree,
+            reduced,
+            &[(NodeId::new(0), ExceptionId::new(2))],
+            NetConfig::default(),
+        );
+        assert_eq!(report.raised_total, 1);
+        assert_eq!(report.committed, ExceptionId::new(2));
+        // 1 raise: broadcast 2 + acks 2 + proposals from all 3 who
+        // learnt something (raiser + 2 receivers) 3*2 + commit 2.
+        assert_eq!(report.total_messages(), 2 + 2 + 6 + 2);
+    }
+
+    #[test]
+    fn domino_effect_reraises_up_the_chain() {
+        let (tree, reduced) = chain_setup(8);
+        let report = run(
+            2,
+            tree,
+            reduced,
+            &[(NodeId::new(1), ExceptionId::new(8))],
+            NetConfig::default(),
+        );
+        // e8 raised; O0 (odds) climbs e8→e7; O1 climbs e7→e6; … until
+        // the root is the only refuge.
+        assert!(report.raised_total >= 8, "raised {}", report.raised_total);
+        assert_eq!(report.committed, ExceptionId::ROOT);
+    }
+
+    #[test]
+    fn no_domino_with_full_handlers() {
+        let tree = Arc::new(chain_tree(8));
+        let reduced = vec![ReducedTree::full(&tree); 2];
+        let report = run(
+            2,
+            tree,
+            reduced,
+            &[(NodeId::new(1), ExceptionId::new(8))],
+            NetConfig::default(),
+        );
+        assert_eq!(report.raised_total, 1);
+        assert_eq!(report.committed, ExceptionId::new(8));
+    }
+
+    #[test]
+    fn message_count_grows_cubically_on_domino_workloads() {
+        // Chain length scales with N: the §4.4 worst case.
+        let count = |n: u32| {
+            let len = 2 * n;
+            let tree = Arc::new(chain_tree(len));
+            let reduced = interleaved_parties(&tree, len, n);
+            run(
+                n,
+                tree,
+                reduced,
+                &[(NodeId::new(0), ExceptionId::new(len))],
+                NetConfig::default(),
+            )
+            .total_messages() as f64
+        };
+        let ratio = count(16) / count(8);
+        // Cubic growth doubles to ~8x; allow a generous band.
+        assert!(ratio > 5.5, "ratio {ratio} not cubic-like");
+    }
+
+    #[test]
+    fn concurrent_raises_converge() {
+        let (tree, reduced) = chain_setup(6);
+        let report = run(
+            2,
+            Arc::clone(&tree),
+            reduced,
+            &[
+                (NodeId::new(0), ExceptionId::new(5)),
+                (NodeId::new(1), ExceptionId::new(6)),
+            ],
+            NetConfig::default(),
+        );
+        assert_eq!(report.committed, ExceptionId::ROOT);
+    }
+
+    #[test]
+    fn interleaved_parties_partition() {
+        let tree = chain_tree(9);
+        let parties = interleaved_parties(&tree, 9, 3);
+        for e in 1..=9u32 {
+            let holders = parties
+                .iter()
+                .filter(|r| r.handles(ExceptionId::new(e)))
+                .count();
+            assert_eq!(holders, 1, "e{e} held by {holders}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one reduced tree per participant")]
+    fn mismatched_reduced_trees_panic() {
+        let tree = Arc::new(chain_tree(2));
+        let _ = run(
+            3,
+            Arc::clone(&tree),
+            vec![ReducedTree::full(&tree)],
+            &[(NodeId::new(0), ExceptionId::new(1))],
+            NetConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Interleaving exploration: run one scenario family under many seeds
+//! and check the protocol invariants on every interleaving.
+//!
+//! The simulator is deterministic per seed, so sweeping seeds sweeps
+//! message interleavings (latency draws reorder concurrent deliveries).
+//! [`explore`] packages the sweep plus the invariant battery used
+//! throughout the test suite, and reports each violation with the seed
+//! that reproduces it — a lightweight schedule fuzzer for the protocol.
+//!
+//! # Examples
+//!
+//! ```
+//! use caex::explore::{explore, Expect};
+//! use caex::workloads;
+//! use caex_net::{LatencyModel, NetConfig, SimTime};
+//!
+//! let outcome = explore(0..32, Expect::Clean, |seed| {
+//!     let config = NetConfig::default()
+//!         .with_seed(seed)
+//!         .with_latency(LatencyModel::Uniform {
+//!             min: SimTime::from_micros(1),
+//!             max: SimTime::from_micros(2_000),
+//!         });
+//!     workloads::general(5, 2, 2, config).scenario
+//! });
+//! assert!(outcome.is_ok(), "{:?}", outcome.violations);
+//! ```
+
+use crate::{RunReport, Scenario};
+use std::ops::Range;
+
+/// What the explored scenario is expected to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expect {
+    /// Every run must finish cleanly with at least one resolution.
+    Clean,
+    /// Runs may stall (faulty environments) but committed resolutions
+    /// must still satisfy the safety invariants.
+    SafetyOnly,
+}
+
+/// One invariant violation, with the seed that reproduces it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The seed to replay.
+    pub seed: u64,
+    /// Human-readable description of what broke.
+    pub what: String,
+}
+
+/// Result of an exploration.
+#[derive(Debug)]
+pub struct Exploration {
+    /// Number of interleavings executed.
+    pub runs: u64,
+    /// All violations found (empty on success).
+    pub violations: Vec<Violation>,
+}
+
+impl Exploration {
+    /// `true` when no interleaving violated an invariant.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks the protocol invariant battery (DESIGN.md §4) on one report
+/// and returns every violation found. Public so applications and tests
+/// can audit any run; [`explore`] calls it per seed.
+///
+/// With [`Expect::Clean`], liveness is checked too (no deadlock, no
+/// livelock, at least one resolution); with [`Expect::SafetyOnly`] only
+/// the safety invariants are (agreement, max-raiser election).
+///
+/// # Examples
+///
+/// ```
+/// use caex::explore::{verify_report, Expect};
+/// use caex::workloads;
+///
+/// let report = workloads::case1(4, Default::default()).run();
+/// assert!(verify_report(&report, Expect::Clean, 0).is_empty());
+/// ```
+#[must_use]
+pub fn verify_report(report: &RunReport, expect: Expect, seed: u64) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check(report, expect, seed, &mut out);
+    out
+}
+
+fn check(report: &RunReport, expect: Expect, seed: u64, out: &mut Vec<Violation>) {
+    let mut fail = |what: String| out.push(Violation { seed, what });
+
+    if expect == Expect::Clean {
+        if !report.deadlocked.is_empty() {
+            fail(format!("deadlocked objects: {:?}", report.deadlocked));
+        }
+        if report.hit_delivery_limit {
+            fail("livelock: delivery limit hit".to_owned());
+        }
+        if report.resolutions.is_empty() {
+            fail("no resolution committed".to_owned());
+        }
+    }
+
+    // Safety: agreement per action.
+    for r in &report.resolutions {
+        let handled: Vec<_> = report
+            .handler_starts
+            .iter()
+            .filter(|h| h.action == r.action)
+            .map(|h| h.exc.id())
+            .collect();
+        if handled.windows(2).any(|w| w[0] != w[1]) {
+            fail(format!("agreement violated in {}: {handled:?}", r.action));
+        }
+        // Resolver is the max raiser of the resolved set.
+        let max = r.raised.iter().map(|(o, _)| *o).max();
+        if max != Some(r.resolver) && max.is_some() {
+            fail(format!(
+                "resolver {} is not the max raiser {:?} in {}",
+                r.resolver, max, r.action
+            ));
+        }
+    }
+}
+
+/// Runs `build(seed)` for every seed in `seeds`, executes each scenario
+/// and checks the invariant battery. Never panics on a violation —
+/// failures are collected with their reproducing seeds.
+pub fn explore<F>(seeds: Range<u64>, expect: Expect, build: F) -> Exploration
+where
+    F: Fn(u64) -> Scenario,
+{
+    let mut violations = Vec::new();
+    let mut runs = 0;
+    for seed in seeds {
+        let report = build(seed).run();
+        check(&report, expect, seed, &mut violations);
+        runs += 1;
+    }
+    Exploration { runs, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use caex_net::{FaultPlan, LatencyModel, NetConfig, SimTime};
+
+    fn jittery(seed: u64) -> NetConfig {
+        NetConfig::default()
+            .with_seed(seed)
+            .with_latency(LatencyModel::Uniform {
+                min: SimTime::from_micros(1),
+                max: SimTime::from_micros(3_000),
+            })
+    }
+
+    #[test]
+    fn clean_workloads_pass_everywhere() {
+        let outcome = explore(0..192, Expect::Clean, |seed| {
+            workloads::general(6, 3, 2, jittery(seed)).scenario
+        });
+        assert_eq!(outcome.runs, 192);
+        assert!(outcome.is_ok(), "{:?}", outcome.violations);
+    }
+
+    #[test]
+    fn lossy_runs_fail_clean_but_pass_safety() {
+        let lossy = |seed: u64| {
+            workloads::case3(
+                5,
+                jittery(seed).with_faults(FaultPlan::none().with_drop_probability(0.3)),
+            )
+            .scenario
+        };
+        let clean = explore(0..24, Expect::Clean, lossy);
+        assert!(
+            !clean.is_ok(),
+            "30% loss should break liveness somewhere in 24 seeds"
+        );
+        let safety = explore(0..24, Expect::SafetyOnly, lossy);
+        assert!(safety.is_ok(), "{:?}", safety.violations);
+    }
+
+    #[test]
+    fn violations_carry_reproducing_seeds() {
+        let outcome = explore(7..8, Expect::Clean, |seed| {
+            workloads::case1(
+                4,
+                jittery(seed).with_faults(FaultPlan::none().with_drop_probability(1.0)),
+            )
+            .scenario
+        });
+        assert_eq!(outcome.violations.len(), 2); // deadlock + no resolution
+        assert!(outcome.violations.iter().all(|v| v.seed == 7));
+    }
+}

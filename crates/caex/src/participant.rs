@@ -1,0 +1,1397 @@
+//! The participant state machine — a direct transcription of the
+//! resolution algorithm of §4.2.
+//!
+//! A [`Participant`] is a *pure* state machine: it consumes [`Event`]s
+//! (protocol messages or local scenario steps) and emits [`Effect`]s
+//! (messages to send, continuations to schedule, report notes). It never
+//! touches a network itself, which makes every clause of the algorithm
+//! unit-testable and lets the same machine run on the discrete-event
+//! simulator or on real threads.
+//!
+//! State names follow the paper: `N` (normal, represented by the absence
+//! of a resolution context), `X` (exceptional), `S` (suspended) and `R`
+//! (ready), with the lists `LE`, `LO`, `LP` and the context stack `SA`.
+
+use crate::{Effect, Event, LeaveMode, Msg, NestedStrategy, Note};
+use caex_action::{AbortionOutcome, ActionId, ActionRegistry, HandlerOutcome, HandlerTable};
+use caex_net::{NodeId, SimTime};
+use caex_tree::Exception;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// The paper's participant states (the `N` state is represented by the
+/// participant having no active resolution context).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PState {
+    /// `X`: an exception was raised in this object (or signalled by its
+    /// abortion handlers).
+    Exceptional,
+    /// `S`: the object learnt of exceptions elsewhere and suspended.
+    Suspended,
+    /// `R`: exceptional and all acknowledgements/abortions are in.
+    Ready,
+}
+
+/// One in-progress resolution at this participant.
+#[derive(Debug)]
+struct Resolution {
+    /// The action the resolution runs in (the paper's `A`).
+    action: ActionId,
+    state: PState,
+    /// `LE`: raised exceptions known here, as (raiser, occurrence).
+    le: Vec<(NodeId, Exception)>,
+    /// `LO`: objects aborting nested actions, and whether their
+    /// `NestedCompleted` has arrived.
+    lo: BTreeMap<NodeId, bool>,
+    /// Complement of `LP`: peers whose ACK for our own broadcast is
+    /// still outstanding.
+    pending_acks: BTreeSet<NodeId>,
+    /// Abortion of our nested actions is still executing.
+    aborting: bool,
+    /// ACKs owed for messages received while aborting; sent after our
+    /// `NestedCompleted` (Example 2's narration order; FIFO per channel
+    /// keeps the protocol correct either way).
+    deferred_acks: Vec<NodeId>,
+}
+
+impl Resolution {
+    fn new(action: ActionId, state: PState) -> Self {
+        Resolution {
+            action,
+            state,
+            le: Vec::new(),
+            lo: BTreeMap::new(),
+            pending_acks: BTreeSet::new(),
+            aborting: false,
+            deferred_acks: Vec::new(),
+        }
+    }
+}
+
+/// A participating object of one or more (nested) CA actions, executing
+/// the §4.2 algorithm. See the crate documentation for the protocol
+/// overview and the field comments for the paper's data structures.
+pub struct Participant {
+    id: NodeId,
+    registry: Arc<ActionRegistry>,
+    handlers: HashMap<ActionId, HandlerTable>,
+    /// `SA`: entered actions, outermost first; the last is the *active*
+    /// action.
+    entered: Vec<ActionId>,
+    aborted: HashSet<ActionId>,
+    completed: HashSet<ActionId>,
+    resolved: HashSet<ActionId>,
+    /// Messages for actions this object has not yet entered (belated
+    /// participation, §3.3 problem 4).
+    buffered: HashMap<ActionId, Vec<Msg>>,
+    /// Completions requested while a deeper action was still at its
+    /// exit line; replayed as the nesting unwinds.
+    deferred_completes: HashSet<ActionId>,
+    res: Option<Resolution>,
+    strategy: NestedStrategy,
+    /// For [`NestedStrategy::Wait`]: remaining run time of each nested
+    /// action; `None` means it can never complete (e.g. it waits on a
+    /// belated participant) — the Fig. 1(a) deadlock.
+    nested_remaining: HashMap<ActionId, Option<SimTime>>,
+    /// Invalidates stale `AbortionDone` continuations after an outer
+    /// resolution overrides an in-progress abortion.
+    abort_epoch: u64,
+    /// §4.4 fault-tolerance extension: the `k` highest-numbered raisers
+    /// all resolve and commit (k = 1 is the paper's base algorithm).
+    resolver_group: u32,
+    /// Centralized or decentralized synchronized leave.
+    leave_mode: LeaveMode,
+    /// Distributed leave: actions whose exit line this object reached.
+    leave_requested: HashSet<ActionId>,
+    /// Distributed leave: peers' `LeaveReady` announcements per action.
+    leave_ready: HashMap<ActionId, BTreeSet<NodeId>>,
+}
+
+impl fmt::Debug for Participant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Participant")
+            .field("id", &self.id)
+            .field("entered", &self.entered)
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+impl Participant {
+    /// Creates a participant executing with the given strategy for
+    /// nested actions caught by an outer exception (the paper's
+    /// algorithm is [`NestedStrategy::Abort`]).
+    #[must_use]
+    pub fn new(id: NodeId, registry: Arc<ActionRegistry>, strategy: NestedStrategy) -> Self {
+        Participant {
+            id,
+            registry,
+            handlers: HashMap::new(),
+            entered: Vec::new(),
+            aborted: HashSet::new(),
+            completed: HashSet::new(),
+            resolved: HashSet::new(),
+            buffered: HashMap::new(),
+            deferred_completes: HashSet::new(),
+            res: None,
+            strategy,
+            nested_remaining: HashMap::new(),
+            abort_epoch: 0,
+            resolver_group: 1,
+            leave_mode: LeaveMode::default(),
+            leave_requested: HashSet::new(),
+            leave_ready: HashMap::new(),
+        }
+    }
+
+    /// Selects centralized (default) or decentralized synchronized
+    /// leave (§4's "centralized or decentralized manager").
+    pub fn set_leave_mode(&mut self, mode: LeaveMode) {
+        self.leave_mode = mode;
+    }
+
+    /// Sets the resolver-group size `k` (§4.4: "the algorithm can be
+    /// easily extended to the use of a group of objects that are
+    /// responsible for performing resolution and producing the commit
+    /// messages. This only contributes a constant factor"). The `k`
+    /// highest-numbered raisers each resolve and commit; participants
+    /// accept the first commit and absorb duplicates as stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn set_resolver_group(&mut self, k: u32) {
+        assert!(k >= 1, "resolver group must contain at least one object");
+        self.resolver_group = k;
+    }
+
+    /// This object's identity (also its rank in resolver election).
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Installs this participant's handler table for `action`. Absent
+    /// tables default to [`HandlerTable::recover_all`] at first use.
+    pub fn set_handlers(&mut self, action: ActionId, table: HandlerTable) {
+        self.handlers.insert(action, table);
+    }
+
+    /// Declares how much longer `action` would run (used only by the
+    /// [`NestedStrategy::Wait`] comparison strategy); `None` marks an
+    /// action that can never complete — e.g. one with a belated
+    /// participant.
+    pub fn set_nested_remaining(&mut self, action: ActionId, remaining: Option<SimTime>) {
+        self.nested_remaining.insert(action, remaining);
+    }
+
+    /// The currently active (innermost entered) action, if any.
+    #[must_use]
+    pub fn active_action(&self) -> Option<ActionId> {
+        self.entered.last().copied()
+    }
+
+    /// The current state in the paper's terms; `None` is the `N` state.
+    #[must_use]
+    pub fn state(&self) -> Option<PState> {
+        self.res.as_ref().map(|r| r.state)
+    }
+
+    /// `true` while no resolution involves this object.
+    #[must_use]
+    pub fn is_normal(&self) -> bool {
+        self.res.is_none()
+    }
+
+    /// The exceptions currently in `LE` (raiser, occurrence).
+    #[must_use]
+    pub fn known_exceptions(&self) -> Vec<(NodeId, Exception)> {
+        self.res.as_ref().map(|r| r.le.clone()).unwrap_or_default()
+    }
+
+    /// `true` once `action` completed normally at this object.
+    #[must_use]
+    pub fn has_completed(&self, action: ActionId) -> bool {
+        self.completed.contains(&action)
+    }
+
+    /// `true` once `action` was aborted at this object.
+    #[must_use]
+    pub fn has_aborted(&self, action: ActionId) -> bool {
+        self.aborted.contains(&action)
+    }
+
+    fn handler_table(&mut self, action: ActionId) -> &mut HandlerTable {
+        let registry = &self.registry;
+        self.handlers.entry(action).or_insert_with(|| {
+            let tree = registry
+                .scope(action)
+                .expect("handler lookup for undeclared action")
+                .tree()
+                .clone();
+            HandlerTable::recover_all(tree)
+        })
+    }
+
+    fn peers(&self, action: ActionId) -> Vec<NodeId> {
+        self.registry
+            .scope(action)
+            .expect("peers of undeclared action")
+            .peers_of(self.id)
+    }
+
+    /// Main entry point: consume one event, emit the resulting effects.
+    ///
+    /// # Panics
+    ///
+    /// Panics on scenario programming errors (entering an action whose
+    /// parent is not active, raising outside any action) — the
+    /// structural rules the paper assumes the runtime enforces.
+    pub fn handle(&mut self, event: Event) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        match event {
+            Event::Enter(action) => self.on_enter(action, &mut fx),
+            Event::Complete(action) => self.on_complete(action, &mut fx),
+            Event::LeaveGranted(action) => self.on_leave_granted(action, &mut fx),
+            Event::Raise(exc) => self.on_raise(exc, &mut fx),
+            Event::Msg(msg) => self.on_msg(msg, &mut fx),
+            Event::AbortionDone {
+                action,
+                signal,
+                epoch,
+            } => self.on_abortion_done(action, signal, epoch, &mut fx),
+            Event::HandlerDone { action, signal } => self.on_handler_done(action, signal, &mut fx),
+        }
+        fx
+    }
+
+    fn on_enter(&mut self, action: ActionId, fx: &mut Vec<Effect>) {
+        if self.aborted.contains(&action) || self.completed.contains(&action) {
+            // Belated entry into an action that was aborted (or already
+            // completed) in the meantime — silently skipped, §4.1: "the
+            // abortion handlers of other participating objects will not
+            // have to wait for it".
+            fx.push(Effect::Note(Note::EnterSkipped {
+                object: self.id,
+                action,
+            }));
+            return;
+        }
+        if self.res.is_some() {
+            // A suspended or exceptional object takes no further part in
+            // normal computation, so it cannot enter nested actions.
+            fx.push(Effect::Note(Note::EnterSkipped {
+                object: self.id,
+                action,
+            }));
+            return;
+        }
+        let scope = self
+            .registry
+            .scope(action)
+            .expect("entering undeclared action");
+        assert!(
+            scope.is_participant(self.id),
+            "{} is not a participant of {action}",
+            self.id
+        );
+        if scope.parent() != self.active_action() {
+            // The containing action is no longer (or not yet) active —
+            // e.g. a belated entry firing after the parent completed or
+            // aborted. The entry is void.
+            fx.push(Effect::Note(Note::EnterSkipped {
+                object: self.id,
+                action,
+            }));
+            return;
+        }
+        self.entered.push(action);
+        fx.push(Effect::Note(Note::Entered {
+            object: self.id,
+            action,
+        }));
+        // Belated participation: messages that arrived before entry are
+        // processed now ("the entire protocol execution for resolution
+        // should be delayed", §3.3).
+        if let Some(pending) = self.buffered.remove(&action) {
+            for msg in pending {
+                self.on_msg(msg, fx);
+            }
+        }
+    }
+
+    fn on_complete(&mut self, action: ActionId, fx: &mut Vec<Effect>) {
+        if self.aborted.contains(&action) || self.completed.contains(&action) || self.res.is_some()
+        {
+            // An aborted action cannot complete; a suspended object's
+            // completion is overtaken by the resolution; and a handler
+            // may already have completed the action on the object's
+            // behalf (termination model).
+            return;
+        }
+        if self.active_action() != Some(action) {
+            if self.entered.contains(&action) {
+                // A deeper action is still at its own exit line; the
+                // completion replays once the nesting unwinds.
+                self.deferred_completes.insert(action);
+                return;
+            }
+            panic!(
+                "{} completing {action} which it never entered or already left",
+                self.id
+            );
+        }
+        // Leaving is synchronous: the object waits at the exit line
+        // (remaining a reachable participant — it can still be drawn
+        // into a resolution) until the joint leave is coordinated.
+        fx.push(Effect::Note(Note::LeaveRequested {
+            object: self.id,
+            action,
+        }));
+        if self.leave_mode == LeaveMode::Distributed {
+            self.leave_requested.insert(action);
+            for to in self.peers(action) {
+                fx.push(Effect::Send {
+                    to,
+                    msg: Msg::LeaveReady {
+                        from: self.id,
+                        action,
+                    },
+                });
+            }
+            self.try_distributed_leave(action, fx);
+        }
+    }
+
+    /// Distributed leave: leaves once this object reached the exit line
+    /// and every peer's announcement is in.
+    fn try_distributed_leave(&mut self, action: ActionId, fx: &mut Vec<Effect>) {
+        if !self.leave_requested.contains(&action) || self.res.is_some() {
+            return;
+        }
+        let peers = self.peers(action);
+        let ready = self.leave_ready.entry(action).or_default();
+        if peers.iter().all(|p| ready.contains(p)) {
+            self.on_leave_granted(action, fx);
+        }
+    }
+
+    fn on_leave_granted(&mut self, action: ActionId, fx: &mut Vec<Effect>) {
+        if self.aborted.contains(&action)
+            || self.completed.contains(&action)
+            || self.res.is_some()
+            || self.active_action() != Some(action)
+        {
+            // Overtaken by a resolution (whose handlers complete the
+            // action) or by an abortion: the grant is void.
+            return;
+        }
+        self.entered.pop();
+        self.completed.insert(action);
+        fx.push(Effect::Note(Note::Completed {
+            object: self.id,
+            action,
+        }));
+        // Replay a completion that was waiting for this unwind.
+        if let Some(next) = self.active_action() {
+            if self.deferred_completes.remove(&next) {
+                self.on_complete(next, fx);
+            }
+        }
+    }
+
+    fn on_raise(&mut self, exc: Exception, fx: &mut Vec<Effect>) {
+        if self.res.is_some() {
+            // §4.1: "only one such exception can be raised within Action
+            // A_i" per object, and suspended objects raise nothing.
+            fx.push(Effect::Note(Note::RaiseSuppressed {
+                object: self.id,
+                exc,
+            }));
+            return;
+        }
+        let Some(action) = self.active_action() else {
+            // The enclosing action already completed (termination
+            // model): a raise scheduled for after its end has nothing
+            // to land in.
+            fx.push(Effect::Note(Note::RaiseSuppressed {
+                object: self.id,
+                exc,
+            }));
+            return;
+        };
+        self.raise_in(action, exc, fx);
+    }
+
+    /// Shared raise path: local raises and failure signals into the
+    /// containing action.
+    fn raise_in(&mut self, action: ActionId, exc: Exception, fx: &mut Vec<Effect>) {
+        let mut res = Resolution::new(action, PState::Exceptional);
+        res.le.push((self.id, exc.clone()));
+        let peers = self.peers(action);
+        res.pending_acks = peers.iter().copied().collect();
+        self.res = Some(res);
+        fx.push(Effect::Note(Note::Raised {
+            object: self.id,
+            action,
+            exc: exc.clone(),
+        }));
+        if !peers.is_empty() {
+            fx.push(Effect::Note(Note::Multicast {
+                object: self.id,
+                kind: "exception",
+            }));
+        }
+        for to in peers {
+            fx.push(Effect::Send {
+                to,
+                msg: Msg::Exception {
+                    action,
+                    from: self.id,
+                    exc: exc.clone(),
+                },
+            });
+        }
+        self.check_ready(fx);
+    }
+
+    fn on_msg(&mut self, msg: Msg, fx: &mut Vec<Effect>) {
+        let action = msg.action();
+        if self.aborted.contains(&action)
+            || self.completed.contains(&action)
+            || self.resolved.contains(&action)
+        {
+            // Messages of an eliminated nested resolution (or of an
+            // already-resolved one) are cleaned up, §3.3 problem 4.
+            fx.push(Effect::Note(Note::StaleMessage {
+                object: self.id,
+                msg,
+            }));
+            return;
+        }
+        if !self.entered.contains(&action) {
+            // Belated participant: hold the message until entry.
+            self.buffered.entry(action).or_default().push(msg);
+            return;
+        }
+        if let Some(res) = &self.res {
+            if res.action != action && !self.registry.is_nested_within(res.action, action).unwrap()
+            {
+                // A message for an action nested within (or unrelated
+                // to) the resolution we are already committed to: stale.
+                fx.push(Effect::Note(Note::StaleMessage {
+                    object: self.id,
+                    msg,
+                }));
+                return;
+            }
+        }
+
+        // §4.2: on Exception or HaveNested, an object whose active action
+        // is nested within A first announces and starts the abortion of
+        // its nested actions.
+        if matches!(msg, Msg::Exception { .. } | Msg::HaveNested { .. })
+            && self.active_action() != Some(action)
+        {
+            self.trigger_abortion(action, fx);
+        }
+
+        match msg {
+            Msg::Exception { from, exc, .. } => {
+                let res = self.ensure_res(action);
+                res.le.push((from, exc));
+                if res.aborting {
+                    res.deferred_acks.push(from);
+                } else {
+                    fx.push(Effect::Send {
+                        to: from,
+                        msg: Msg::Ack {
+                            from: self.id,
+                            action,
+                        },
+                    });
+                }
+            }
+            Msg::HaveNested { from, .. } => {
+                let res = self.ensure_res(action);
+                res.lo.entry(from).or_insert(false);
+                // "clean up messages related to nested actions": the
+                // sender is aborting everything below `action`, so any
+                // held messages for those actions are void.
+                let registry = Arc::clone(&self.registry);
+                let doomed: Vec<ActionId> = self
+                    .buffered
+                    .keys()
+                    .copied()
+                    .filter(|&b| registry.is_nested_within(b, action).unwrap_or(false))
+                    .collect();
+                for b in doomed {
+                    self.buffered.remove(&b);
+                    self.aborted.insert(b);
+                    fx.push(Effect::Note(Note::CleanedNestedMessages {
+                        object: self.id,
+                        action: b,
+                    }));
+                }
+            }
+            Msg::NestedCompleted { from, exc, .. } => {
+                let res = self.ensure_res(action);
+                res.lo.insert(from, true);
+                if let Some(exc) = exc {
+                    res.le.push((from, exc));
+                }
+                if res.aborting {
+                    res.deferred_acks.push(from);
+                } else {
+                    fx.push(Effect::Send {
+                        to: from,
+                        msg: Msg::Ack {
+                            from: self.id,
+                            action,
+                        },
+                    });
+                }
+            }
+            Msg::Ack { from, .. } => {
+                if let Some(res) = &mut self.res {
+                    if res.action == action {
+                        res.pending_acks.remove(&from);
+                    }
+                }
+            }
+            Msg::Commit { exc, .. } => {
+                self.accept_commit(action, exc, fx);
+                return;
+            }
+            Msg::LeaveReady { from, .. } => {
+                self.leave_ready.entry(action).or_default().insert(from);
+                self.try_distributed_leave(action, fx);
+                return;
+            }
+        }
+        self.check_ready(fx);
+    }
+
+    /// The abortion procedure of §4.1: announce with `HaveNested`,
+    /// execute abortion handlers innermost-first (taking virtual time),
+    /// honour only the signal of the action directly nested in the
+    /// resolving action, and discard any nested resolution in progress.
+    fn trigger_abortion(&mut self, outer: ActionId, fx: &mut Vec<Effect>) {
+        debug_assert!(self.entered.contains(&outer));
+        if !self.peers(outer).is_empty() {
+            fx.push(Effect::Note(Note::Multicast {
+                object: self.id,
+                kind: "have_nested",
+            }));
+        }
+        for to in self.peers(outer) {
+            fx.push(Effect::Send {
+                to,
+                msg: Msg::HaveNested {
+                    from: self.id,
+                    action: outer,
+                },
+            });
+        }
+        // Innermost-first chain of entered actions strictly below
+        // `outer`.
+        let pos = self
+            .entered
+            .iter()
+            .position(|&a| a == outer)
+            .expect("outer action is entered");
+        let chain: Vec<ActionId> = self.entered[pos + 1..].iter().rev().copied().collect();
+        self.entered.truncate(pos + 1);
+
+        // The nested resolution (if any) is eliminated: "empty LE_i,
+        // LO_i, LP_i". A fresh context for the outer action replaces it.
+        let mut res = Resolution::new(outer, PState::Suspended);
+        res.aborting = true;
+        self.res = Some(res);
+        self.abort_epoch += 1;
+        let epoch = self.abort_epoch;
+
+        let mut total_cost = SimTime::ZERO;
+        let mut signal: Option<Exception> = None;
+        match self.strategy {
+            NestedStrategy::Abort => {
+                let count = chain.len();
+                for (idx, nested) in chain.iter().copied().enumerate() {
+                    self.aborted.insert(nested);
+                    self.buffered.remove(&nested);
+                    let (outcome, cost) = self.handler_table(nested).invoke_abortion();
+                    total_cost += cost;
+                    if let AbortionOutcome::Signal(exc) = outcome {
+                        // Only the *directly* nested action's signal may
+                        // be raised in the resolving action (§4.1); the
+                        // chain is innermost-first, so that is the last
+                        // element.
+                        if idx + 1 == count {
+                            signal = Some(exc);
+                        } else {
+                            fx.push(Effect::Note(Note::DeepSignalIgnored {
+                                object: self.id,
+                                action: nested,
+                                exc,
+                            }));
+                        }
+                    }
+                }
+                fx.push(Effect::Note(Note::AbortedNested {
+                    object: self.id,
+                    outer,
+                    chain: chain.clone(),
+                }));
+                fx.push(Effect::After {
+                    delay: total_cost,
+                    event: Event::AbortionDone {
+                        action: outer,
+                        signal,
+                        epoch,
+                    },
+                });
+            }
+            NestedStrategy::Wait => {
+                // Fig. 1(a): wait for the nested actions to complete
+                // instead of aborting them. If any can never complete
+                // (belated participant), no completion is ever scheduled
+                // — the deadlock the paper argues against.
+                let mut wait = SimTime::ZERO;
+                let mut never = false;
+                for nested in chain.iter().copied() {
+                    match self
+                        .nested_remaining
+                        .get(&nested)
+                        .copied()
+                        .unwrap_or(Some(SimTime::ZERO))
+                    {
+                        Some(remaining) => wait = wait.max(remaining),
+                        None => never = true,
+                    }
+                    self.completed.insert(nested);
+                    self.buffered.remove(&nested);
+                }
+                fx.push(Effect::Note(Note::WaitingForNested {
+                    object: self.id,
+                    outer,
+                    chain: chain.clone(),
+                    forever: never,
+                }));
+                if !never {
+                    fx.push(Effect::After {
+                        delay: wait,
+                        event: Event::AbortionDone {
+                            action: outer,
+                            signal: None,
+                            epoch,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    fn on_abortion_done(
+        &mut self,
+        action: ActionId,
+        signal: Option<Exception>,
+        epoch: u64,
+        fx: &mut Vec<Effect>,
+    ) {
+        if epoch != self.abort_epoch {
+            return; // superseded by a more-outer abortion
+        }
+        let Some(res) = &mut self.res else { return };
+        if res.action != action || !res.aborting {
+            return;
+        }
+        res.aborting = false;
+        let peers = self.peers(action);
+        // NestedCompleted expects an ACK from every peer.
+        let res = self.res.as_mut().expect("checked above");
+        res.pending_acks.extend(peers.iter().copied());
+        if !peers.is_empty() {
+            fx.push(Effect::Note(Note::Multicast {
+                object: self.id,
+                kind: "nested_completed",
+            }));
+        }
+        for &to in &peers {
+            fx.push(Effect::Send {
+                to,
+                msg: Msg::NestedCompleted {
+                    action,
+                    from: self.id,
+                    exc: signal.clone(),
+                },
+            });
+        }
+        for to in std::mem::take(&mut res.deferred_acks) {
+            fx.push(Effect::Send {
+                to,
+                msg: Msg::Ack {
+                    from: self.id,
+                    action,
+                },
+            });
+        }
+        if let Some(exc) = signal {
+            res.le.push((self.id, exc));
+            res.state = PState::Exceptional;
+        }
+        self.check_ready(fx);
+    }
+
+    /// The ready predicate of §4.2: `S(Oi) = X`, `NestedCompleted`
+    /// received from every object in `LO`, and ACKs received from all of
+    /// `G_A` for our own broadcast. The ready object with the biggest
+    /// number among the raisers resolves and commits.
+    fn check_ready(&mut self, fx: &mut Vec<Effect>) {
+        let Some(res) = &mut self.res else { return };
+        if res.state != PState::Exceptional
+            || res.aborting
+            || !res.pending_acks.is_empty()
+            || !res.lo.values().all(|&done| done)
+        {
+            return;
+        }
+        // Resolver election: rank the distinct raisers descending; the
+        // top `resolver_group` of them resolve (the paper's base
+        // algorithm has a group of one — the max raiser).
+        let mut raisers: Vec<NodeId> = res.le.iter().map(|(raiser, _)| *raiser).collect();
+        raisers.sort_unstable();
+        raisers.dedup();
+        debug_assert!(
+            !raisers.is_empty(),
+            "an exceptional object has at least its own entry in LE"
+        );
+        let rank_from_top = raisers.iter().rev().position(|&r| r == self.id);
+        let elected = rank_from_top.is_some_and(|rank| (rank as u32) < self.resolver_group);
+        if !elected {
+            res.state = PState::Ready;
+            return;
+        }
+        // This object resolves.
+        let action = res.action;
+        let raised: Vec<(NodeId, Exception)> = res.le.clone();
+        let tree = self
+            .registry
+            .scope(action)
+            .expect("resolving undeclared action")
+            .tree()
+            .clone();
+        let resolved_id = tree
+            .resolve(raised.iter().map(|(_, e)| e.id()))
+            .expect("LE is non-empty and ids come from this tree");
+        let resolved = Exception::new(resolved_id).with_origin(format!("resolver {}", self.id));
+        fx.push(Effect::Note(Note::ResolutionCommitted {
+            action,
+            resolver: self.id,
+            resolved: resolved.clone(),
+            raised,
+        }));
+        if !self.peers(action).is_empty() {
+            fx.push(Effect::Note(Note::Multicast {
+                object: self.id,
+                kind: "commit",
+            }));
+        }
+        for to in self.peers(action) {
+            fx.push(Effect::Send {
+                to,
+                msg: Msg::Commit {
+                    action,
+                    exc: resolved.clone(),
+                },
+            });
+        }
+        self.accept_commit(action, resolved, fx);
+    }
+
+    /// Common commit path for the resolver itself and for `Commit`
+    /// receivers: empty the lists and start the handler for `E`.
+    fn accept_commit(&mut self, action: ActionId, exc: Exception, fx: &mut Vec<Effect>) {
+        if self.res.as_ref().map(|r| r.action) != Some(action) {
+            fx.push(Effect::Note(Note::StaleMessage {
+                object: self.id,
+                msg: Msg::Commit { action, exc },
+            }));
+            return;
+        }
+        self.res = None;
+        self.resolved.insert(action);
+        let (outcome, cost) = self.handler_table(action).invoke(&exc);
+        let signal = match outcome {
+            HandlerOutcome::Recovered => None,
+            HandlerOutcome::Signal(e) => Some(e),
+        };
+        fx.push(Effect::Note(Note::HandlerStarted {
+            object: self.id,
+            action,
+            exc,
+            will_signal: signal.clone(),
+        }));
+        fx.push(Effect::After {
+            delay: cost,
+            event: Event::HandlerDone { action, signal },
+        });
+    }
+
+    fn on_handler_done(
+        &mut self,
+        action: ActionId,
+        signal: Option<Exception>,
+        fx: &mut Vec<Effect>,
+    ) {
+        // §4.1: aborting a nested action stops "any activity of the
+        // nested action … including execution of any handlers". If an
+        // outer resolution aborted `action` while its handler was still
+        // running, this continuation is void.
+        if self.aborted.contains(&action) || self.active_action() != Some(action) {
+            return;
+        }
+        // The termination model: the handler completes the action.
+        self.entered.pop();
+        self.completed.insert(action);
+        match signal {
+            None => fx.push(Effect::Note(Note::Completed {
+                object: self.id,
+                action,
+            })),
+            Some(exc) => {
+                let parent = self
+                    .registry
+                    .scope(action)
+                    .expect("declared action")
+                    .parent();
+                fx.push(Effect::Note(Note::SignalledFailure {
+                    object: self.id,
+                    action,
+                    exc: exc.clone(),
+                }));
+                match parent {
+                    // Signalling between nested actions: the failure
+                    // exception is raised within the containing action,
+                    // starting a fresh resolution there.
+                    Some(parent) => {
+                        debug_assert_eq!(self.active_action(), Some(parent));
+                        if self.res.is_some() {
+                            // Already drawn into a resolution at the
+                            // parent level; our signal merges into it
+                            // only if we can still raise — otherwise it
+                            // is recorded as suppressed.
+                            fx.push(Effect::Note(Note::RaiseSuppressed {
+                                object: self.id,
+                                exc,
+                            }));
+                        } else {
+                            self.raise_in(parent, exc, fx);
+                        }
+                    }
+                    None => fx.push(Effect::Note(Note::ActionFailed {
+                        object: self.id,
+                        action,
+                        exc,
+                    })),
+                }
+            }
+        }
+    }
+
+    fn ensure_res(&mut self, action: ActionId) -> &mut Resolution {
+        if self.res.is_none() {
+            self.res = Some(Resolution::new(action, PState::Suspended));
+        }
+        let res = self.res.as_mut().expect("just ensured");
+        debug_assert_eq!(res.action, action, "resolution context action mismatch");
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caex_action::ActionScope;
+    use caex_tree::{chain_tree, ExceptionId};
+
+    fn ids(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    /// One top-level action A0 over `n` objects; returns participant 0.
+    fn single_action(n: u32) -> (Participant, ActionId) {
+        let tree = Arc::new(chain_tree(4));
+        let mut reg = ActionRegistry::new();
+        let a = reg
+            .declare(ActionScope::top_level("A", ids(n), tree))
+            .unwrap();
+        let mut p = Participant::new(NodeId::new(0), Arc::new(reg), NestedStrategy::Abort);
+        let fx = p.handle(Event::Enter(a));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Note(Note::Entered { .. }))));
+        (p, a)
+    }
+
+    fn sends(fx: &[Effect]) -> Vec<(&NodeId, &Msg)> {
+        fx.iter()
+            .filter_map(|e| match e {
+                Effect::Send { to, msg } => Some((to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raise_broadcasts_and_enters_x() {
+        let (mut p, _a) = single_action(3);
+        let fx = p.handle(Event::Raise(Exception::new(ExceptionId::new(1))));
+        let sent = sends(&fx);
+        assert_eq!(sent.len(), 2, "exception to both peers");
+        assert!(sent.iter().all(|(_, m)| matches!(m, Msg::Exception { .. })));
+        assert_eq!(p.state(), Some(PState::Exceptional));
+    }
+
+    #[test]
+    fn receiving_exception_suspends_and_acks() {
+        let (mut p, a) = single_action(3);
+        let fx = p.handle(Event::Msg(Msg::Exception {
+            action: a,
+            from: NodeId::new(1),
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        assert_eq!(p.state(), Some(PState::Suspended));
+        let sent = sends(&fx);
+        assert_eq!(sent.len(), 1);
+        assert!(matches!(sent[0].1, Msg::Ack { .. }));
+        assert_eq!(*sent[0].0, NodeId::new(1));
+        assert_eq!(p.known_exceptions().len(), 1);
+    }
+
+    #[test]
+    fn x_object_reaches_r_only_after_all_acks() {
+        let (mut p, a) = single_action(3);
+        p.handle(Event::Raise(Exception::new(ExceptionId::new(1))));
+        p.handle(Event::Msg(Msg::Ack {
+            from: NodeId::new(1),
+            action: a,
+        }));
+        assert_eq!(p.state(), Some(PState::Exceptional), "one ACK missing");
+        p.handle(Event::Msg(Msg::Ack {
+            from: NodeId::new(2),
+            action: a,
+        }));
+        // O0 is never the max raiser when others exist? Here O0 is the
+        // only raiser, so with all ACKs it resolves instead of parking
+        // in R — its commit empties the context.
+        assert!(p.is_normal());
+    }
+
+    #[test]
+    fn non_max_raiser_parks_in_ready() {
+        let (mut p, a) = single_action(3);
+        p.handle(Event::Raise(Exception::new(ExceptionId::new(1))));
+        // A concurrent raiser with a bigger id becomes known.
+        p.handle(Event::Msg(Msg::Exception {
+            action: a,
+            from: NodeId::new(2),
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        p.handle(Event::Msg(Msg::Ack {
+            from: NodeId::new(1),
+            action: a,
+        }));
+        p.handle(Event::Msg(Msg::Ack {
+            from: NodeId::new(2),
+            action: a,
+        }));
+        assert_eq!(p.state(), Some(PState::Ready), "O2 outranks O0");
+    }
+
+    #[test]
+    fn stale_acks_from_other_actions_are_ignored() {
+        let (mut p, _a) = single_action(2);
+        p.handle(Event::Raise(Exception::new(ExceptionId::new(1))));
+        // An ACK tagged with a different action must not count.
+        p.handle(Event::Msg(Msg::Ack {
+            from: NodeId::new(1),
+            action: ActionId::new(99),
+        }));
+        assert_eq!(p.state(), Some(PState::Exceptional));
+    }
+
+    #[test]
+    fn commit_starts_handler_and_returns_to_normal() {
+        let (mut p, a) = single_action(3);
+        p.handle(Event::Msg(Msg::Exception {
+            action: a,
+            from: NodeId::new(1),
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        let fx = p.handle(Event::Msg(Msg::Commit {
+            action: a,
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        assert!(p.is_normal());
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Note(Note::HandlerStarted { .. }))));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::After {
+                event: Event::HandlerDone { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn commit_overtaking_acks_is_accepted_in_x_state() {
+        // Asynchrony can deliver the resolver's Commit to a lower-
+        // ranked raiser before that raiser collected all its own ACKs
+        // (the paper's pseudocode only lists R and S, but X must accept
+        // too). The object must adopt the commit rather than wait.
+        let (mut p, a) = single_action(3);
+        p.handle(Event::Raise(Exception::new(ExceptionId::new(1))));
+        assert_eq!(p.state(), Some(PState::Exceptional));
+        let fx = p.handle(Event::Msg(Msg::Commit {
+            action: a,
+            exc: Exception::new(ExceptionId::new(1)),
+        }));
+        assert!(p.is_normal());
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Note(Note::HandlerStarted { .. }))));
+    }
+
+    #[test]
+    fn nested_completed_without_prior_have_nested_is_tolerated() {
+        // FIFO guarantees HaveNested precedes NestedCompleted on each
+        // channel, but the handler is defensive: the LO entry is
+        // created satisfied and the ACK still goes out.
+        let (mut p, a) = single_action(3);
+        let fx = p.handle(Event::Msg(Msg::NestedCompleted {
+            action: a,
+            from: NodeId::new(2),
+            exc: None,
+        }));
+        assert_eq!(p.state(), Some(PState::Suspended));
+        let sent = sends(&fx);
+        assert_eq!(sent.len(), 1);
+        assert!(matches!(sent[0].1, Msg::Ack { .. }));
+    }
+
+    #[test]
+    fn ready_predicate_waits_for_nested_completions() {
+        // An X object with all ACKs but an outstanding LO entry must
+        // not resolve.
+        let (mut p, a) = single_action(3);
+        p.handle(Event::Raise(Exception::new(ExceptionId::new(1))));
+        p.handle(Event::Msg(Msg::HaveNested {
+            from: NodeId::new(1),
+            action: a,
+        }));
+        p.handle(Event::Msg(Msg::Ack {
+            from: NodeId::new(1),
+            action: a,
+        }));
+        p.handle(Event::Msg(Msg::Ack {
+            from: NodeId::new(2),
+            action: a,
+        }));
+        // O1's NestedCompleted still missing: not ready, no commit.
+        assert_eq!(p.state(), Some(PState::Exceptional));
+        let fx = p.handle(Event::Msg(Msg::NestedCompleted {
+            action: a,
+            from: NodeId::new(1),
+            exc: None,
+        }));
+        // Now ready; O0 is the only raiser, so it resolves.
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Note(Note::ResolutionCommitted { .. }))));
+    }
+
+    #[test]
+    fn duplicate_commit_is_stale() {
+        let (mut p, a) = single_action(3);
+        p.handle(Event::Msg(Msg::Exception {
+            action: a,
+            from: NodeId::new(1),
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        let commit = Msg::Commit {
+            action: a,
+            exc: Exception::new(ExceptionId::new(2)),
+        };
+        p.handle(Event::Msg(commit.clone()));
+        let fx = p.handle(Event::Msg(commit));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Note(Note::StaleMessage { .. }))));
+    }
+
+    /// Nested structure: A0{O0,O1} ⊃ A1{O0} ⊃ A2{O0}; participant O0
+    /// enters all three.
+    fn nested_participant() -> (Participant, ActionId, ActionId, ActionId) {
+        let tree = Arc::new(chain_tree(4));
+        let mut reg = ActionRegistry::new();
+        let a0 = reg
+            .declare(ActionScope::top_level("A0", ids(2), Arc::clone(&tree)))
+            .unwrap();
+        let a1 = reg
+            .declare(ActionScope::nested(
+                "A1",
+                [NodeId::new(0)],
+                Arc::clone(&tree),
+                a0,
+            ))
+            .unwrap();
+        let a2 = reg
+            .declare(ActionScope::nested("A2", [NodeId::new(0)], tree, a1))
+            .unwrap();
+        let mut p = Participant::new(NodeId::new(0), Arc::new(reg), NestedStrategy::Abort);
+        p.handle(Event::Enter(a0));
+        p.handle(Event::Enter(a1));
+        p.handle(Event::Enter(a2));
+        (p, a0, a1, a2)
+    }
+
+    #[test]
+    fn outer_exception_triggers_innermost_first_abortion() {
+        let (mut p, a0, a1, a2) = nested_participant();
+        let fx = p.handle(Event::Msg(Msg::Exception {
+            action: a0,
+            from: NodeId::new(1),
+            exc: Exception::new(ExceptionId::new(1)),
+        }));
+        let chain = fx.iter().find_map(|e| match e {
+            Effect::Note(Note::AbortedNested { chain, .. }) => Some(chain.clone()),
+            _ => None,
+        });
+        assert_eq!(chain, Some(vec![a2, a1]));
+        assert!(p.has_aborted(a1) && p.has_aborted(a2));
+        assert_eq!(p.active_action(), Some(a0));
+        // HaveNested went out; NestedCompleted is deferred behind the
+        // AbortionDone continuation.
+        let sent = sends(&fx);
+        assert!(sent
+            .iter()
+            .all(|(_, m)| matches!(m, Msg::HaveNested { .. })));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::After {
+                event: Event::AbortionDone { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn abortion_done_sends_nested_completed_and_deferred_acks() {
+        let (mut p, a0, ..) = nested_participant();
+        let fx = p.handle(Event::Msg(Msg::Exception {
+            action: a0,
+            from: NodeId::new(1),
+            exc: Exception::new(ExceptionId::new(1)),
+        }));
+        let (signal, epoch) = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::After {
+                    event: Event::AbortionDone { signal, epoch, .. },
+                    ..
+                } => Some((signal.clone(), *epoch)),
+                _ => None,
+            })
+            .expect("abortion scheduled");
+        let fx = p.handle(Event::AbortionDone {
+            action: a0,
+            signal,
+            epoch,
+        });
+        let sent = sends(&fx);
+        // NestedCompleted first, then the deferred ACK for the
+        // triggering Exception — both to O1, FIFO on that channel.
+        assert!(matches!(sent[0].1, Msg::NestedCompleted { .. }));
+        assert!(matches!(sent[1].1, Msg::Ack { .. }));
+    }
+
+    #[test]
+    fn stale_abortion_epoch_is_ignored() {
+        let (mut p, a0, ..) = nested_participant();
+        p.handle(Event::Msg(Msg::Exception {
+            action: a0,
+            from: NodeId::new(1),
+            exc: Exception::new(ExceptionId::new(1)),
+        }));
+        let fx = p.handle(Event::AbortionDone {
+            action: a0,
+            signal: None,
+            epoch: 0, // stale: the trigger bumped the epoch to 1
+        });
+        assert!(sends(&fx).is_empty(), "stale continuation must be inert");
+    }
+
+    #[test]
+    fn messages_for_unentered_actions_are_buffered_until_entry() {
+        let tree = Arc::new(chain_tree(4));
+        let mut reg = ActionRegistry::new();
+        let a0 = reg
+            .declare(ActionScope::top_level("A0", ids(2), Arc::clone(&tree)))
+            .unwrap();
+        let a1 = reg
+            .declare(ActionScope::nested("A1", ids(2), tree, a0))
+            .unwrap();
+        let mut p = Participant::new(NodeId::new(0), Arc::new(reg), NestedStrategy::Abort);
+        p.handle(Event::Enter(a0));
+        // Message for A1 arrives before entry: silence.
+        let fx = p.handle(Event::Msg(Msg::Exception {
+            action: a1,
+            from: NodeId::new(1),
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        assert!(sends(&fx).is_empty());
+        assert!(p.is_normal());
+        // Entry releases the buffer: the ACK goes out now.
+        let fx = p.handle(Event::Enter(a1));
+        let sent = sends(&fx);
+        assert_eq!(sent.len(), 1);
+        assert!(matches!(sent[0].1, Msg::Ack { .. }));
+        assert_eq!(p.state(), Some(PState::Suspended));
+    }
+
+    #[test]
+    fn messages_for_aborted_actions_are_stale() {
+        let (mut p, a0, _a1, a2) = nested_participant();
+        p.handle(Event::Msg(Msg::Exception {
+            action: a0,
+            from: NodeId::new(1),
+            exc: Exception::new(ExceptionId::new(1)),
+        }));
+        // A2 is aborted; a late message for it is dropped.
+        let fx = p.handle(Event::Msg(Msg::Exception {
+            action: a2,
+            from: NodeId::new(1),
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Note(Note::StaleMessage { .. }))));
+    }
+
+    #[test]
+    fn enter_while_suspended_is_skipped() {
+        let tree = Arc::new(chain_tree(4));
+        let mut reg = ActionRegistry::new();
+        let a0 = reg
+            .declare(ActionScope::top_level("A0", ids(2), Arc::clone(&tree)))
+            .unwrap();
+        let a1 = reg
+            .declare(ActionScope::nested("A1", [NodeId::new(0)], tree, a0))
+            .unwrap();
+        let mut p = Participant::new(NodeId::new(0), Arc::new(reg), NestedStrategy::Abort);
+        p.handle(Event::Enter(a0));
+        p.handle(Event::Msg(Msg::Exception {
+            action: a0,
+            from: NodeId::new(1),
+            exc: Exception::new(ExceptionId::new(1)),
+        }));
+        let fx = p.handle(Event::Enter(a1));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Note(Note::EnterSkipped { .. }))));
+        assert_eq!(p.active_action(), Some(a0));
+    }
+
+    #[test]
+    fn complete_requests_leave_then_grant_pops() {
+        let (mut p, a) = single_action(2);
+        // Phase 1: the object reaches the exit line.
+        let fx = p.handle(Event::Complete(a));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Note(Note::LeaveRequested { .. }))));
+        assert!(!p.has_completed(a), "leave is synchronous");
+        assert_eq!(p.active_action(), Some(a));
+        // Phase 2: the manager grants the joint leave.
+        let fx = p.handle(Event::LeaveGranted(a));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Note(Note::Completed { .. }))));
+        assert!(p.has_completed(a));
+        assert_eq!(p.active_action(), None);
+    }
+
+    #[test]
+    fn waiting_at_the_exit_line_still_participates_in_resolution() {
+        // The scenario that motivated synchronous leave: an object that
+        // finished its work must remain reachable until everyone
+        // leaves, so a late concurrent exception still suspends it.
+        let (mut p, a) = single_action(2);
+        p.handle(Event::Complete(a));
+        let fx = p.handle(Event::Msg(Msg::Exception {
+            action: a,
+            from: NodeId::new(1),
+            exc: Exception::new(ExceptionId::new(1)),
+        }));
+        assert_eq!(p.state(), Some(PState::Suspended));
+        assert!(sends(&fx).iter().any(|(_, m)| matches!(m, Msg::Ack { .. })));
+        // A stale grant arriving later is void: the resolution's
+        // handler will complete the action instead.
+        p.handle(Event::LeaveGranted(a));
+        assert!(!p.has_completed(a));
+    }
+
+    #[test]
+    fn completing_under_an_active_nested_action_defers() {
+        let (mut p, _a0, a1, a2) = nested_participant();
+        // A1's completion waits until A2 has left.
+        p.handle(Event::Complete(a1));
+        assert!(!p.has_completed(a1));
+        p.handle(Event::Complete(a2));
+        p.handle(Event::LeaveGranted(a2));
+        // A2's unwind replays A1's deferred completion request.
+        let fx = p.handle(Event::LeaveGranted(a1));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Note(Note::Completed { action, .. }) if *action == a1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "never entered or already left")]
+    fn completing_unentered_action_panics() {
+        let tree = Arc::new(chain_tree(2));
+        let mut reg = ActionRegistry::new();
+        let a0 = reg
+            .declare(ActionScope::top_level("A0", ids(2), Arc::clone(&tree)))
+            .unwrap();
+        let a1 = reg
+            .declare(ActionScope::nested("A1", [NodeId::new(0)], tree, a0))
+            .unwrap();
+        let mut p = Participant::new(NodeId::new(0), Arc::new(reg), NestedStrategy::Abort);
+        p.handle(Event::Enter(a0));
+        // A1 was never entered — scenario bug.
+        p.handle(Event::Complete(a1));
+    }
+
+    #[test]
+    fn single_object_action_self_resolves() {
+        let (mut p, _a) = single_action(1);
+        let fx = p.handle(Event::Raise(Exception::new(ExceptionId::new(2))));
+        assert!(sends(&fx).is_empty());
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Note(Note::ResolutionCommitted { resolver, .. }) if *resolver == NodeId::new(0)
+        )));
+        assert!(p.is_normal());
+    }
+
+    #[test]
+    #[should_panic(expected = "resolver group must contain at least one object")]
+    fn zero_resolver_group_rejected() {
+        let (mut p, _a) = single_action(2);
+        p.set_resolver_group(0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Running the resolution algorithm on real OS threads.
+//!
+//! The same [`Participant`] state machine that the simulator drives is
+//! run here over [`caex_net::ThreadNet`] crossbeam channels — one thread
+//! per participating object — demonstrating that the algorithm is an
+//! executable protocol, not a simulation artefact. Virtual handler
+//! costs become real (micro-)sleeps; scenario steps fire from a local
+//! timer queue on each thread.
+//!
+//! Termination uses an idle timeout: a thread that has seen no traffic
+//! and has no due local events for the configured window assumes
+//! quiescence and exits. That is a demo-grade termination rule (the
+//! paper's §4.5 points at group membership services for the real
+//! thing); the simulator engine remains the measurement instrument.
+
+use crate::{Effect, Event, LeaveMode, NestedStrategy, Note, Participant};
+use caex_action::{ActionId, ActionRegistry, HandlerTable};
+use caex_net::{NetStats, NodeId, RecvTimeoutError, SimTime, ThreadNet};
+use caex_tree::Exception;
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Outcome of a threaded run.
+#[derive(Debug)]
+pub struct ThreadReport {
+    /// Every note emitted by any participant, in arrival order at the
+    /// collector (inter-thread order is nondeterministic).
+    pub notes: Vec<Note>,
+    /// Network statistics.
+    pub stats: NetStats,
+}
+
+impl ThreadReport {
+    /// The exceptions whose handlers were started, grouped by action.
+    #[must_use]
+    pub fn handled_exceptions(&self, action: ActionId) -> Vec<(NodeId, Exception)> {
+        self.notes
+            .iter()
+            .filter_map(|n| match n {
+                Note::HandlerStarted {
+                    object,
+                    action: a,
+                    exc,
+                    ..
+                } if *a == action => Some((*object, exc.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Checks the agreement invariant: all handlers started for
+    /// `action` handled the same exception; returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two objects handled different exceptions.
+    #[must_use]
+    pub fn agreed_exception(&self, action: ActionId) -> Option<Exception> {
+        let handled = self.handled_exceptions(action);
+        let mut agreed: Option<Exception> = None;
+        for (_, exc) in handled {
+            match &agreed {
+                None => agreed = Some(exc),
+                Some(prev) => assert_eq!(prev.id(), exc.id(), "agreement violated"),
+            }
+        }
+        agreed
+    }
+}
+
+struct TimedEvent {
+    due: Instant,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for TimedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for TimedEvent {}
+impl PartialOrd for TimedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// Builder/driver for a threaded execution.
+///
+/// # Examples
+///
+/// ```
+/// use caex::thread_engine::ThreadRunner;
+/// use caex_action::{ActionRegistry, ActionScope};
+/// use caex_net::{NodeId, SimTime};
+/// use caex_tree::{chain_tree, Exception, ExceptionId};
+/// use std::sync::Arc;
+///
+/// let tree = Arc::new(chain_tree(2));
+/// let mut reg = ActionRegistry::new();
+/// let a1 = reg.declare(ActionScope::top_level(
+///     "A1", (0..3).map(NodeId::new), Arc::clone(&tree),
+/// )).unwrap();
+///
+/// let report = ThreadRunner::new(Arc::new(reg))
+///     .enter_all_at(SimTime::ZERO, a1)
+///     .raise_at(SimTime::from_millis(1), NodeId::new(0),
+///               Exception::new(ExceptionId::new(1)))
+///     .raise_at(SimTime::from_millis(1), NodeId::new(2),
+///               Exception::new(ExceptionId::new(2)))
+///     .run();
+///
+/// // All three objects handled the same resolved exception.
+/// let agreed = report.agreed_exception(a1).unwrap();
+/// assert_eq!(report.handled_exceptions(a1).len(), 3);
+/// assert_eq!(agreed.id(), ExceptionId::new(1));
+/// ```
+pub struct ThreadRunner {
+    registry: Arc<ActionRegistry>,
+    strategy: NestedStrategy,
+    steps: Vec<(SimTime, NodeId, Event)>,
+    handlers: Vec<(NodeId, ActionId, HandlerTable)>,
+    idle_timeout: Duration,
+}
+
+impl std::fmt::Debug for ThreadRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadRunner")
+            .field("steps", &self.steps.len())
+            .field("strategy", &self.strategy)
+            .finish()
+    }
+}
+
+impl ThreadRunner {
+    /// Creates a runner over the given action structure.
+    #[must_use]
+    pub fn new(registry: Arc<ActionRegistry>) -> Self {
+        ThreadRunner {
+            registry,
+            strategy: NestedStrategy::Abort,
+            steps: Vec::new(),
+            handlers: Vec::new(),
+            idle_timeout: Duration::from_millis(300),
+        }
+    }
+
+    /// Selects the nested-action strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: NestedStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets how long a thread may be idle before assuming quiescence.
+    #[must_use]
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Schedules `object` to enter `action` at `time` (relative to run
+    /// start; `SimTime` micros become wall-clock micros).
+    #[must_use]
+    pub fn enter_at(mut self, time: SimTime, object: NodeId, action: ActionId) -> Self {
+        self.steps.push((time, object, Event::Enter(action)));
+        self
+    }
+
+    /// Schedules every participant of `action` to enter it at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is undeclared.
+    #[must_use]
+    pub fn enter_all_at(mut self, time: SimTime, action: ActionId) -> Self {
+        let participants = self
+            .registry
+            .scope(action)
+            .expect("enter_all_at of undeclared action")
+            .participants()
+            .to_vec();
+        for p in participants {
+            self.steps.push((time, p, Event::Enter(action)));
+        }
+        self
+    }
+
+    /// Schedules `object` to raise `exc` at `time`.
+    #[must_use]
+    pub fn raise_at(mut self, time: SimTime, object: NodeId, exc: Exception) -> Self {
+        self.steps.push((time, object, Event::Raise(exc)));
+        self
+    }
+
+    /// Schedules `object` to reach `action`'s exit line at `time`. The
+    /// threaded runtime has no central manager, so completion uses the
+    /// decentralized leave protocol — the runner switches participants
+    /// to [`LeaveMode::Distributed`] automatically when any completion
+    /// is scheduled.
+    #[must_use]
+    pub fn complete_at(mut self, time: SimTime, object: NodeId, action: ActionId) -> Self {
+        self.steps.push((time, object, Event::Complete(action)));
+        self
+    }
+
+    /// Installs a handler table for `(object, action)`.
+    #[must_use]
+    pub fn handlers(mut self, object: NodeId, action: ActionId, table: HandlerTable) -> Self {
+        self.handlers.push((object, action, table));
+        self
+    }
+
+    /// Spawns one thread per object, runs to (idle-detected)
+    /// quiescence, and joins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked (scenario programming errors
+    /// surface this way, as in the simulator engine).
+    #[must_use]
+    pub fn run(self) -> ThreadReport {
+        let num_nodes = self
+            .registry
+            .iter()
+            .flat_map(|(_, s)| s.participants().iter().copied())
+            .map(|n| n.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let net: ThreadNet<Event> = ThreadNet::new(num_nodes);
+        let stats = net.stats();
+        let ports = net.into_ports();
+        let notes = Arc::new(Mutex::new(Vec::new()));
+        let start = Instant::now();
+
+        let uses_completion = self
+            .steps
+            .iter()
+            .any(|(_, _, e)| matches!(e, Event::Complete(_)));
+        let mut participants: Vec<Participant> = (0..num_nodes)
+            .map(|i| {
+                let mut p =
+                    Participant::new(NodeId::new(i), Arc::clone(&self.registry), self.strategy);
+                if uses_completion {
+                    p.set_leave_mode(LeaveMode::Distributed);
+                }
+                p
+            })
+            .collect();
+        for (object, action, table) in self.handlers {
+            participants[object.index() as usize].set_handlers(action, table);
+        }
+
+        let mut queues: Vec<BinaryHeap<TimedEvent>> =
+            (0..num_nodes).map(|_| BinaryHeap::new()).collect();
+        for (seq, (time, object, event)) in self.steps.into_iter().enumerate() {
+            queues[object.index() as usize].push(TimedEvent {
+                due: start + Duration::from_micros(time.as_micros()),
+                seq: seq as u64,
+                event,
+            });
+        }
+
+        let idle_timeout = self.idle_timeout;
+        let mut joins = Vec::new();
+        for (port, (mut participant, mut queue)) in
+            ports.into_iter().zip(participants.into_iter().zip(queues))
+        {
+            let notes = Arc::clone(&notes);
+            joins.push(thread::spawn(move || {
+                let mut seq = u64::MAX / 2;
+                let mut last_activity = Instant::now();
+                loop {
+                    // Fire due local events first.
+                    let now = Instant::now();
+                    let mut effects = Vec::new();
+                    while queue.peek().is_some_and(|t| t.due <= now) {
+                        let t = queue.pop().expect("peeked");
+                        effects.extend(participant.handle(t.event));
+                        last_activity = Instant::now();
+                    }
+                    // Then wait briefly for a message.
+                    let wait = queue
+                        .peek()
+                        .map(|t| t.due.saturating_duration_since(Instant::now()))
+                        .unwrap_or(Duration::from_millis(10))
+                        .min(Duration::from_millis(10));
+                    match port.recv_timeout(wait) {
+                        Ok((_, event)) => {
+                            effects.extend(participant.handle(event));
+                            last_activity = Instant::now();
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                    for effect in effects.drain(..) {
+                        match effect {
+                            Effect::Send { to, msg } => {
+                                port.send(to, Event::Msg(msg));
+                            }
+                            Effect::After { delay, event } => {
+                                seq += 1;
+                                queue.push(TimedEvent {
+                                    due: Instant::now() + Duration::from_micros(delay.as_micros()),
+                                    seq,
+                                    event,
+                                });
+                            }
+                            Effect::Note(note) => notes.lock().push(note),
+                        }
+                    }
+                    if queue.is_empty() && last_activity.elapsed() > idle_timeout {
+                        break;
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("participant thread panicked");
+        }
+        let notes = Arc::try_unwrap(notes)
+            .map(Mutex::into_inner)
+            .unwrap_or_else(|arc| arc.lock().clone());
+        let stats = stats.lock().clone();
+        ThreadReport { notes, stats }
+    }
+}

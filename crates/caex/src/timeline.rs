@@ -1,0 +1,178 @@
+//! Per-object timelines: a compact textual account of what each
+//! participating object went through during a run — entries, raises,
+//! suspensions, abortions, handler activations, completions — derived
+//! from the report's notes.
+//!
+//! # Examples
+//!
+//! ```
+//! use caex::timeline::render_timelines;
+//! use caex::workloads;
+//!
+//! let (w, _) = workloads::example1(Default::default());
+//! let report = w.run();
+//! let text = render_timelines(&report);
+//! assert!(text.contains("O2"));
+//! assert!(text.contains("resolved"));
+//! ```
+
+use crate::{Note, RunReport};
+use caex_net::NodeId;
+use std::collections::BTreeMap;
+
+/// One entry in an object's timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEntry {
+    /// The describing line ("entered A0", "raised e1 in A0", …).
+    pub what: String,
+}
+
+/// Builds the per-object timelines from a report's notes, in note
+/// emission order (which respects virtual time).
+#[must_use]
+pub fn timelines(report: &RunReport) -> BTreeMap<NodeId, Vec<TimelineEntry>> {
+    let mut out: BTreeMap<NodeId, Vec<TimelineEntry>> = BTreeMap::new();
+    let mut push = |object: NodeId, what: String| {
+        out.entry(object).or_default().push(TimelineEntry { what });
+    };
+    for note in &report.notes {
+        match note {
+            Note::Entered { object, action } => push(*object, format!("entered {action}")),
+            Note::EnterSkipped { object, action } => {
+                push(*object, format!("entry into {action} skipped"));
+            }
+            Note::LeaveRequested { object, action } => {
+                push(*object, format!("reached exit line of {action}"));
+            }
+            Note::Completed { object, action } => push(*object, format!("completed {action}")),
+            Note::Raised {
+                object,
+                action,
+                exc,
+            } => {
+                push(*object, format!("raised {} in {action}", exc.id()));
+            }
+            Note::RaiseSuppressed { object, exc } => {
+                push(*object, format!("raise of {} suppressed", exc.id()));
+            }
+            Note::AbortedNested { object, chain, .. } => {
+                let chain = chain
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                push(*object, format!("aborted nested [{chain}]"));
+            }
+            Note::WaitingForNested {
+                object, forever, ..
+            } => {
+                push(
+                    *object,
+                    if *forever {
+                        "waiting for nested actions (forever)".to_owned()
+                    } else {
+                        "waiting for nested actions".to_owned()
+                    },
+                );
+            }
+            Note::DeepSignalIgnored { object, action, .. } => {
+                push(*object, format!("deep signal from {action} ignored"));
+            }
+            Note::ResolutionCommitted {
+                resolver,
+                resolved,
+                action,
+                ..
+            } => push(*resolver, format!("resolved {action} to {}", resolved.id())),
+            Note::HandlerStarted {
+                object,
+                exc,
+                action,
+                ..
+            } => {
+                push(*object, format!("handling {} in {action}", exc.id()));
+            }
+            Note::SignalledFailure {
+                object,
+                action,
+                exc,
+            } => {
+                push(*object, format!("signalled {} out of {action}", exc.id()));
+            }
+            Note::ActionFailed {
+                object,
+                action,
+                exc,
+            } => {
+                push(*object, format!("{action} FAILED with {}", exc.id()));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Renders the timelines as indented text, one block per object.
+#[must_use]
+pub fn render_timelines(report: &RunReport) -> String {
+    let mut out = String::new();
+    for (object, entries) in timelines(report) {
+        out.push_str(&format!("{object}:\n"));
+        for e in entries {
+            out.push_str(&format!("  - {}\n", e.what));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use caex_net::NetConfig;
+
+    #[test]
+    fn example2_timeline_tells_the_story() {
+        let (w, _ids) = workloads::example2(NetConfig::default());
+        let report = w.run();
+        let map = timelines(&report);
+        // O2's timeline: enters three actions, raises, aborts, resolves,
+        // handles.
+        let o2: Vec<&str> = map[&NodeId::new(2)]
+            .iter()
+            .map(|e| e.what.as_str())
+            .collect();
+        assert!(o2.iter().any(|s| s.starts_with("raised")));
+        assert!(o2.iter().any(|s| s.starts_with("aborted nested")));
+        assert!(o2.iter().any(|s| s.starts_with("resolved")));
+        assert!(o2.iter().any(|s| s.starts_with("handling")));
+        // Story order: raise precedes abortion precedes resolution.
+        let pos = |needle: &str| o2.iter().position(|s| s.starts_with(needle)).unwrap();
+        assert!(pos("raised") < pos("aborted nested"));
+        assert!(pos("aborted nested") < pos("resolved"));
+        assert!(pos("resolved") <= pos("handling"));
+    }
+
+    #[test]
+    fn rendering_covers_every_object() {
+        let (w, _ids) = workloads::example1(NetConfig::default());
+        let report = w.run();
+        let text = render_timelines(&report);
+        for o in 1..=3 {
+            assert!(text.contains(&format!("O{o}:")));
+        }
+    }
+
+    #[test]
+    fn happy_path_timelines_are_quiet() {
+        let report = workloads::fig3(NetConfig::default()).run();
+        let map = timelines(&report);
+        // O0 neither raised nor aborted: only entry + handling lines.
+        let o0: Vec<&str> = map[&NodeId::new(0)]
+            .iter()
+            .map(|e| e.what.as_str())
+            .collect();
+        assert!(o0.iter().all(|s| !s.starts_with("raised")));
+        assert!(o0.iter().any(|s| s.starts_with("handling")));
+    }
+}

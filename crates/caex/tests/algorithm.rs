@@ -1,0 +1,860 @@
+//! Behavioural tests of the resolution algorithm: one test per clause
+//! of §4.1–§4.4, driven through scripted scenarios.
+
+use caex::{analysis, workloads, NestedStrategy, Note, Scenario};
+use caex_action::{AbortionOutcome, ActionRegistry, ActionScope, HandlerOutcome, HandlerTable};
+use caex_net::{LatencyModel, NetConfig, NodeId, SimTime};
+use caex_tree::{chain_tree, Exception, ExceptionId, TreeBuilder};
+use std::sync::Arc;
+
+fn uniform_config(seed: u64) -> NetConfig {
+    NetConfig::default()
+        .with_latency(LatencyModel::Uniform {
+            min: SimTime::from_micros(50),
+            max: SimTime::from_micros(500),
+        })
+        .with_seed(seed)
+}
+
+// ---------------------------------------------------------------------
+// §4.4 message-count laws, executed.
+// ---------------------------------------------------------------------
+
+#[test]
+fn case1_message_count_matches_formula_across_n() {
+    for n in 2..=24 {
+        let report = workloads::case1(n, NetConfig::default()).run();
+        assert!(report.is_clean());
+        assert_eq!(
+            report.total_messages(),
+            analysis::messages_case1(n as u64),
+            "case 1 mismatch at N={n}"
+        );
+    }
+}
+
+#[test]
+fn case2_message_count_matches_formula_across_n() {
+    for n in 2..=16 {
+        let report = workloads::case2(n, NetConfig::default()).run();
+        assert!(report.is_clean());
+        assert_eq!(
+            report.total_messages(),
+            analysis::messages_case2(n as u64),
+            "case 2 mismatch at N={n}"
+        );
+    }
+}
+
+#[test]
+fn case3_message_count_matches_formula_across_n() {
+    for n in 2..=16 {
+        let report = workloads::case3(n, NetConfig::default()).run();
+        assert!(report.is_clean());
+        assert_eq!(
+            report.total_messages(),
+            analysis::messages_case3(n as u64),
+            "case 3 mismatch at N={n}"
+        );
+    }
+}
+
+#[test]
+fn general_law_holds_over_full_pq_grid() {
+    for n in 2..=10u32 {
+        for p in 1..=n {
+            for q in 0..=(n - p) {
+                let report = workloads::general(n, p, q, NetConfig::default()).run();
+                assert!(report.is_clean(), "unclean at N={n} P={p} Q={q}");
+                assert_eq!(
+                    report.total_messages(),
+                    analysis::messages_general(n as u64, p as u64, q as u64),
+                    "general law mismatch at N={n} P={p} Q={q}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn per_kind_breakdown_matches_formula() {
+    let (n, p, q) = (8u32, 3u32, 2u32);
+    let report = workloads::general(n, p, q, NetConfig::default()).run();
+    let (exc, ack, hn, nc, commit) = analysis::breakdown_general(n as u64, p as u64, q as u64);
+    assert_eq!(report.messages_of("exception"), exc);
+    assert_eq!(report.messages_of("ack"), ack);
+    assert_eq!(report.messages_of("have_nested"), hn);
+    assert_eq!(report.messages_of("nested_completed"), nc);
+    assert_eq!(report.messages_of("commit"), commit);
+}
+
+#[test]
+fn counts_are_invariant_under_latency_jitter() {
+    // The law counts messages, not time: moderate jitter does not
+    // change the totals for these seeds. (Under *extreme* spread a
+    // post-commit straggler's ACK can be elided, making the law an
+    // upper bound — see `fig3_holds_under_jitter` in
+    // `tests/artifacts.rs` for the envelope.)
+    for seed in 0..8 {
+        let report = workloads::general(6, 2, 3, uniform_config(seed)).run();
+        assert!(report.is_clean(), "seed {seed}");
+        assert_eq!(
+            report.total_messages(),
+            analysis::messages_general(6, 2, 3),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn no_overhead_when_no_exception_is_raised() {
+    // §4.4: "our algorithm (and the CR algorithm) will have no overhead
+    // if an exception is not raised".
+    let tree = Arc::new(chain_tree(2));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            (0..6).map(NodeId::new),
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let a2 = reg
+        .declare(ActionScope::nested(
+            "A2",
+            (0..3).map(NodeId::new),
+            Arc::clone(&tree),
+            a1,
+        ))
+        .unwrap();
+    let mut scenario = Scenario::new(Arc::new(reg)).enter_all_at(SimTime::ZERO, a1);
+    for i in 0..3 {
+        scenario = scenario
+            .enter_at(SimTime::from_micros(5), NodeId::new(i), a2)
+            .complete_at(SimTime::from_micros(50), NodeId::new(i), a2);
+    }
+    let report = scenario.run();
+    assert!(report.is_clean());
+    assert_eq!(report.total_messages(), 0);
+    assert!(report.resolutions.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// §4.3 worked examples, step by step.
+// ---------------------------------------------------------------------
+
+#[test]
+fn example1_resolver_is_o2_and_everyone_handles_resolved() {
+    let (w, ids) = workloads::example1(NetConfig::default());
+    let report = w.run();
+    let r = report.resolution_for(ids.a1).expect("resolution committed");
+    assert_eq!(r.resolver, NodeId::new(2), "name(O2) > name(O1) elects O2");
+    // Raised set is exactly {O1:E1, O2:E2}.
+    let mut raisers: Vec<_> = r.raised.iter().map(|(o, _)| *o).collect();
+    raisers.sort();
+    assert_eq!(raisers, vec![NodeId::new(1), NodeId::new(2)]);
+    // All three objects started the same handler.
+    let agreed = report.agreed_exception(ids.a1).expect("handlers ran");
+    assert_eq!(report.handlers_for(ids.a1).len(), 3);
+    assert_eq!(agreed.id(), r.resolved.id());
+    // Message count: two raisers, no nesting, N = 3.
+    assert_eq!(report.total_messages(), analysis::messages_general(3, 2, 0));
+}
+
+#[test]
+fn example2_outer_resolution_eliminates_nested_one() {
+    let (w, ids) = workloads::example2(NetConfig::default());
+    let report = w.run();
+    assert!(report.is_clean(), "report: {report}");
+
+    // Exactly one resolution, in A1 — the one O2 started in A3 was
+    // eliminated.
+    assert_eq!(report.resolutions.len(), 1);
+    let r = report.resolution_for(ids.a1).expect("resolution in A1");
+    assert_eq!(r.resolver, NodeId::new(2));
+
+    // The resolved set is {E1 (from O1), E3 (abortion signal from O2)};
+    // E2 disappeared with the eliminated nested resolution.
+    let raised_ids: Vec<ExceptionId> = r.raised.iter().map(|(_, e)| e.id()).collect();
+    assert!(raised_ids.contains(&ids.e1));
+    assert!(raised_ids.contains(&ids.e3));
+    assert!(!raised_ids.contains(&ids.e2));
+
+    // All four objects started the handler for the resolved exception.
+    assert_eq!(report.handlers_for(ids.a1).len(), 4);
+    report.agreed_exception(ids.a1).expect("agreement");
+}
+
+#[test]
+fn example2_o3_cleans_up_the_belated_exception() {
+    let (w, ids) = workloads::example2(NetConfig::default());
+    let report = w.run();
+    // O3 never entered A3, so O2's Exception(A3, O2, E2) was buffered
+    // there and then cleaned when HaveNested announced A3's abortion.
+    let cleaned = report.notes.iter().any(|n| {
+        matches!(
+            n,
+            Note::CleanedNestedMessages { object, action }
+                if *object == NodeId::new(3) && *action == ids.a3
+        )
+    });
+    assert!(cleaned, "O3 must clean up the buffered A3 exception");
+}
+
+#[test]
+fn example2_nested_actions_abort_innermost_first() {
+    let (w, ids) = workloads::example2(NetConfig::default());
+    let report = w.run();
+    // O2 aborted [A3, A2] in that order (§3.3 problem 1: "A3 should be
+    // aborted before A2").
+    let o2_chain = report.notes.iter().find_map(|n| match n {
+        Note::AbortedNested { object, chain, .. } if *object == NodeId::new(2) => {
+            Some(chain.clone())
+        }
+        _ => None,
+    });
+    assert_eq!(o2_chain, Some(vec![ids.a3, ids.a2]));
+    // O3 and O4, which were only in A2, abort just [A2].
+    for o in [3u32, 4] {
+        let chain = report.notes.iter().find_map(|n| match n {
+            Note::AbortedNested { object, chain, .. } if *object == NodeId::new(o) => {
+                Some(chain.clone())
+            }
+            _ => None,
+        });
+        assert_eq!(chain, Some(vec![ids.a2]), "O{o}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// §4.1 abortion semantics.
+// ---------------------------------------------------------------------
+
+/// Builds A1{O0,O1} ⊃ A2{O1} ⊃ A3{O1}: object O1 nested two deep,
+/// with configurable abortion handlers.
+fn deep_nest(
+    o1_a2: Option<ExceptionId>,
+    o1_a3: Option<ExceptionId>,
+) -> (Scenario, caex_action::ActionId) {
+    let tree = Arc::new(chain_tree(6));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            [NodeId::new(0), NodeId::new(1)],
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let a2 = reg
+        .declare(ActionScope::nested(
+            "A2",
+            [NodeId::new(1)],
+            Arc::clone(&tree),
+            a1,
+        ))
+        .unwrap();
+    let a3 = reg
+        .declare(ActionScope::nested(
+            "A3",
+            [NodeId::new(1)],
+            Arc::clone(&tree),
+            a2,
+        ))
+        .unwrap();
+
+    let mk = |signal: Option<ExceptionId>| {
+        let mut t = HandlerTable::recover_all(Arc::clone(&tree));
+        t.on_abort(SimTime::from_micros(3), move || match signal {
+            Some(id) => AbortionOutcome::Signal(Exception::new(id)),
+            None => AbortionOutcome::Aborted,
+        });
+        t
+    };
+
+    let scenario = Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a1)
+        .enter_at(SimTime::from_micros(1), NodeId::new(1), a2)
+        .enter_at(SimTime::from_micros(2), NodeId::new(1), a3)
+        .handlers(NodeId::new(1), a2, mk(o1_a2))
+        .handlers(NodeId::new(1), a3, mk(o1_a3))
+        .raise_at(
+            SimTime::from_micros(10),
+            NodeId::new(0),
+            Exception::new(ExceptionId::new(1)),
+        );
+    (scenario, a1)
+}
+
+#[test]
+fn only_directly_nested_action_may_signal() {
+    // A3 (deep) signals e5, A2 (directly nested in A1) signals e4:
+    // only e4 may enter the A1 resolution; e5 is ignored (§4.1).
+    let (scenario, a1) = deep_nest(Some(ExceptionId::new(4)), Some(ExceptionId::new(5)));
+    let report = scenario.run();
+    let r = report.resolution_for(a1).expect("resolution");
+    let raised: Vec<ExceptionId> = r.raised.iter().map(|(_, e)| e.id()).collect();
+    assert!(raised.contains(&ExceptionId::new(4)), "A2 signal honoured");
+    assert!(!raised.contains(&ExceptionId::new(5)), "A3 signal masked");
+    let masked = report.notes.iter().any(
+        |n| matches!(n, Note::DeepSignalIgnored { exc, .. } if exc.id() == ExceptionId::new(5)),
+    );
+    assert!(masked, "deep signal must be reported as ignored");
+}
+
+#[test]
+fn clean_abortion_contributes_no_exception() {
+    let (scenario, a1) = deep_nest(None, None);
+    let report = scenario.run();
+    let r = report.resolution_for(a1).expect("resolution");
+    // Only the raiser's exception is resolved.
+    assert_eq!(r.raised.len(), 1);
+    assert_eq!(r.resolved.id(), ExceptionId::new(1));
+}
+
+#[test]
+fn abortion_signal_makes_the_nested_object_a_raiser() {
+    let (scenario, a1) = deep_nest(Some(ExceptionId::new(4)), None);
+    let report = scenario.run();
+    let r = report.resolution_for(a1).expect("resolution");
+    // O1 signalled e4 via NestedCompleted, becoming a raiser; it has
+    // the bigger name, so it resolves.
+    assert_eq!(r.resolver, NodeId::new(1));
+}
+
+#[test]
+fn abortion_handler_cost_delays_resolution() {
+    let run_with_cost = |cost: u64| {
+        let tree = Arc::new(chain_tree(2));
+        let mut reg = ActionRegistry::new();
+        let a1 = reg
+            .declare(ActionScope::top_level(
+                "A1",
+                [NodeId::new(0), NodeId::new(1)],
+                Arc::clone(&tree),
+            ))
+            .unwrap();
+        let a2 = reg
+            .declare(ActionScope::nested(
+                "A2",
+                [NodeId::new(1)],
+                Arc::clone(&tree),
+                a1,
+            ))
+            .unwrap();
+        let mut t = HandlerTable::recover_all(Arc::clone(&tree));
+        t.on_abort(SimTime::from_micros(cost), || AbortionOutcome::Aborted);
+        let report = Scenario::new(Arc::new(reg))
+            .enter_all_at(SimTime::ZERO, a1)
+            .enter_at(SimTime::from_micros(1), NodeId::new(1), a2)
+            .handlers(NodeId::new(1), a2, t)
+            .raise_at(
+                SimTime::from_micros(10),
+                NodeId::new(0),
+                Exception::new(ExceptionId::new(1)),
+            )
+            .run();
+        report.resolution_for(a1).expect("resolution").at
+    };
+    let fast = run_with_cost(0);
+    let slow = run_with_cost(10_000);
+    assert!(
+        slow >= fast + SimTime::from_micros(10_000),
+        "§4.4: abortion handler execution delays the protocol ({fast} vs {slow})"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Fig. 1 strategies: wait vs abort.
+// ---------------------------------------------------------------------
+
+#[test]
+fn wait_strategy_waits_for_nested_completion() {
+    let tree = Arc::new(chain_tree(2));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            [NodeId::new(0), NodeId::new(1)],
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let a2 = reg
+        .declare(ActionScope::nested(
+            "A2",
+            [NodeId::new(1)],
+            Arc::clone(&tree),
+            a1,
+        ))
+        .unwrap();
+    let remaining = SimTime::from_millis(50);
+    let report = Scenario::new(Arc::new(reg))
+        .with_strategy(NestedStrategy::Wait)
+        .enter_all_at(SimTime::ZERO, a1)
+        .enter_at(SimTime::from_micros(1), NodeId::new(1), a2)
+        .nested_remaining(NodeId::new(1), a2, Some(remaining))
+        .raise_at(
+            SimTime::from_micros(10),
+            NodeId::new(0),
+            Exception::new(ExceptionId::new(1)),
+        )
+        .run();
+    let r = report.resolution_for(a1).expect("resolution");
+    assert!(
+        r.at >= remaining,
+        "wait strategy must stall until the nested action ends ({})",
+        r.at
+    );
+    assert!(report.is_clean());
+}
+
+#[test]
+fn wait_strategy_deadlocks_on_belated_participant() {
+    // Fig. 1(a)'s fatal flaw: a nested action that can never complete
+    // (its belated participant never arrives) blocks the resolution
+    // forever under the wait strategy.
+    let tree = Arc::new(chain_tree(2));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            [NodeId::new(0), NodeId::new(1)],
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let a2 = reg
+        .declare(ActionScope::nested(
+            "A2",
+            [NodeId::new(1)],
+            Arc::clone(&tree),
+            a1,
+        ))
+        .unwrap();
+    let report = Scenario::new(Arc::new(reg))
+        .with_strategy(NestedStrategy::Wait)
+        .enter_all_at(SimTime::ZERO, a1)
+        .enter_at(SimTime::from_micros(1), NodeId::new(1), a2)
+        .nested_remaining(NodeId::new(1), a2, None) // never completes
+        .raise_at(
+            SimTime::from_micros(10),
+            NodeId::new(0),
+            Exception::new(ExceptionId::new(1)),
+        )
+        .run();
+    assert!(!report.is_clean());
+    assert!(report.resolutions.is_empty());
+    assert!(report.deadlocked.contains(&NodeId::new(0)));
+    // The abort strategy on the identical structure succeeds (shown by
+    // every other test in this file).
+}
+
+// ---------------------------------------------------------------------
+// Signalling between nested actions (§3.1 termination model).
+// ---------------------------------------------------------------------
+
+#[test]
+fn failure_signal_cascades_into_containing_action() {
+    // A2 = {O1, O2} nested in A1 = {O0, O1, O2}. An exception in A2 is
+    // resolved there; both handlers signal e5 to A1, which starts a
+    // second resolution in A1 involving O0 as well.
+    let tree = Arc::new(chain_tree(6));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            (0..3).map(NodeId::new),
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let a2 = reg
+        .declare(ActionScope::nested(
+            "A2",
+            [NodeId::new(1), NodeId::new(2)],
+            Arc::clone(&tree),
+            a1,
+        ))
+        .unwrap();
+    let failing_table = |cost: u64| {
+        let mut t = HandlerTable::recover_all(Arc::clone(&tree));
+        for id in tree.iter() {
+            t.on(id, SimTime::from_micros(cost), move |_| {
+                HandlerOutcome::Signal(Exception::new(ExceptionId::new(5)))
+            });
+        }
+        t
+    };
+    let report = Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a1)
+        .enter_at(SimTime::from_micros(1), NodeId::new(1), a2)
+        .enter_at(SimTime::from_micros(1), NodeId::new(2), a2)
+        .handlers(NodeId::new(1), a2, failing_table(10))
+        .handlers(NodeId::new(2), a2, failing_table(10))
+        .raise_at(
+            SimTime::from_micros(5),
+            NodeId::new(1),
+            Exception::new(ExceptionId::new(2)),
+        )
+        .run();
+
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.resolutions.len(), 2, "{report}");
+    let inner = report.resolution_for(a2).expect("inner resolution");
+    assert_eq!(inner.resolved.id(), ExceptionId::new(2));
+    let outer = report.resolution_for(a1).expect("outer resolution");
+    assert_eq!(outer.resolved.id(), ExceptionId::new(5));
+    // The outer resolution reached all three objects.
+    assert_eq!(report.handlers_for(a1).len(), 3);
+    report.agreed_exception(a1).expect("agreement in A1");
+}
+
+#[test]
+fn top_level_failure_is_reported() {
+    let tree = Arc::new(chain_tree(3));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            [NodeId::new(0), NodeId::new(1)],
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let mut failing = HandlerTable::recover_all(Arc::clone(&tree));
+    failing.on(ExceptionId::new(1), SimTime::ZERO, |_| {
+        HandlerOutcome::Signal(Exception::new(ExceptionId::new(3)))
+    });
+    let report = Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a1)
+        .handlers(NodeId::new(0), a1, failing)
+        .raise_at(
+            SimTime::from_micros(5),
+            NodeId::new(0),
+            Exception::new(ExceptionId::new(1)),
+        )
+        .run();
+    assert_eq!(report.failures.len(), 1);
+    let (object, action, exc) = &report.failures[0];
+    assert_eq!((*object, *action), (NodeId::new(0), a1));
+    assert_eq!(exc.id(), ExceptionId::new(3));
+}
+
+// ---------------------------------------------------------------------
+// Belated participants and delayed resolution (§3.3 problem 4).
+// ---------------------------------------------------------------------
+
+#[test]
+fn resolution_in_nested_action_waits_for_belated_participant() {
+    // A2 = {O1, O2}; O2 enters late. O1 raises inside A2: the protocol
+    // must stall until O2 enters (its buffered Exception is then
+    // processed) and still resolve correctly.
+    let tree = Arc::new(chain_tree(2));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            (0..3).map(NodeId::new),
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let a2 = reg
+        .declare(ActionScope::nested(
+            "A2",
+            [NodeId::new(1), NodeId::new(2)],
+            Arc::clone(&tree),
+            a1,
+        ))
+        .unwrap();
+    let late_entry = SimTime::from_millis(30);
+    let report = Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a1)
+        .enter_at(SimTime::from_micros(1), NodeId::new(1), a2)
+        .enter_at(late_entry, NodeId::new(2), a2) // belated
+        .raise_at(
+            SimTime::from_micros(10),
+            NodeId::new(1),
+            Exception::new(ExceptionId::new(1)),
+        )
+        .run();
+    assert!(report.is_clean(), "{report}");
+    let r = report.resolution_for(a2).expect("resolution in A2");
+    assert!(
+        r.at >= late_entry,
+        "resolution must be delayed past the belated entry ({})",
+        r.at
+    );
+    assert_eq!(report.handlers_for(a2).len(), 2);
+}
+
+#[test]
+fn suppressed_second_raise_in_one_object() {
+    // §4.1: only one exception can be raised per object per action.
+    let tree = Arc::new(chain_tree(3));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            [NodeId::new(0), NodeId::new(1)],
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let report = Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a1)
+        .raise_at(
+            SimTime::from_micros(5),
+            NodeId::new(0),
+            Exception::new(ExceptionId::new(1)),
+        )
+        .raise_at(
+            SimTime::from_micros(6),
+            NodeId::new(0),
+            Exception::new(ExceptionId::new(2)),
+        )
+        .run();
+    assert_eq!(report.suppressed_raises(), 1);
+    let r = report.resolution_for(a1).expect("resolution");
+    assert_eq!(r.raised.len(), 1, "only the first raise is resolved");
+}
+
+#[test]
+fn raise_after_suspension_is_suppressed() {
+    // O1 learns of O0's exception (becomes S) before its own raise
+    // fires: the raise must be suppressed and only one exception
+    // resolved.
+    let tree = Arc::new(chain_tree(3));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            [NodeId::new(0), NodeId::new(1)],
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let report = Scenario::new(Arc::new(reg))
+        .with_config(
+            NetConfig::default().with_latency(LatencyModel::Constant(SimTime::from_micros(10))),
+        )
+        .enter_all_at(SimTime::ZERO, a1)
+        .raise_at(
+            SimTime::from_micros(1),
+            NodeId::new(0),
+            Exception::new(ExceptionId::new(1)),
+        )
+        // Arrives at O1 at t=11; O1's own raise fires at t=100.
+        .raise_at(
+            SimTime::from_micros(100),
+            NodeId::new(1),
+            Exception::new(ExceptionId::new(2)),
+        )
+        .run();
+    assert_eq!(report.suppressed_raises(), 1);
+    let r = report.resolution_for(a1).expect("resolution");
+    assert_eq!(r.raised.len(), 1);
+    assert_eq!(r.resolved.id(), ExceptionId::new(1));
+}
+
+// ---------------------------------------------------------------------
+// §2.2/Fig. 2b: acceptance tests at the synchronized exit line.
+// ---------------------------------------------------------------------
+
+#[test]
+fn passing_acceptance_test_grants_the_leave() {
+    let tree = Arc::new(chain_tree(2));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            (0..3).map(NodeId::new),
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let mut scenario = Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a1)
+        .with_exit_acceptance(a1, || None); // always accepts
+    for i in 0..3 {
+        scenario = scenario.complete_at(SimTime::from_micros(10), NodeId::new(i), a1);
+    }
+    let report = scenario.run();
+    assert!(report.is_clean());
+    assert!(report.resolutions.is_empty());
+    assert_eq!(report.total_messages(), 0);
+}
+
+#[test]
+fn failing_acceptance_test_raises_and_recovers() {
+    let tree = Arc::new(chain_tree(2));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            (0..3).map(NodeId::new),
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let mut scenario = Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a1)
+        .with_exit_acceptance(a1, || {
+            Some(Exception::new(ExceptionId::new(1)).with_origin("acceptance test"))
+        });
+    for i in 0..3 {
+        scenario = scenario.complete_at(SimTime::from_micros(10), NodeId::new(i), a1);
+    }
+    let report = scenario.run();
+    assert!(report.is_clean(), "{report}");
+    // The rejection became a resolution: the highest-numbered object
+    // raised, everyone handled, the handlers completed the action.
+    let r = report
+        .resolution_for(a1)
+        .expect("resolution from acceptance failure");
+    assert_eq!(r.resolver, NodeId::new(2));
+    assert_eq!(r.resolved.id(), ExceptionId::new(1));
+    assert_eq!(report.handlers_for(a1).len(), 3);
+}
+
+#[test]
+fn acceptance_failure_can_cascade_to_containing_action() {
+    // A nested action fails its acceptance test; its handlers signal;
+    // the containing action resolves the signal.
+    let tree = Arc::new(chain_tree(4));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            (0..3).map(NodeId::new),
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let a2 = reg
+        .declare(ActionScope::nested(
+            "A2",
+            [NodeId::new(1), NodeId::new(2)],
+            Arc::clone(&tree),
+            a1,
+        ))
+        .unwrap();
+    // Handlers in A2 cannot recover from e1: they signal e3 upward.
+    let failing = |_: &str| {
+        let mut t = HandlerTable::recover_all(Arc::clone(&tree));
+        t.on(ExceptionId::new(1), SimTime::from_micros(5), |_| {
+            HandlerOutcome::Signal(Exception::new(ExceptionId::new(3)))
+        });
+        t
+    };
+    let report = Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a1)
+        .enter_at(SimTime::from_micros(1), NodeId::new(1), a2)
+        .enter_at(SimTime::from_micros(1), NodeId::new(2), a2)
+        .handlers(NodeId::new(1), a2, failing("o1"))
+        .handlers(NodeId::new(2), a2, failing("o2"))
+        .with_exit_acceptance(a2, || Some(Exception::new(ExceptionId::new(1))))
+        .complete_at(SimTime::from_micros(20), NodeId::new(1), a2)
+        .complete_at(SimTime::from_micros(20), NodeId::new(2), a2)
+        .run();
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.resolutions.len(), 2, "{report}");
+    assert_eq!(
+        report.resolution_for(a2).unwrap().resolved.id(),
+        ExceptionId::new(1)
+    );
+    assert_eq!(
+        report.resolution_for(a1).unwrap().resolved.id(),
+        ExceptionId::new(3)
+    );
+    // All three objects of A1 eventually handled the cascaded failure.
+    assert_eq!(report.handlers_for(a1).len(), 3);
+}
+
+// ---------------------------------------------------------------------
+// Resolution semantics over the exception tree.
+// ---------------------------------------------------------------------
+
+#[test]
+fn resolved_exception_is_least_common_dominator() {
+    // Aircraft tree: left + right engine failures resolve to the
+    // emergency class, not the universal root.
+    let mut b = TreeBuilder::new("universal");
+    let emergency = b.child_of_root("emergency").unwrap();
+    let left = b.child("left", emergency).unwrap();
+    let right = b.child("right", emergency).unwrap();
+    let tree = Arc::new(b.build().unwrap());
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            (0..4).map(NodeId::new),
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let report = Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a1)
+        .raise_at(
+            SimTime::from_micros(5),
+            NodeId::new(0),
+            Exception::new(left),
+        )
+        .raise_at(
+            SimTime::from_micros(5),
+            NodeId::new(3),
+            Exception::new(right),
+        )
+        .run();
+    let r = report.resolution_for(a1).expect("resolution");
+    assert_eq!(r.resolved.id(), emergency);
+    assert_eq!(report.agreed_exception(a1).unwrap().id(), emergency);
+}
+
+#[test]
+fn single_participant_action_resolves_locally_with_zero_messages() {
+    let tree = Arc::new(chain_tree(2));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            [NodeId::new(0)],
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let report = Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a1)
+        .raise_at(
+            SimTime::from_micros(5),
+            NodeId::new(0),
+            Exception::new(ExceptionId::new(1)),
+        )
+        .run();
+    assert_eq!(report.total_messages(), 0);
+    let r = report.resolution_for(a1).expect("resolution");
+    assert_eq!(r.resolver, NodeId::new(0));
+    assert_eq!(report.handlers_for(a1).len(), 1);
+}
+
+#[test]
+fn exactly_one_commit_broadcast_per_resolution() {
+    for seed in 0..6 {
+        let report = workloads::case3(7, uniform_config(seed)).run();
+        // N−1 commit messages means exactly one object broadcast them.
+        assert_eq!(report.messages_of("commit"), 6, "seed {seed}");
+        assert_eq!(report.resolutions.len(), 1, "seed {seed}");
+    }
+}
+
+#[test]
+fn resolver_is_always_max_raiser() {
+    for seed in 0..6 {
+        let report = workloads::general(8, 3, 2, uniform_config(seed)).run();
+        let r = &report.resolutions[0];
+        let max_raiser = r.raised.iter().map(|(o, _)| *o).max().unwrap();
+        assert_eq!(r.resolver, max_raiser, "seed {seed}");
+    }
+}
+
+#[test]
+fn deterministic_under_equal_seeds() {
+    let run = |seed| {
+        let report = workloads::general(6, 2, 2, uniform_config(seed)).run();
+        (
+            report.total_messages(),
+            report.finished_at,
+            report.resolutions[0].resolved.id(),
+            report.resolutions[0].resolver,
+        )
+    };
+    assert_eq!(run(42), run(42));
+}

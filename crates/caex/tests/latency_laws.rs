@@ -1,0 +1,154 @@
+//! Latency laws of the protocol under constant link latency `L`:
+//! the timing counterpart to the §4.4 message counts.
+//!
+//! With one raiser and no nesting the critical path is two hops —
+//! `Exception` out, `ACK` back — so the commit happens at
+//! `raise + 2L`, and the last handler starts at `raise + 3L` (commit
+//! delivery). Nested abortion inserts the abortion-handler cost `C`
+//! before `NestedCompleted`, giving `raise + 2L + C`. These laws are
+//! verified against the executed virtual times.
+
+use caex::{workloads, Scenario};
+use caex_action::{AbortionOutcome, ActionRegistry, ActionScope, HandlerTable};
+use caex_net::{LatencyModel, NetConfig, NodeId, SimTime};
+use caex_tree::{chain_tree, Exception, ExceptionId};
+use std::sync::Arc;
+
+fn constant(l_us: u64) -> NetConfig {
+    NetConfig::default().with_latency(LatencyModel::Constant(SimTime::from_micros(l_us)))
+}
+
+/// The raise instant used by `workloads::general` scenarios.
+const RAISE_AT: u64 = 2;
+
+#[test]
+fn case1_commit_at_two_hops() {
+    for l in [50u64, 100, 700] {
+        let report = workloads::case1(5, constant(l)).run();
+        let commit = report.resolutions[0].at.as_micros();
+        assert_eq!(commit, RAISE_AT + 2 * l, "L={l}");
+        assert_eq!(
+            commit - RAISE_AT,
+            caex::analysis::commit_latency_flat(SimTime::from_micros(l)).as_micros()
+        );
+        // Non-resolver handlers start at commit delivery: one hop more.
+        let last_handler = report
+            .handler_starts
+            .iter()
+            .map(|h| h.at.as_micros())
+            .max()
+            .unwrap();
+        assert_eq!(last_handler, RAISE_AT + 3 * l, "L={l}");
+        assert_eq!(
+            last_handler - RAISE_AT,
+            caex::analysis::last_handler_latency_flat(SimTime::from_micros(l)).as_micros()
+        );
+    }
+}
+
+#[test]
+fn case3_is_no_slower_than_case1() {
+    // Concurrent raisers don't lengthen the critical path: everyone's
+    // Exception and ACK travel in parallel.
+    for l in [100u64, 300] {
+        let c1 = workloads::case1(6, constant(l)).run().resolutions[0].at;
+        let c3 = workloads::case3(6, constant(l)).run().resolutions[0].at;
+        assert_eq!(c1, c3, "L={l}");
+    }
+}
+
+#[test]
+fn nested_abortion_adds_exactly_its_handler_cost() {
+    // One raiser, one nested object with abortion cost C: the resolver
+    // must wait for the nested object's NestedCompleted, which leaves
+    // C after the Exception arrives. Critical path: L (exception) + C
+    // (abortion) + L (NestedCompleted/ACK) = 2L + C after the raise.
+    let l = 100u64;
+    for c in [0u64, 40, 500, 5_000] {
+        let tree = Arc::new(chain_tree(2));
+        let mut reg = ActionRegistry::new();
+        let a1 = reg
+            .declare(ActionScope::top_level(
+                "A1",
+                (0..3).map(NodeId::new),
+                Arc::clone(&tree),
+            ))
+            .unwrap();
+        let a2 = reg
+            .declare(ActionScope::nested(
+                "A2",
+                [NodeId::new(0)],
+                Arc::clone(&tree),
+                a1,
+            ))
+            .unwrap();
+        let mut table = HandlerTable::recover_all(Arc::clone(&tree));
+        table.on_abort(SimTime::from_micros(c), || AbortionOutcome::Aborted);
+        let raise_at = 10u64;
+        let report = Scenario::new(Arc::new(reg))
+            .with_config(constant(l))
+            .enter_all_at(SimTime::ZERO, a1)
+            .enter_at(SimTime::from_micros(1), NodeId::new(0), a2)
+            .handlers(NodeId::new(0), a2, table)
+            .raise_at(
+                SimTime::from_micros(raise_at),
+                NodeId::new(2),
+                Exception::new(ExceptionId::new(1)),
+            )
+            .run();
+        let commit = report.resolutions[0].at.as_micros();
+        assert_eq!(commit, raise_at + 2 * l + c, "C={c}");
+        assert_eq!(
+            commit - raise_at,
+            caex::analysis::commit_latency_nested(SimTime::from_micros(l), SimTime::from_micros(c))
+                .as_micros()
+        );
+    }
+}
+
+#[test]
+fn latency_scales_linearly_not_with_n() {
+    // The commit time is independent of N under constant latency: the
+    // protocol is fully parallel in its fan-outs.
+    let l = 200u64;
+    let t4 = workloads::case1(4, constant(l)).run().resolutions[0].at;
+    let t32 = workloads::case1(32, constant(l)).run().resolutions[0].at;
+    assert_eq!(t4, t32);
+}
+
+#[test]
+fn slowest_participant_link_dominates_commit() {
+    // Heterogeneous topology: one WAN participant (5ms both ways)
+    // among LAN peers (100µs). The resolver cannot be ready before the
+    // WAN member's ACK returns: commit at raise + 2×WAN.
+    let wan = NodeId::new(0);
+    let wan_latency = SimTime::from_millis(5);
+    let mk = |raiser: NodeId| {
+        constant(100)
+            .with_link_latency(raiser, wan, LatencyModel::Constant(wan_latency))
+            .with_link_latency(wan, raiser, LatencyModel::Constant(wan_latency))
+    };
+    // In case1(5) the raiser is the last object, O4.
+    let report = workloads::case1(5, mk(NodeId::new(4))).run();
+    let commit = report.resolutions[0].at.as_micros();
+    assert_eq!(commit, RAISE_AT + 2 * wan_latency.as_micros());
+    assert!(report.is_clean());
+}
+
+#[test]
+fn slowdown_window_during_resolution_stretches_commit() {
+    // A congestion window covering the whole run multiplies every hop.
+    let l = 100u64;
+    let factor = 4u64;
+    let slow = constant(l).with_faults(caex_net::FaultPlan::none().with_slowdown(
+        factor as u32,
+        SimTime::ZERO,
+        SimTime::from_millis(100),
+    ));
+    let fast = workloads::case1(5, constant(l)).run().resolutions[0].at;
+    let slowed = workloads::case1(5, slow).run().resolutions[0].at;
+    assert_eq!(
+        slowed.as_micros() - RAISE_AT,
+        (fast.as_micros() - RAISE_AT) * factor
+    );
+}

@@ -1,0 +1,125 @@
+//! The aircraft-engine scenario the paper uses to motivate exception
+//! trees (§2.2, §3.2).
+//!
+//! A flight-control CA action coordinates four objects: two engine
+//! controllers, a fuel manager and an autopilot. When *both* engine
+//! controllers detect failures concurrently — `left_engine_exception`
+//! and `right_engine_exception` — neither handler alone is the right
+//! response: the two errors are "symptoms of a different, more serious
+//! fault". The exception tree resolves them to
+//! `emergency_engine_loss_exception`, whose handler every object runs.
+//!
+//! ```text
+//! universal_exception
+//! └── emergency_engine_loss_exception
+//!     ├── left_engine_exception
+//!     └── right_engine_exception
+//! ```
+//!
+//! Run with: `cargo run --example aircraft`
+
+use caex::Scenario;
+use caex_action::{ActionRegistry, ActionScope, HandlerOutcome, HandlerTable};
+use caex_net::{LatencyModel, NetConfig, NodeId, SimTime};
+use caex_tree::{aircraft_tree, Exception, Severity};
+use std::sync::Arc;
+
+fn main() {
+    let tree = Arc::new(aircraft_tree());
+    let left = tree.id_of("left_engine_exception").unwrap();
+    let right = tree.id_of("right_engine_exception").unwrap();
+    let emergency = tree.id_of("emergency_engine_loss_exception").unwrap();
+
+    let left_ctl = NodeId::new(0);
+    let right_ctl = NodeId::new(1);
+    let fuel = NodeId::new(2);
+    let autopilot = NodeId::new(3);
+
+    let mut registry = ActionRegistry::new();
+    let flight = registry
+        .declare(ActionScope::top_level(
+            "flight-control",
+            [left_ctl, right_ctl, fuel, autopilot],
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+
+    // Each object's handlers: single-engine handlers trim and recover;
+    // the emergency handler runs the glide procedure (more costly, but
+    // still cooperative recovery).
+    let table_for = |name: &'static str| {
+        let mut t = HandlerTable::recover_all(Arc::clone(&tree));
+        t.on(left, SimTime::from_micros(200), move |_| {
+            println!("  [{name}] trim for left-engine-out, recovered");
+            HandlerOutcome::Recovered
+        });
+        t.on(right, SimTime::from_micros(200), move |_| {
+            println!("  [{name}] trim for right-engine-out, recovered");
+            HandlerOutcome::Recovered
+        });
+        t.on(emergency, SimTime::from_micros(900), move |_| {
+            println!("  [{name}] BOTH engines lost: glide procedure engaged");
+            HandlerOutcome::Recovered
+        });
+        t
+    };
+
+    // A realistic avionics bus: 150–450µs jitter.
+    let config = NetConfig::default()
+        .with_latency(LatencyModel::Uniform {
+            min: SimTime::from_micros(150),
+            max: SimTime::from_micros(450),
+        })
+        .with_seed(2026);
+
+    let report = Scenario::new(Arc::new(registry))
+        .with_config(config)
+        .enter_all_at(SimTime::ZERO, flight)
+        .handlers(left_ctl, flight, table_for("left-ctl"))
+        .handlers(right_ctl, flight, table_for("right-ctl"))
+        .handlers(fuel, flight, table_for("fuel"))
+        .handlers(autopilot, flight, table_for("autopilot"))
+        // Bird strike: both engines flame out within 40µs of each other.
+        .raise_at(
+            SimTime::from_micros(100),
+            left_ctl,
+            Exception::new(left)
+                .with_severity(Severity::Serious)
+                .with_origin("left engine N1 sensor")
+                .with_detail("flameout detected"),
+        )
+        .raise_at(
+            SimTime::from_micros(140),
+            right_ctl,
+            Exception::new(right)
+                .with_severity(Severity::Serious)
+                .with_origin("right engine N1 sensor")
+                .with_detail("flameout detected"),
+        )
+        .run();
+
+    println!("\n=== Aircraft engine-loss resolution ===");
+    let r = report.resolution_for(flight).expect("resolution");
+    println!(
+        "raised: {}",
+        r.raised
+            .iter()
+            .map(|(o, e)| format!("{o}:{}", tree.name(e.id()).unwrap()))
+            .collect::<Vec<_>>()
+            .join(" + ")
+    );
+    println!(
+        "resolved by {}: {} (the covering exception)",
+        r.resolver,
+        tree.name(r.resolved.id()).unwrap()
+    );
+    assert_eq!(r.resolved.id(), emergency);
+    assert_eq!(report.handlers_for(flight).len(), 4);
+    assert!(report.is_clean());
+    println!(
+        "\nOK: concurrent single-engine exceptions resolved to the emergency \
+         class in {} with {} messages.",
+        report.finished_at,
+        report.total_messages()
+    );
+}

@@ -1,0 +1,87 @@
+//! Exploring the algorithm outside its assumed fault model.
+//!
+//! The paper's algorithm assumes reliable FIFO channels (§4.2); its
+//! fault model (§2) nevertheless admits node crashes and transient
+//! network errors, to be masked by lower layers (§4.5 points at group
+//! communication). This example injects faults the algorithm does *not*
+//! mask, to show how it degrades — and why the paper demands a reliable
+//! multicast underneath:
+//!
+//! 1. message loss → the protocol stalls (a raiser waits forever for a
+//!    lost ACK), detected here as quiescent deadlock;
+//! 2. a crashed *bystander* → same stall: resolution needs every
+//!    participant of the action;
+//! 3. with faults off → clean resolution on the same scenario and seed.
+//!
+//! Run with: `cargo run --example fault_injection`
+
+use caex::workloads;
+use caex_net::{FaultPlan, NetConfig, NodeId, SimTime};
+
+fn main() {
+    println!("=== 1. Reliable network (the assumed regime) ===");
+    let report = workloads::case3(5, NetConfig::default().with_seed(7)).run();
+    println!(
+        "  resolved {} with {} messages, clean={}",
+        report.resolutions[0].resolved.id(),
+        report.total_messages(),
+        report.is_clean()
+    );
+    assert!(report.is_clean());
+
+    println!("\n=== 2. 20% message loss ===");
+    let lossy = NetConfig::default()
+        .with_seed(7)
+        .with_faults(FaultPlan::none().with_drop_probability(0.2));
+    let report = workloads::case3(5, lossy).run();
+    println!(
+        "  dropped {} of {} messages; resolutions committed: {}; stuck objects: {:?}",
+        report.stats.dropped_total(),
+        report.stats.sent_total(),
+        report.resolutions.len(),
+        report.deadlocked
+    );
+    if !report.is_clean() {
+        println!(
+            "  -> the protocol stalls without reliable delivery, as the paper assumes it would"
+        );
+    }
+
+    println!("\n=== 3. A crashed bystander ===");
+    let crashed = NetConfig::default()
+        .with_seed(7)
+        .with_faults(FaultPlan::none().with_crash(NodeId::new(0), SimTime::from_micros(50)));
+    let report = workloads::case1(5, crashed).run();
+    println!(
+        "  O0 crashed at t=50us; resolutions: {}; stuck objects: {:?}",
+        report.resolutions.len(),
+        report.deadlocked
+    );
+    assert!(
+        !report.is_clean(),
+        "a crash the membership layer does not exclude must stall resolution"
+    );
+    println!(
+        "  -> §4.5: a group membership service must exclude crashed members\n\
+         \x20    (or a reliable multicast must mask the loss) for resolution to proceed."
+    );
+
+    println!("\n=== 4. Message duplication (idempotence) ===");
+    let dup = NetConfig::default()
+        .with_seed(7)
+        .with_faults(FaultPlan::none().with_duplicate_probability(0.3));
+    let report = workloads::case1(5, dup).run();
+    println!(
+        "  with 30% duplicates: resolutions={}, clean={}, stale messages dropped={}",
+        report.resolutions.len(),
+        report.is_clean(),
+        report.stale_messages()
+    );
+    assert_eq!(
+        report.resolutions.len(),
+        1,
+        "duplicates must not break agreement"
+    );
+    let _ = report.agreed_exception(report.resolutions[0].action);
+    println!("  -> duplicated messages are absorbed; agreement still holds.");
+}

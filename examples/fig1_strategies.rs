@@ -1,0 +1,95 @@
+//! Figure 1 of the paper, live: the two methods for treating a nested
+//! action when an exception is raised in the containing action.
+//!
+//! - Fig. 1(a): **wait** for the nested action to complete — simple,
+//!   but resolution latency is bounded by the nested action's remaining
+//!   run time, and a nested action with a belated participant never
+//!   completes: deadlock.
+//! - Fig. 1(b): **abort** the nested action via abortion handlers — the
+//!   paper's choice; latency is bounded by handler execution time.
+//!
+//! Run with: `cargo run --example fig1_strategies`
+
+use caex::{NestedStrategy, Scenario};
+use caex_action::{AbortionOutcome, ActionRegistry, ActionScope, HandlerTable};
+use caex_net::{NodeId, SimTime};
+use caex_tree::{chain_tree, Exception, ExceptionId};
+use std::sync::Arc;
+
+/// Runs one configuration; returns the commit time, or `None` on
+/// deadlock.
+fn run(strategy: NestedStrategy, nested_remaining: Option<SimTime>) -> Option<SimTime> {
+    let tree = Arc::new(chain_tree(2));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            (0..4).map(NodeId::new),
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let a2 = reg
+        .declare(ActionScope::nested(
+            "A2",
+            [NodeId::new(1)],
+            Arc::clone(&tree),
+            a1,
+        ))
+        .unwrap();
+    let mut table = HandlerTable::recover_all(Arc::clone(&tree));
+    table.on_abort(SimTime::from_micros(50), || AbortionOutcome::Aborted);
+    let report = Scenario::new(Arc::new(reg))
+        .with_strategy(strategy)
+        .enter_all_at(SimTime::ZERO, a1)
+        .enter_at(SimTime::from_micros(1), NodeId::new(1), a2)
+        .handlers(NodeId::new(1), a2, table)
+        .nested_remaining(NodeId::new(1), a2, nested_remaining)
+        .raise_at(
+            SimTime::from_micros(10),
+            NodeId::new(0),
+            Exception::new(ExceptionId::new(1)),
+        )
+        .run();
+    report.resolution_for(a1).map(|r| r.at)
+}
+
+fn main() {
+    println!("=== Figure 1: wait (a) vs abort (b) for nested actions ===\n");
+    println!(
+        "{:>24} | {:>14} | {:>14}",
+        "nested remaining", "wait (1a)", "abort (1b)"
+    );
+    println!("{:-<24}-+-{:-<14}-+-{:-<14}", "", "", "");
+    for remaining_us in [0u64, 500, 5_000, 50_000, 500_000] {
+        let remaining = Some(SimTime::from_micros(remaining_us));
+        let wait = run(NestedStrategy::Wait, remaining);
+        let abort = run(NestedStrategy::Abort, remaining);
+        println!(
+            "{:>22}us | {:>14} | {:>14}",
+            remaining_us,
+            wait.map_or("DEADLOCK".into(), |t| t.to_string()),
+            abort.map_or("DEADLOCK".into(), |t| t.to_string()),
+        );
+    }
+    // The belated-participant case the paper uses to reject waiting:
+    // "a process detecting an error is expected to enter the nested
+    // action but will never be able to, so other processes in the
+    // nested action would wait forever".
+    let wait = run(NestedStrategy::Wait, None);
+    let abort = run(NestedStrategy::Abort, None);
+    println!(
+        "{:>24} | {:>14} | {:>14}",
+        "belated (never ends)",
+        wait.map_or("DEADLOCK".into(), |t| t.to_string()),
+        abort.map_or("DEADLOCK".into(), |t| t.to_string()),
+    );
+    assert!(
+        wait.is_none(),
+        "waiting must deadlock on a belated participant"
+    );
+    assert!(abort.is_some(), "aborting must not");
+    println!(
+        "\nOK: abort latency is flat; wait latency tracks the nested action \
+         and deadlocks when it can never complete (the paper's argument for 1b)."
+    );
+}

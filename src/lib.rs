@@ -1,0 +1,16 @@
+//! Reproduction harness for *Exception Handling and Resolution in
+//! Distributed Object-Oriented Systems* (Romanovsky, Xu & Randell, 1996).
+//!
+//! This crate re-exports the workspace members so the examples and
+//! integration tests in this repository can use a single dependency:
+//!
+//! - [`caex`] — the resolution algorithms (the paper's contribution);
+//! - [`caex_tree`] — exception values and exception trees;
+//! - [`caex_net`] — the discrete-event network simulator and the
+//!   threaded transport;
+//! - [`caex_action`] — CA actions, atomic objects and conversations.
+
+pub use caex;
+pub use caex_action;
+pub use caex_net;
+pub use caex_tree;

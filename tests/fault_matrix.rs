@@ -1,0 +1,119 @@
+//! Systematic fault-matrix sweep: every combination of drop /
+//! duplication / crash / partition across seeds, asserting that the
+//! protocol **never** violates a safety invariant — it may stall
+//! (liveness needs the paper's reliable-multicast/membership layer,
+//! §4.5), but committed resolutions always agree and always elect the
+//! max raiser.
+
+use caex::explore::{verify_report, Expect};
+use caex::workloads;
+use caex_net::{FaultPlan, LatencyModel, NetConfig, NodeId, SimTime};
+
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    drop_p: f64,
+    dup_p: f64,
+    crash: bool,
+    partition: bool,
+}
+
+fn plan(cell: Cell) -> FaultPlan {
+    let mut plan = FaultPlan::none()
+        .with_drop_probability(cell.drop_p)
+        .with_duplicate_probability(cell.dup_p);
+    if cell.crash {
+        plan = plan.with_crash(NodeId::new(1), SimTime::from_micros(150));
+    }
+    if cell.partition {
+        plan = plan.with_partition(
+            [NodeId::new(0), NodeId::new(2)],
+            SimTime::from_micros(50),
+            SimTime::from_micros(400),
+        );
+    }
+    plan
+}
+
+fn matrix() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &drop_p in &[0.0, 0.1] {
+        for &dup_p in &[0.0, 0.2] {
+            for &crash in &[false, true] {
+                for &partition in &[false, true] {
+                    cells.push(Cell {
+                        drop_p,
+                        dup_p,
+                        crash,
+                        partition,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+#[test]
+fn safety_holds_across_the_entire_fault_matrix() {
+    let mut total_runs = 0;
+    let mut stalled_runs = 0;
+    for cell in matrix() {
+        for seed in 0..6u64 {
+            let config = NetConfig::default()
+                .with_seed(seed)
+                .with_latency(LatencyModel::Uniform {
+                    min: SimTime::from_micros(20),
+                    max: SimTime::from_micros(800),
+                })
+                .with_faults(plan(cell));
+            let report = workloads::general(5, 3, 1, config).run();
+            let violations = verify_report(&report, Expect::SafetyOnly, seed);
+            assert!(
+                violations.is_empty(),
+                "safety violated under {cell:?} seed {seed}: {violations:?}"
+            );
+            total_runs += 1;
+            if !report.is_clean() || report.resolutions.is_empty() {
+                stalled_runs += 1;
+            }
+        }
+    }
+    // Sanity on the sweep itself: faults actually bit somewhere, and
+    // the benign cells actually completed.
+    assert!(stalled_runs > 0, "no fault ever disturbed a run?");
+    assert!(
+        stalled_runs < total_runs,
+        "even benign cells stalled — sweep is broken"
+    );
+}
+
+#[test]
+fn benign_cell_of_the_matrix_is_fully_live() {
+    // The (0, 0, no-crash, no-partition) corner must be clean for every
+    // seed — it is the paper's assumed regime.
+    for seed in 0..12u64 {
+        let config = NetConfig::default()
+            .with_seed(seed)
+            .with_latency(LatencyModel::Uniform {
+                min: SimTime::from_micros(20),
+                max: SimTime::from_micros(800),
+            });
+        let report = workloads::general(5, 3, 1, config).run();
+        let violations = verify_report(&report, Expect::Clean, seed);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+    }
+}
+
+#[test]
+fn duplication_alone_never_hurts_liveness() {
+    // Duplicates are absorbed: with only duplication in the plan the
+    // run must stay fully clean.
+    for seed in 0..12u64 {
+        let config = NetConfig::default()
+            .with_seed(seed)
+            .with_faults(FaultPlan::none().with_duplicate_probability(0.4));
+        let report = workloads::case3(5, config).run();
+        let violations = verify_report(&report, Expect::Clean, seed);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+    }
+}

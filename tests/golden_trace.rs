@@ -1,0 +1,129 @@
+//! Golden-trace test: the complete message sequence of the paper's
+//! Example 2 is pinned, line by line. Deterministic by construction
+//! (fixed seed, constant latency); if the protocol implementation
+//! changes its message behaviour in any way, this test shows the exact
+//! diff.
+
+use caex::workloads;
+use caex_net::NetConfig;
+
+/// The full Example 2 trace with default constant 100µs latency.
+/// Regenerate with:
+/// `cargo run --example nested_recovery` (prints the same trace).
+const GOLDEN: &str = "\
+[       0us] local     O1 -> O1 : local_enter
+[       0us] local     O2 -> O2 : local_enter
+[       0us] local     O3 -> O3 : local_enter
+[       0us] local     O4 -> O4 : local_enter
+[       1us] local     O2 -> O2 : local_enter
+[       1us] local     O3 -> O3 : local_enter
+[       1us] local     O4 -> O4 : local_enter
+[       2us] local     O2 -> O2 : local_enter
+[      10us] local     O1 -> O1 : local_raise
+[      10us] sent      O1 -> O2 : exception
+[      10us] sent      O1 -> O3 : exception
+[      10us] sent      O1 -> O4 : exception
+[      10us] local     O2 -> O2 : local_raise
+[      10us] sent      O2 -> O3 : exception
+[     110us] delivered O1 -> O2 : exception
+[     110us] sent      O2 -> O1 : have_nested
+[     110us] sent      O2 -> O3 : have_nested
+[     110us] sent      O2 -> O4 : have_nested
+[     110us] delivered O1 -> O3 : exception
+[     110us] sent      O3 -> O1 : have_nested
+[     110us] sent      O3 -> O2 : have_nested
+[     110us] sent      O3 -> O4 : have_nested
+[     110us] delivered O1 -> O4 : exception
+[     110us] sent      O4 -> O1 : have_nested
+[     110us] sent      O4 -> O2 : have_nested
+[     110us] sent      O4 -> O3 : have_nested
+[     110us] delivered O2 -> O3 : exception
+[     110us] local     O3 -> O3 : local_abortion_done
+[     110us] sent      O3 -> O1 : nested_completed
+[     110us] sent      O3 -> O2 : nested_completed
+[     110us] sent      O3 -> O4 : nested_completed
+[     110us] sent      O3 -> O1 : ack
+[     110us] local     O4 -> O4 : local_abortion_done
+[     110us] sent      O4 -> O1 : nested_completed
+[     110us] sent      O4 -> O2 : nested_completed
+[     110us] sent      O4 -> O3 : nested_completed
+[     110us] sent      O4 -> O1 : ack
+[     115us] local     O2 -> O2 : local_abortion_done
+[     115us] sent      O2 -> O1 : nested_completed
+[     115us] sent      O2 -> O3 : nested_completed
+[     115us] sent      O2 -> O4 : nested_completed
+[     115us] sent      O2 -> O1 : ack
+[     210us] delivered O2 -> O1 : have_nested
+[     210us] delivered O2 -> O3 : have_nested
+[     210us] delivered O2 -> O4 : have_nested
+[     210us] delivered O3 -> O1 : have_nested
+[     210us] delivered O3 -> O2 : have_nested
+[     210us] delivered O3 -> O4 : have_nested
+[     210us] delivered O4 -> O1 : have_nested
+[     210us] delivered O4 -> O2 : have_nested
+[     210us] delivered O4 -> O3 : have_nested
+[     210us] delivered O3 -> O1 : nested_completed
+[     210us] sent      O1 -> O3 : ack
+[     210us] delivered O3 -> O2 : nested_completed
+[     210us] sent      O2 -> O3 : ack
+[     210us] delivered O3 -> O4 : nested_completed
+[     210us] sent      O4 -> O3 : ack
+[     210us] delivered O3 -> O1 : ack
+[     210us] delivered O4 -> O1 : nested_completed
+[     210us] sent      O1 -> O4 : ack
+[     210us] delivered O4 -> O2 : nested_completed
+[     210us] sent      O2 -> O4 : ack
+[     210us] delivered O4 -> O3 : nested_completed
+[     210us] sent      O3 -> O4 : ack
+[     210us] delivered O4 -> O1 : ack
+[     215us] delivered O2 -> O1 : nested_completed
+[     215us] sent      O1 -> O2 : ack
+[     215us] delivered O2 -> O3 : nested_completed
+[     215us] sent      O3 -> O2 : ack
+[     215us] delivered O2 -> O4 : nested_completed
+[     215us] sent      O4 -> O2 : ack
+[     215us] delivered O2 -> O1 : ack
+[     310us] delivered O1 -> O3 : ack
+[     310us] delivered O2 -> O3 : ack
+[     310us] delivered O4 -> O3 : ack
+[     310us] delivered O1 -> O4 : ack
+[     310us] delivered O2 -> O4 : ack
+[     310us] delivered O3 -> O4 : ack
+[     315us] delivered O1 -> O2 : ack
+[     315us] delivered O3 -> O2 : ack
+[     315us] delivered O4 -> O2 : ack
+[     315us] sent      O2 -> O1 : commit
+[     315us] sent      O2 -> O3 : commit
+[     315us] sent      O2 -> O4 : commit
+[     315us] local     O2 -> O2 : local_handler_done
+[     415us] delivered O2 -> O1 : commit
+[     415us] delivered O2 -> O3 : commit
+[     415us] delivered O2 -> O4 : commit
+[     415us] local     O1 -> O1 : local_handler_done
+[     415us] local     O3 -> O3 : local_handler_done
+[     415us] local     O4 -> O4 : local_handler_done
+[10000000us] local     O3 -> O3 : local_enter
+";
+
+#[test]
+fn example2_golden_trace() {
+    let (w, _ids) = workloads::example2(NetConfig::default().with_trace(true));
+    let report = w.run();
+    let rendered = report.trace.render();
+    if rendered != GOLDEN {
+        // Show a usable diff on failure.
+        for (i, (got, want)) in rendered.lines().zip(GOLDEN.lines()).enumerate() {
+            if got != want {
+                panic!(
+                    "trace diverges at line {}:\n  got : {got}\n  want: {want}",
+                    i + 1
+                );
+            }
+        }
+        panic!(
+            "trace length changed: got {} lines, want {}",
+            rendered.lines().count(),
+            GOLDEN.lines().count()
+        );
+    }
+}

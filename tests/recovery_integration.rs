@@ -1,0 +1,260 @@
+//! Cross-crate integration: the resolution protocol driving real
+//! recovery of external atomic objects (Fig. 2) and conversations.
+
+use caex::Scenario;
+use caex_action::atomic::Store;
+use caex_action::conversation::Conversation;
+use caex_action::{ActionRegistry, ActionScope, HandlerOutcome, HandlerTable};
+use caex_net::{NodeId, SimTime};
+use caex_tree::{chain_tree, Exception, ExceptionId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Fig. 2(a) wired to the protocol: the resolved exception's handler
+/// performs forward recovery on a shared atomic store — abort the
+/// damaged transaction, start a repair transaction, commit it.
+#[test]
+fn resolved_handler_repairs_atomic_objects() {
+    let tree = Arc::new(chain_tree(2));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "transfer",
+            [NodeId::new(0), NodeId::new(1)],
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+
+    let store = Arc::new(Mutex::new(Store::<i64>::new()));
+    let (account, attempt) = {
+        let mut s = store.lock();
+        let account = s.define("account", 100);
+        // The action's ongoing attempt has already damaged the balance.
+        let attempt = s.begin_top_level();
+        s.write(attempt, account, -999).unwrap();
+        (account, attempt)
+    };
+
+    // O1's handler for e1 performs the Fig. 2(a) forward recovery.
+    let mut table = HandlerTable::recover_all(Arc::clone(&tree));
+    {
+        let store = Arc::clone(&store);
+        table.on(ExceptionId::new(1), SimTime::from_micros(50), move |_| {
+            let mut s = store.lock();
+            s.abort(attempt).unwrap(); // abort the damaged attempt
+            let repair = s.begin_top_level(); // start
+            s.write(repair, account, 100).unwrap(); // repaired state
+            s.commit(repair).unwrap(); // commit
+            HandlerOutcome::Recovered
+        });
+    }
+
+    let report = Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a1)
+        .handlers(NodeId::new(1), a1, table)
+        .raise_at(
+            SimTime::from_micros(10),
+            NodeId::new(0),
+            Exception::new(ExceptionId::new(1)),
+        )
+        .run();
+
+    assert!(report.is_clean());
+    assert_eq!(report.handlers_for(a1).len(), 2);
+    let s = store.lock();
+    assert_eq!(
+        s.committed(account),
+        100,
+        "forward recovery restored a valid state"
+    );
+    assert_eq!(s.abort_count(account), 1);
+    assert_eq!(s.commit_count(account), 1);
+}
+
+/// "The transaction associated with a CA action could be aborted
+/// transparently once an exception is propagated to the containing
+/// action" (§3.1): a failing handler signals, and the abort happens.
+#[test]
+fn failure_signal_aborts_the_associated_transaction() {
+    let tree = Arc::new(chain_tree(3));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "outer",
+            [NodeId::new(0), NodeId::new(1)],
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let a2 = reg
+        .declare(ActionScope::nested(
+            "inner",
+            [NodeId::new(1)],
+            Arc::clone(&tree),
+            a1,
+        ))
+        .unwrap();
+
+    let store = Arc::new(Mutex::new(Store::<i64>::new()));
+    let (obj, inner_txn) = {
+        let mut s = store.lock();
+        let obj = s.define("ledger", 10);
+        let txn = s.begin_top_level();
+        s.write(txn, obj, 77).unwrap();
+        (obj, txn)
+    };
+
+    // O1's handler in A2 cannot recover: it aborts the inner
+    // transaction and signals e3 to A1.
+    let mut table = HandlerTable::recover_all(Arc::clone(&tree));
+    {
+        let store = Arc::clone(&store);
+        table.on(ExceptionId::new(1), SimTime::ZERO, move |_| {
+            store.lock().abort(inner_txn).unwrap();
+            HandlerOutcome::Signal(Exception::new(ExceptionId::new(3)))
+        });
+    }
+
+    let report = Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a1)
+        .enter_at(SimTime::from_micros(1), NodeId::new(1), a2)
+        .handlers(NodeId::new(1), a2, table)
+        .raise_at(
+            SimTime::from_micros(5),
+            NodeId::new(1),
+            Exception::new(ExceptionId::new(1)),
+        )
+        .run();
+
+    assert!(report.is_clean(), "{report}");
+    // The signal cascaded: a second resolution ran in A1 over e3.
+    let outer = report.resolution_for(a1).expect("outer resolution");
+    assert_eq!(outer.resolved.id(), ExceptionId::new(3));
+    // The uncommitted write was rolled back.
+    assert_eq!(store.lock().committed(obj), 10);
+}
+
+/// Backward recovery as the bottom line (§3.1): the handler itself
+/// runs a conversation whose alternate passes.
+#[test]
+fn handler_uses_conversation_for_backward_recovery() {
+    let tree = Arc::new(chain_tree(1));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "conv-action",
+            [NodeId::new(0), NodeId::new(1)],
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+
+    let accepted = Arc::new(Mutex::new(None::<usize>));
+    let mut table = HandlerTable::recover_all(Arc::clone(&tree));
+    {
+        let accepted = Arc::clone(&accepted);
+        table.on(ExceptionId::new(1), SimTime::ZERO, move |_| {
+            let mut conv = Conversation::new(vec![0_i32, 0]);
+            conv.attempt(|s| {
+                s[0] = 999; // primary: wrong
+                s[1] = 1;
+            });
+            conv.attempt(|s| {
+                s[0] = 1; // alternate: right
+                s[1] = 1;
+            });
+            match conv.run(|s| s.iter().all(|&x| x < 10)) {
+                Ok(report) => {
+                    *accepted.lock() = Some(report.accepted_attempt);
+                    HandlerOutcome::Recovered
+                }
+                Err(_) => HandlerOutcome::Signal(Exception::new(ExceptionId::new(1))),
+            }
+        });
+    }
+
+    let report = Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a1)
+        .handlers(NodeId::new(0), a1, table)
+        .raise_at(
+            SimTime::from_micros(5),
+            NodeId::new(0),
+            Exception::new(ExceptionId::new(1)),
+        )
+        .run();
+
+    assert!(report.is_clean());
+    assert!(report.failures.is_empty(), "recovery succeeded, no signal");
+    assert_eq!(*accepted.lock(), Some(1), "the alternate was accepted");
+}
+
+/// Competing actions: two top-level actions sharing a store; the loser
+/// of the lock race raises, resolves alone, repairs and retries.
+#[test]
+fn competing_actions_resolve_their_own_conflicts() {
+    let tree = Arc::new(chain_tree(1));
+    let mut reg = ActionRegistry::new();
+    // Action A: objects 0, 1. Action B: objects 2, 3. (Separately
+    // designed activities, §3's competitive concurrency.)
+    let a = reg
+        .declare(ActionScope::top_level(
+            "A",
+            [NodeId::new(0), NodeId::new(1)],
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let b = reg
+        .declare(ActionScope::top_level(
+            "B",
+            [NodeId::new(2), NodeId::new(3)],
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+
+    let store = Arc::new(Mutex::new(Store::<i64>::new()));
+    let shared = store.lock().define("shared", 0);
+
+    // Action A's transaction holds the lock.
+    let txn_a = {
+        let mut s = store.lock();
+        let t = s.begin_top_level();
+        s.write(t, shared, 5).unwrap();
+        t
+    };
+
+    // Action B's object 3 hits the conflict and raises e1; its handler
+    // waits for A to finish (modelled by the handler running after A's
+    // commit) and then applies B's update.
+    let mut table = HandlerTable::recover_all(Arc::clone(&tree));
+    {
+        let store = Arc::clone(&store);
+        table.on(ExceptionId::new(1), SimTime::from_micros(500), move |_| {
+            let mut s = store.lock();
+            // By handler time, A has committed (see below).
+            let t = s.begin_top_level();
+            let v = s.read(t, shared).unwrap();
+            s.write(t, shared, v + 10).unwrap();
+            s.commit(t).unwrap();
+            HandlerOutcome::Recovered
+        });
+    }
+
+    // A commits quickly.
+    store.lock().commit(txn_a).unwrap();
+
+    let report = Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a)
+        .enter_all_at(SimTime::ZERO, b)
+        .handlers(NodeId::new(3), b, table)
+        .raise_at(
+            SimTime::from_micros(10),
+            NodeId::new(3),
+            Exception::new(ExceptionId::new(1)).with_detail("lock conflict on `shared`"),
+        )
+        .run();
+
+    assert!(report.is_clean());
+    // Only action B resolved; action A was untouched (no messages to
+    // its participants beyond B's own).
+    assert_eq!(report.resolutions.len(), 1);
+    assert_eq!(report.resolutions[0].action, b);
+    assert_eq!(store.lock().committed(shared), 15, "A's 5 then B's +10");
+}

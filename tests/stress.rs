@@ -1,0 +1,203 @@
+//! Large-scale and deep-nesting stress: the protocol at sizes well
+//! beyond the worked examples, still exact against the laws and still
+//! invariant-clean.
+
+use caex::explore::{verify_report, Expect};
+use caex::{analysis, workloads, Scenario};
+use caex_action::{ActionRegistry, ActionScope, HandlerOutcome, HandlerTable};
+use caex_net::{LatencyModel, NetConfig, NodeId, SimTime};
+use caex_tree::{chain_tree, Exception, ExceptionId};
+use std::sync::Arc;
+
+#[test]
+fn n64_all_raise_matches_the_law() {
+    let report = workloads::case3(64, NetConfig::default()).run();
+    assert!(report.is_clean());
+    assert_eq!(report.total_messages(), analysis::messages_case3(64));
+    assert_eq!(report.handlers_for(report.resolutions[0].action).len(), 64);
+}
+
+#[test]
+fn n48_mixed_with_heavy_jitter_is_clean() {
+    for seed in 0..4u64 {
+        let config = NetConfig::default()
+            .with_seed(seed)
+            .with_latency(LatencyModel::Uniform {
+                min: SimTime::from_micros(5),
+                max: SimTime::from_millis(3),
+            });
+        let report = workloads::general(48, 16, 20, config).run();
+        assert!(verify_report(&report, Expect::Clean, seed).is_empty());
+        assert_eq!(
+            report.total_messages(),
+            analysis::messages_general(48, 16, 20),
+            "seed {seed}"
+        );
+    }
+}
+
+/// A three-level cascade: resolution in A3 → handlers signal to A2 →
+/// resolution in A2 → handlers signal to A1 → resolution in A1. The
+/// signalling chain of §3.1 exercised at full depth.
+#[test]
+fn three_level_cascade_resolves_at_every_level() {
+    let tree = Arc::new(chain_tree(8));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            (0..4).map(NodeId::new),
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let a2 = reg
+        .declare(ActionScope::nested(
+            "A2",
+            (1..4).map(NodeId::new),
+            Arc::clone(&tree),
+            a1,
+        ))
+        .unwrap();
+    let a3 = reg
+        .declare(ActionScope::nested(
+            "A3",
+            [NodeId::new(2), NodeId::new(3)],
+            Arc::clone(&tree),
+            a2,
+        ))
+        .unwrap();
+
+    // Handlers: A3's handlers for e1 signal e4; A2's handlers for e4
+    // signal e6; A1's handlers recover.
+    let signaling = |from: u32, to: u32| {
+        let tree = Arc::clone(&tree);
+        move || {
+            let mut t = HandlerTable::recover_all(Arc::clone(&tree));
+            t.on(
+                ExceptionId::new(from),
+                SimTime::from_micros(10),
+                move |_| HandlerOutcome::Signal(Exception::new(ExceptionId::new(to))),
+            );
+            t
+        }
+    };
+    let mk_a3 = signaling(1, 4);
+    let mk_a2 = signaling(4, 6);
+
+    let report = Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a1)
+        .enter_at(SimTime::from_micros(1), NodeId::new(1), a2)
+        .enter_at(SimTime::from_micros(1), NodeId::new(2), a2)
+        .enter_at(SimTime::from_micros(1), NodeId::new(3), a2)
+        .enter_at(SimTime::from_micros(2), NodeId::new(2), a3)
+        .enter_at(SimTime::from_micros(2), NodeId::new(3), a3)
+        .handlers(NodeId::new(2), a3, mk_a3())
+        .handlers(NodeId::new(3), a3, mk_a3())
+        .handlers(NodeId::new(1), a2, mk_a2())
+        .handlers(NodeId::new(2), a2, mk_a2())
+        .handlers(NodeId::new(3), a2, mk_a2())
+        .raise_at(
+            SimTime::from_micros(10),
+            NodeId::new(2),
+            Exception::new(ExceptionId::new(1)),
+        )
+        .run();
+
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.resolutions.len(), 3, "{report}");
+    assert_eq!(
+        report.resolution_for(a3).unwrap().resolved.id(),
+        ExceptionId::new(1)
+    );
+    assert_eq!(
+        report.resolution_for(a2).unwrap().resolved.id(),
+        ExceptionId::new(4)
+    );
+    assert_eq!(
+        report.resolution_for(a1).unwrap().resolved.id(),
+        ExceptionId::new(6)
+    );
+    // Participation widens level by level: 2, then 3, then 4 handlers.
+    assert_eq!(report.handlers_for(a3).len(), 2);
+    assert_eq!(report.handlers_for(a2).len(), 3);
+    assert_eq!(report.handlers_for(a1).len(), 4);
+}
+
+/// Eight-deep nesting chain at one object: abortion unwinds all of it,
+/// innermost first, in one resolution.
+#[test]
+fn eight_deep_chain_unwinds_in_order() {
+    let tree = Arc::new(chain_tree(2));
+    let mut reg = ActionRegistry::new();
+    let top = reg
+        .declare(ActionScope::top_level(
+            "top",
+            [NodeId::new(0), NodeId::new(1)],
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let mut parent = top;
+    let mut chain = Vec::new();
+    for d in 0..8 {
+        parent = reg
+            .declare(ActionScope::nested(
+                format!("d{d}"),
+                [NodeId::new(1)],
+                Arc::clone(&tree),
+                parent,
+            ))
+            .unwrap();
+        chain.push(parent);
+    }
+    let mut scenario = Scenario::new(Arc::new(reg)).enter_all_at(SimTime::ZERO, top);
+    for (d, &a) in chain.iter().enumerate() {
+        scenario = scenario.enter_at(SimTime::from_micros(1 + d as u64), NodeId::new(1), a);
+    }
+    let report = scenario
+        .raise_at(
+            SimTime::from_micros(100),
+            NodeId::new(0),
+            Exception::new(ExceptionId::new(1)),
+        )
+        .run();
+    assert!(report.is_clean());
+    let aborted_chain = report.notes.iter().find_map(|n| match n {
+        caex::Note::AbortedNested { chain, .. } => Some(chain.clone()),
+        _ => None,
+    });
+    let mut expected = chain.clone();
+    expected.reverse();
+    assert_eq!(aborted_chain, Some(expected), "innermost-first at depth 8");
+    // Depth never changes the message law: Q = 1 nested object.
+    assert_eq!(report.total_messages(), analysis::messages_general(2, 1, 1));
+}
+
+#[test]
+fn wide_exception_trees_resolve_at_scale() {
+    // 64 participants, each raising a distinct leaf of a big balanced
+    // tree: resolution escalates exactly to the root.
+    let tree = Arc::new(caex_tree::balanced_tree(4, 3)); // 85 classes, 64 leaves
+    let leaves = tree.leaves();
+    assert!(leaves.len() >= 64);
+    let mut reg = ActionRegistry::new();
+    let a = reg
+        .declare(ActionScope::top_level(
+            "wide",
+            (0..64).map(NodeId::new),
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let mut scenario = Scenario::new(Arc::new(reg)).enter_all_at(SimTime::ZERO, a);
+    for i in 0..64u32 {
+        scenario = scenario.raise_at(
+            SimTime::from_micros(5),
+            NodeId::new(i),
+            Exception::new(leaves[i as usize]),
+        );
+    }
+    let report = scenario.run();
+    assert!(report.is_clean());
+    let r = report.resolution_for(a).unwrap();
+    assert!(r.resolved.id().is_root());
+    assert_eq!(r.raised.len(), 64);
+}

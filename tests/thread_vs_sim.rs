@@ -1,0 +1,152 @@
+//! The two runtimes agree: the same scenario produces the same
+//! resolution on the discrete-event simulator and on real threads.
+
+use caex::thread_engine::ThreadRunner;
+use caex::Scenario;
+use caex_action::{ActionId, ActionRegistry, ActionScope};
+use caex_net::{NodeId, SimTime};
+use caex_tree::{balanced_tree, Exception, ExceptionId};
+use std::sync::Arc;
+
+fn setup(n: u32) -> (Arc<ActionRegistry>, ActionId) {
+    let tree = Arc::new(balanced_tree(2, 2)); // 7 classes
+    let mut reg = ActionRegistry::new();
+    let action = reg
+        .declare(ActionScope::top_level(
+            "shared",
+            (0..n).map(NodeId::new),
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    (Arc::new(reg), action)
+}
+
+/// Exceptions e3 (leaf under e1) and e4 (leaf under e1) resolve to e1
+/// in a 2-ary depth-2 tree, on both runtimes.
+#[test]
+fn same_resolution_on_both_runtimes() {
+    let raises = [
+        (NodeId::new(0), ExceptionId::new(3)),
+        (NodeId::new(2), ExceptionId::new(4)),
+    ];
+
+    // Simulator.
+    let (registry, action) = setup(4);
+    let mut scenario = Scenario::new(Arc::clone(&registry)).enter_all_at(SimTime::ZERO, action);
+    for &(node, exc) in &raises {
+        scenario = scenario.raise_at(SimTime::from_micros(10), node, Exception::new(exc));
+    }
+    let sim_report = scenario.run();
+    let sim_resolved = sim_report
+        .agreed_exception(action)
+        .expect("sim resolution")
+        .id();
+
+    // Threads.
+    let (registry, action) = setup(4);
+    let mut runner = ThreadRunner::new(registry).enter_all_at(SimTime::ZERO, action);
+    for &(node, exc) in &raises {
+        runner = runner.raise_at(SimTime::from_millis(2), node, Exception::new(exc));
+    }
+    let thread_report = runner.run();
+    let thread_resolved = thread_report
+        .agreed_exception(action)
+        .expect("thread resolution")
+        .id();
+
+    assert_eq!(sim_resolved, thread_resolved);
+    assert_eq!(thread_report.handled_exceptions(action).len(), 4);
+}
+
+/// Threaded runs satisfy the agreement invariant across repetitions
+/// (interleavings differ, outcomes must not).
+#[test]
+fn threaded_agreement_is_stable_across_runs() {
+    for _ in 0..3 {
+        let (registry, action) = setup(3);
+        let report = ThreadRunner::new(registry)
+            .enter_all_at(SimTime::ZERO, action)
+            .raise_at(
+                SimTime::from_millis(1),
+                NodeId::new(0),
+                Exception::new(ExceptionId::new(3)),
+            )
+            .raise_at(
+                SimTime::from_millis(1),
+                NodeId::new(1),
+                Exception::new(ExceptionId::new(5)),
+            )
+            .run();
+        let agreed = report.agreed_exception(action).expect("resolved");
+        // e3 (under e1) and e5 (under e2) only share the root.
+        assert_eq!(agreed.id(), ExceptionId::ROOT);
+        assert_eq!(report.handled_exceptions(action).len(), 3);
+    }
+}
+
+/// Nested abortion on real threads: an outer exception aborts a nested
+/// action whose abortion handler signals, and the signal joins the
+/// resolution — Example-2 mechanics outside the simulator.
+#[test]
+fn threaded_nested_abortion_with_signal() {
+    use caex_action::{AbortionOutcome, HandlerTable};
+    use caex_tree::chain_tree;
+
+    let tree = Arc::new(chain_tree(4));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "A1",
+            (0..3).map(NodeId::new),
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let a2 = reg
+        .declare(ActionScope::nested(
+            "A2",
+            [NodeId::new(1)],
+            Arc::clone(&tree),
+            a1,
+        ))
+        .unwrap();
+    let mut table = HandlerTable::recover_all(Arc::clone(&tree));
+    table.on_abort(caex_net::SimTime::from_micros(100), || {
+        AbortionOutcome::Signal(Exception::new(ExceptionId::new(3)))
+    });
+
+    let report = ThreadRunner::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a1)
+        .enter_at(SimTime::from_millis(1), NodeId::new(1), a2)
+        .handlers(NodeId::new(1), a2, table)
+        .raise_at(
+            SimTime::from_millis(3),
+            NodeId::new(0),
+            Exception::new(ExceptionId::new(2)),
+        )
+        .run();
+
+    // Resolution over {e2 (raised), e3 (abortion signal)} on the chain
+    // tree resolves to e2; all three objects handle it.
+    let agreed = report.agreed_exception(a1).expect("resolution on threads");
+    assert_eq!(agreed.id(), ExceptionId::new(2));
+    assert_eq!(report.handled_exceptions(a1).len(), 3);
+    // The nested object announced and completed its abortion.
+    assert!(report
+        .notes
+        .iter()
+        .any(|n| matches!(n, caex::Note::AbortedNested { .. })));
+    assert_eq!(report.stats.sent_of_kind("have_nested"), 2);
+    assert_eq!(report.stats.sent_of_kind("nested_completed"), 2);
+}
+
+/// A threaded happy path sends no protocol messages (§4.4's
+/// no-overhead claim, on real channels).
+#[test]
+fn threaded_happy_path_is_message_free() {
+    let (registry, action) = setup(3);
+    let report = ThreadRunner::new(registry)
+        .enter_all_at(SimTime::ZERO, action)
+        .run();
+    assert_eq!(report.stats.sent_total(), 0);
+    assert!(report.handled_exceptions(action).is_empty());
+}
