@@ -1,7 +1,7 @@
 //! Action identity and static scope.
 
 use caex_net::NodeId;
-use caex_tree::ExceptionTree;
+use caex_tree::{ExceptionId, ExceptionTree};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -73,6 +73,7 @@ pub struct ActionScope {
     participants: Vec<NodeId>,
     tree: Arc<ExceptionTree>,
     parent: Option<ActionId>,
+    declared: Option<Vec<ExceptionId>>,
 }
 
 impl ActionScope {
@@ -93,6 +94,7 @@ impl ActionScope {
             participants,
             tree,
             parent: None,
+            declared: None,
         }
     }
 
@@ -158,6 +160,30 @@ impl ActionScope {
     #[must_use]
     pub fn max_participant(&self) -> Option<NodeId> {
         self.participants.last().copied()
+    }
+
+    /// Restricts the set of exception classes this action declares as
+    /// raisable (a subset of the tree; the paper declares exceptions
+    /// "together with the action declaration", §3.1). Duplicates are
+    /// dropped; membership in the tree is *not* checked here — the
+    /// static analyser reports out-of-tree declarations as a lint.
+    #[must_use]
+    pub fn with_declared_exceptions<I>(mut self, raisables: I) -> Self
+    where
+        I: IntoIterator<Item = ExceptionId>,
+    {
+        let mut declared: Vec<ExceptionId> = raisables.into_iter().collect();
+        declared.sort_unstable();
+        declared.dedup();
+        self.declared = Some(declared);
+        self
+    }
+
+    /// The explicitly declared raisable classes, sorted ascending, or
+    /// `None` when the declaration leaves the whole tree raisable.
+    #[must_use]
+    pub fn declared_exceptions(&self) -> Option<&[ExceptionId]> {
+        self.declared.as_deref()
     }
 }
 

@@ -43,8 +43,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod atomic;
 pub mod conversation;

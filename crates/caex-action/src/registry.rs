@@ -199,6 +199,32 @@ impl ActionRegistry {
             .map(|(cid, _)| cid)
             .collect())
     }
+
+    /// All top-level (depth-0) actions, in declaration order.
+    #[must_use]
+    pub fn top_level(&self) -> Vec<ActionId> {
+        self.iter()
+            .filter(|(_, s)| s.parent().is_none())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// All actions (transitively) nested within `id`, in declaration
+    /// order — the full abortion scope of `id`, excluding `id` itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActionError::UnknownAction`] for an undeclared id.
+    pub fn descendants(&self, id: ActionId) -> Result<Vec<ActionId>, ActionError> {
+        self.scope(id)?;
+        Ok(self
+            .iter()
+            .filter(|&(candidate, _)| {
+                candidate != id && self.is_nested_within(candidate, id) == Ok(true)
+            })
+            .map(|(cid, _)| cid)
+            .collect())
+    }
 }
 
 #[cfg(test)]

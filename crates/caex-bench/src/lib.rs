@@ -10,8 +10,6 @@
 //! value with the paper's prediction. The `tables` binary prints them;
 //! the criterion benches time them; unit tests pin the shapes.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 use caex::thread_engine::ThreadRunner;
 use caex::{analysis, cr, workloads, NestedStrategy, Scenario};

@@ -1,0 +1,205 @@
+//! The `caex-lint` CLI: lints every built-in workload family and exits
+//! nonzero when any deny-level diagnostic fires.
+//!
+//! ```text
+//! cargo run -p caex-lint --bin caex-lint            # lint the built-ins
+//! cargo run -p caex-lint --bin caex-lint -- --list  # list all lint codes
+//! cargo run -p caex-lint --bin caex-lint -- --broken  # demo on a broken registry
+//! ```
+//!
+//! Flags:
+//!
+//! - `--list` — print every lint code with its default severity;
+//! - `--deny-warnings` — escalate warnings to errors;
+//! - `--allow CODE` / `--warn CODE` / `--deny CODE` — per-lint level
+//!   overrides (stable `CAEXnnn` codes or kebab-case names);
+//! - `--broken` — lint a deliberately broken declaration set instead of
+//!   the built-ins (demonstrates the deny lints; exits nonzero).
+
+use caex::workloads;
+use caex_action::{ActionId, ActionScope, HandlerTable};
+use caex_lint::{LintCode, LintConfig, LintReport, Linter};
+use caex_net::{NetConfig, NodeId, SimTime};
+use caex_tree::ExceptionId;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut config = LintConfig::new();
+    let mut list = false;
+    let mut broken = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--broken" => broken = true,
+            "--deny-warnings" => config = config.deny_warnings(),
+            "--allow" | "--warn" | "--deny" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: {arg} requires a lint code");
+                    return ExitCode::from(2);
+                };
+                let Some(code) = LintCode::parse(&value) else {
+                    eprintln!("error: unknown lint code `{value}` (try --list)");
+                    return ExitCode::from(2);
+                };
+                config = match arg.as_str() {
+                    "--allow" => config.allow(code),
+                    "--warn" => config.warn(code),
+                    _ => config.deny(code),
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "caex-lint: static protocol analysis over the built-in workloads\n\
+                     \n\
+                     usage: caex-lint [--list] [--broken] [--deny-warnings]\n\
+                     \x20                [--allow CODE] [--warn CODE] [--deny CODE]..."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list {
+        for code in LintCode::ALL {
+            println!(
+                "{}  {:<26} {}",
+                code.code(),
+                code.name(),
+                code.default_severity()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let linter = Linter::with_config(config);
+    if broken {
+        let report = lint_broken(&linter);
+        print!("{}", report.render());
+        return exit_for(&report);
+    }
+
+    let mut failed = false;
+    for (name, report) in lint_builtins(&linter) {
+        println!("== {name}");
+        print!("{}", report.render());
+        failed |= report.has_denials();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Lints every built-in workload family's scenario.
+fn lint_builtins(linter: &Linter) -> Vec<(&'static str, LintReport)> {
+    let cfg = NetConfig::default;
+    vec![
+        (
+            "general(6,3,2)",
+            linter.lint_scenario(&workloads::general(6, 3, 2, cfg()).scenario),
+        ),
+        (
+            "case1(4)",
+            linter.lint_scenario(&workloads::case1(4, cfg()).scenario),
+        ),
+        (
+            "case2(4)",
+            linter.lint_scenario(&workloads::case2(4, cfg()).scenario),
+        ),
+        (
+            "case3(8)",
+            linter.lint_scenario(&workloads::case3(8, cfg()).scenario),
+        ),
+        (
+            "fig3",
+            linter.lint_scenario(&workloads::fig3(cfg()).scenario),
+        ),
+        (
+            "example1",
+            linter.lint_scenario(&workloads::example1(cfg()).0.scenario),
+        ),
+        (
+            "example2",
+            linter.lint_scenario(&workloads::example2(cfg()).0.scenario),
+        ),
+    ]
+}
+
+/// A deliberately broken declaration set: a flat raisable pair
+/// (CAEX001), a nested scope leaking a stranger (CAEX007), a declared
+/// raisable outside the tree (CAEX009) and a partial handler table
+/// (CAEX006, CAEX008).
+fn lint_broken(linter: &Linter) -> LintReport {
+    use caex_tree::TreeBuilder;
+
+    // Two sibling subtrees directly under the root: raisables from
+    // different subtrees only meet at the universal exception.
+    let mut b = TreeBuilder::new("universal_exception");
+    let io = b.child_of_root("io_exception").expect("fresh name");
+    let mem = b.child_of_root("memory_exception").expect("fresh name");
+    let tree = Arc::new(b.build().expect("valid tree"));
+
+    let top = ActionScope::top_level("broken_top", (0..3).map(NodeId::new), Arc::clone(&tree))
+        .with_declared_exceptions([io, mem, ExceptionId::new(42)]);
+    // O7 does not participate in the parent.
+    let nested = ActionScope::nested(
+        "broken_nested",
+        [NodeId::new(1), NodeId::new(7)],
+        Arc::clone(&tree),
+        ActionId::new(0),
+    );
+    let scopes = vec![(ActionId::new(0), top), (ActionId::new(1), nested)];
+    let mut report = linter.lint_scopes(&scopes);
+
+    // A handler table that only covers `io`, bound to a nested-action
+    // participant, with no abortion handler.
+    let mut reg = caex_action::ActionRegistry::new();
+    let a0 = reg
+        .declare(ActionScope::top_level(
+            "broken_top",
+            (0..3).map(NodeId::new),
+            Arc::clone(&tree),
+        ))
+        .expect("valid");
+    let a1 = reg
+        .declare(ActionScope::nested(
+            "broken_nested",
+            [NodeId::new(1)],
+            Arc::clone(&tree),
+            a0,
+        ))
+        .expect("valid");
+    let mut table = HandlerTable::new(Arc::clone(&tree));
+    table.on(io, SimTime::ZERO, |_| {
+        caex_action::HandlerOutcome::Recovered
+    });
+    report.merge(linter.lint_handlers(&reg, [(NodeId::new(1), a1, &table)]));
+
+    // A scenario raising outside the tree entirely.
+    let scenario = caex::Scenario::new(Arc::new(reg))
+        .enter_all_at(SimTime::ZERO, a0)
+        .raise_at(
+            SimTime::from_micros(5),
+            NodeId::new(0),
+            caex_tree::Exception::new(ExceptionId::new(42)),
+        );
+    report.merge(linter.lint_scenario(&scenario));
+    report.dedup();
+    report
+}
+
+fn exit_for(report: &LintReport) -> ExitCode {
+    if report.has_denials() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,148 @@
+//! Declaration lints: checks over action scopes, their declared
+//! exception sets and their handler tables (`CAEX006`–`CAEX009`, plus
+//! the tree family re-run over each declaration).
+
+use crate::diag::{LintCode, Sink};
+use crate::tree::lint_tree_into;
+use caex_action::{ActionId, ActionRegistry, ActionScope, HandlerTable};
+use caex_net::NodeId;
+
+/// Lints a set of `(id, scope)` declarations into `sink`.
+///
+/// Takes raw scope pairs rather than an [`ActionRegistry`] so fixtures
+/// (and future front ends) can lint declarations the registry's own
+/// `declare`-time validation would reject — the lint reproduces those
+/// rules statically as `CAEX007`.
+pub(crate) fn lint_scopes_into(sink: &mut Sink<'_>, scopes: &[(ActionId, ActionScope)]) {
+    for (id, scope) in scopes {
+        let subject = format!("{id} ({})", scope.name());
+        let tree = scope.tree();
+
+        // CAEX009: declared raisables must be classes of the tree.
+        if let Some(declared) = scope.declared_exceptions() {
+            for &exc in declared {
+                if !tree.contains(exc) {
+                    sink.emit(
+                        LintCode::UndeclaredException,
+                        &subject,
+                        format!(
+                            "declared raisable {exc} is not a class of the action's \
+                             exception tree"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // CAEX007: nested participants ⊆ parent participants.
+        if let Some(parent) = scope.parent() {
+            match scopes.iter().find(|(pid, _)| *pid == parent) {
+                None => sink.emit(
+                    LintCode::ScopeContainment,
+                    &subject,
+                    format!("parent {parent} is not among the declared actions"),
+                ),
+                Some((_, parent_scope)) => {
+                    for &p in scope.participants() {
+                        if !parent_scope.is_participant(p) {
+                            sink.emit(
+                                LintCode::ScopeContainment,
+                                &subject,
+                                format!(
+                                    "participant {p} is not a participant of the \
+                                     containing action {parent} (§3.1 requires nested \
+                                     participants to be a subset)"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Tree family over the declaration, using the declared set as
+        // the raisable set when one exists. Only declared classes that
+        // are actually in the tree feed the coverage lints.
+        let known: Option<Vec<_>> = scope.declared_exceptions().map(|d| {
+            d.iter()
+                .copied()
+                .filter(|&e| tree.contains(e))
+                .collect()
+        });
+        lint_tree_into(sink, &subject, tree, known.as_deref());
+    }
+}
+
+/// Lints handler-table bindings against the declarations into `sink`
+/// (`CAEX006`, `CAEX008`, and `CAEX013` for bindings to strangers).
+///
+/// Objects *without* an explicit table are silent here: the engine
+/// gives them `recover_all` semantics, which is total by construction.
+pub(crate) fn lint_handlers_into<'a, I>(sink: &mut Sink<'_>, registry: &ActionRegistry, bindings: I)
+where
+    I: IntoIterator<Item = (NodeId, ActionId, &'a HandlerTable)>,
+{
+    for (object, action, table) in bindings {
+        let Ok(scope) = registry.scope(action) else {
+            sink.emit(
+                LintCode::NonParticipantStep,
+                format!("{action}/{object}"),
+                format!("handler table bound to undeclared action {action}"),
+            );
+            continue;
+        };
+        let subject = format!("{action} ({})/{object}", scope.name());
+
+        // CAEX013: table bound to a non-participant.
+        if !scope.is_participant(object) {
+            sink.emit(
+                LintCode::NonParticipantStep,
+                &subject,
+                format!("handler table bound to {object}, which does not participate in {action}"),
+            );
+        }
+
+        // CAEX006: §3.3 totality — a handler for every raisable class.
+        // The raisable set is the declared set when present, else the
+        // whole tree (everything in the tree may be raised or resolved
+        // to, and the engine panics on an uncovered invoke).
+        let tree = scope.tree();
+        let declared: Vec<_> = match scope.declared_exceptions() {
+            // The root can always be resolved to, declared or not.
+            Some(d) => {
+                let mut d: Vec<_> = d.iter().copied().filter(|&e| tree.contains(e)).collect();
+                if !d.contains(&tree.root()) {
+                    d.push(tree.root());
+                }
+                d
+            }
+            None => tree.iter().collect(),
+        };
+        for exc in declared {
+            if !table.handles(exc) {
+                sink.emit(
+                    LintCode::HandlerTotality,
+                    &subject,
+                    format!(
+                        "no handler for declared exception {exc} ({}): §3.3 requires \
+                         every participant to handle every declared exception",
+                        tree.name(exc).unwrap_or("?")
+                    ),
+                );
+            }
+        }
+
+        // CAEX008: nested actions abort during resolution; an explicit
+        // table for a nested participant should say how.
+        if scope.parent().is_some() && !table.has_abortion_handler() {
+            sink.emit(
+                LintCode::MissingAbortionHandler,
+                &subject,
+                format!(
+                    "explicit handler table for nested action {action} has no abortion \
+                     handler; resolution in an enclosing action will abort it (§4.1)"
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Lint-guided exploration: run the static analysis first, then the
+//! dynamic seed sweep, and cross-check the two.
+
+use crate::{LintConfig, LintReport, Linter};
+use caex::explore::{explore_with_audit, Expect, Exploration};
+use caex::Scenario;
+use std::ops::Range;
+
+/// The combined outcome of a static pass plus a dynamic sweep.
+#[derive(Debug)]
+pub struct LintedExploration {
+    /// The static findings on the seed-0 scenario of the family.
+    pub lint: LintReport,
+    /// The dynamic sweep outcome, including the cross-check violation
+    /// when a lint-clean family still breaks an invariant.
+    pub exploration: Exploration,
+}
+
+impl LintedExploration {
+    /// `true` when the static pass found no errors *and* every
+    /// interleaving satisfied the invariants.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        !self.lint.has_denials() && self.exploration.is_ok()
+    }
+}
+
+/// Lints the scenario family statically, then explores it dynamically,
+/// cross-checking each dynamic `Violation` against the static verdict:
+/// a family the linter passes at deny level but that still violates
+/// invariants gains an extra `"lint-clean but dynamically unsafe"`
+/// violation — a gap in the static analysis worth a bug report.
+///
+/// The static pass runs on `build(seeds.start)`; scenario *structure*
+/// (declarations, scripted events, handler bindings) is seed-invariant
+/// in every workload family, only latency draws differ.
+///
+/// # Examples
+///
+/// ```
+/// use caex::explore::Expect;
+/// use caex::workloads;
+/// use caex_lint::explore::lint_then_explore;
+/// use caex_lint::LintConfig;
+/// use caex_net::NetConfig;
+///
+/// let outcome = lint_then_explore(0..16, Expect::Clean, LintConfig::new(), |seed| {
+///     workloads::case1(4, NetConfig::default().with_seed(seed)).scenario
+/// });
+/// assert!(outcome.is_ok(), "{:?}", outcome);
+/// ```
+pub fn lint_then_explore<F>(
+    seeds: Range<u64>,
+    expect: Expect,
+    config: LintConfig,
+    build: F,
+) -> LintedExploration
+where
+    F: Fn(u64) -> Scenario,
+{
+    let linter = Linter::with_config(config);
+    let lint = linter.lint_scenario(&build(seeds.start));
+    let denials: Vec<String> = lint
+        .denials()
+        .iter()
+        .map(|d| d.to_string())
+        .collect();
+    let exploration = explore_with_audit(seeds, expect, build, move |_| denials.clone());
+    LintedExploration { lint, exploration }
+}

@@ -1,0 +1,99 @@
+//! Tree lints: structural checks over an [`ExceptionTree`] and an
+//! optional raisable set (`CAEX001`–`CAEX005`).
+
+use crate::diag::{LintCode, Sink};
+use caex_tree::{ExceptionId, ExceptionTree};
+
+/// A chain tree at least this long fires `CAEX004`.
+pub const CHAIN_THRESHOLD: usize = 4;
+
+/// A tree higher than this fires `CAEX005`.
+pub const MAX_DEPTH: u32 = 8;
+
+/// Runs the tree lint family into `sink`.
+///
+/// `raisables` is the set of classes the caller believes can be raised:
+/// an explicit declaration (`ActionScope::declared_exceptions`) or the
+/// raises actually scripted in a scenario. When it is `None`, the
+/// raisable-set lints (`CAEX001`–`CAEX003`) are skipped — without a
+/// raisable set, every pair report would be speculation.
+pub(crate) fn lint_tree_into(
+    sink: &mut Sink<'_>,
+    subject: &str,
+    tree: &ExceptionTree,
+    raisables: Option<&[ExceptionId]>,
+) {
+    if let Some(raisables) = raisables {
+        // CAEX003: duplicates in the raisable set.
+        let mut seen: Vec<ExceptionId> = Vec::new();
+        for &id in raisables {
+            if seen.contains(&id) {
+                sink.emit(
+                    LintCode::DuplicateRaisable,
+                    subject,
+                    format!("class {id} is listed more than once in the raisable set"),
+                );
+            } else {
+                seen.push(id);
+            }
+        }
+
+        // CAEX001: pairs resolving to the universal exception.
+        for (a, b) in tree.non_covering_pairs(raisables) {
+            let (na, nb) = (name_of(tree, a), name_of(tree, b));
+            sink.emit(
+                LintCode::NonCoveringPair,
+                subject,
+                format!(
+                    "raisables {a} ({na}) and {b} ({nb}) only meet at the universal \
+                     exception: a concurrent raise of both resolves to the root, \
+                     losing all diagnosis"
+                ),
+            );
+        }
+
+        // CAEX002: classes on no raisable's root path.
+        let closure = tree.ancestor_closure(raisables);
+        for id in tree.iter() {
+            if !closure.contains(&id) {
+                sink.emit(
+                    LintCode::UnreachableClass,
+                    subject,
+                    format!(
+                        "class {id} ({}) is on no raisable's root path: it can \
+                         neither be raised nor resolved to",
+                        name_of(tree, id)
+                    ),
+                );
+            }
+        }
+    }
+
+    // CAEX004: degenerate chain.
+    if tree.is_chain() && tree.len() >= CHAIN_THRESHOLD {
+        sink.emit(
+            LintCode::DegenerateChain,
+            subject,
+            format!(
+                "the tree is a single chain of {} classes: concurrent resolution \
+                 always picks the shallower class, so the hierarchy adds no \
+                 discrimination",
+                tree.len()
+            ),
+        );
+    }
+
+    // CAEX005: excessive depth.
+    let height = tree.height();
+    if height > MAX_DEPTH {
+        sink.emit(
+            LintCode::ExcessiveDepth,
+            subject,
+            format!("tree height {height} exceeds the plausible handler-hierarchy depth {MAX_DEPTH}"),
+        );
+    }
+}
+
+fn name_of(tree: &ExceptionTree, id: ExceptionId) -> String {
+    tree.name(id).map_or_else(|_| "?".to_owned(), str::to_owned)
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the linter: random trees, registries and
+//! workload families, checking that the analysis is total (never
+//! panics, fires only expected codes) and that lint-clean scenario
+//! families really do run clean through the dynamic explorer.
+
+use caex::explore::Expect;
+use caex_lint::explore::lint_then_explore;
+use caex_lint::{LintCode, LintConfig, Linter};
+use caex_net::{LatencyModel, NetConfig, SimTime};
+use caex_tree::{ExceptionId, ExceptionTree, TreeBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a random tree built by attaching each new node to a random
+/// existing node (same construction as `caex-tree`'s own proptests).
+fn arb_tree() -> impl Strategy<Value = ExceptionTree> {
+    prop::collection::vec(0usize..=usize::MAX, 0..30).prop_map(|choices| {
+        let mut b = TreeBuilder::new("root");
+        let mut ids = vec![ExceptionId::ROOT];
+        for (i, c) in choices.into_iter().enumerate() {
+            let parent = ids[c % ids.len()];
+            let id = b.child(format!("n{i}"), parent).unwrap();
+            ids.push(id);
+        }
+        b.build().unwrap()
+    })
+}
+
+fn arb_tree_and_raisables() -> impl Strategy<Value = (ExceptionTree, Vec<ExceptionId>)> {
+    arb_tree().prop_flat_map(|tree| {
+        let n = tree.len() as u32;
+        let ids = prop::collection::vec(0..n, 0..8)
+            .prop_map(|v| v.into_iter().map(ExceptionId::new).collect::<Vec<_>>());
+        (Just(tree), ids)
+    })
+}
+
+proptest! {
+    /// The tree family is total and only ever fires tree-family codes.
+    #[test]
+    fn tree_lints_are_total((tree, raisables) in arb_tree_and_raisables()) {
+        let report = Linter::new().lint_tree(&tree, Some(&raisables));
+        for d in &report.diagnostics {
+            prop_assert!(matches!(
+                d.code,
+                LintCode::NonCoveringPair
+                    | LintCode::UnreachableClass
+                    | LintCode::DuplicateRaisable
+                    | LintCode::DegenerateChain
+                    | LintCode::ExcessiveDepth
+            ), "unexpected code {:?}", d.code);
+        }
+    }
+}
+
+proptest! {
+    /// CAEX001 agrees with the LCA oracle: it fires exactly when some
+    /// non-root pair of (distinct, in-tree) raisables meets only at
+    /// the root.
+    #[test]
+    fn non_covering_pair_matches_lca((tree, raisables) in arb_tree_and_raisables()) {
+        let report = Linter::new().lint_tree(&tree, Some(&raisables));
+        let root = tree.root();
+        let mut distinct: Vec<_> = raisables.iter().copied().filter(|&e| tree.contains(e)).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut expect = false;
+        for (i, &a) in distinct.iter().enumerate() {
+            for &b in &distinct[i + 1..] {
+                if a != root && b != root && tree.lca(a, b).unwrap() == root {
+                    expect = true;
+                }
+            }
+        }
+        prop_assert_eq!(report.fired(LintCode::NonCoveringPair), expect);
+    }
+}
+
+proptest! {
+    /// CAEX003 fires exactly when the raisable set has duplicates.
+    #[test]
+    fn duplicate_raisable_matches_set_semantics((tree, raisables) in arb_tree_and_raisables()) {
+        let report = Linter::new().lint_tree(&tree, Some(&raisables));
+        let mut sorted = raisables.clone();
+        sorted.sort_unstable();
+        let had_dup = sorted.windows(2).any(|w| w[0] == w[1]);
+        prop_assert_eq!(report.fired(LintCode::DuplicateRaisable), had_dup);
+    }
+}
+
+proptest! {
+    /// Registry-validated declarations never fire the containment or
+    /// declared-subset denials the registry itself enforces, as long as
+    /// declared sets are drawn from the tree.
+    #[test]
+    fn validated_registries_pass_decl_denials(
+        n in 2u32..6,
+        nested_count in 0u32..3,
+        declare_subset in any::<bool>(),
+    ) {
+        use caex_action::{ActionRegistry, ActionScope};
+        use caex_net::NodeId;
+        use std::sync::Arc;
+
+        let tree = Arc::new(caex_tree::balanced_tree(2, 2));
+        let mut reg = ActionRegistry::new();
+        let mut top = ActionScope::top_level("top", (0..n).map(NodeId::new), Arc::clone(&tree));
+        if declare_subset {
+            top = top.with_declared_exceptions(tree.leaves());
+        }
+        let top_id = reg.declare(top).unwrap();
+        for i in 0..nested_count.min(n) {
+            reg.declare(ActionScope::nested(
+                format!("nested-{i}"),
+                [NodeId::new(i)],
+                Arc::clone(&tree),
+                top_id,
+            ))
+            .unwrap();
+        }
+        let report = Linter::new().lint_registry(&reg);
+        prop_assert!(!report.fired(LintCode::ScopeContainment), "{}", report.render());
+        prop_assert!(!report.fired(LintCode::UndeclaredException), "{}", report.render());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// The end-to-end contract: a built-in workload family that lints
+    /// clean at deny level also survives the dynamic seed sweep — and
+    /// `lint_then_explore` agrees on both halves.
+    #[test]
+    fn lint_clean_families_explore_clean(n in 3u32..6, p in 1u32..3, q in 0u32..2) {
+        let (p, q) = (p.min(n - 1), q.min(n - 1));
+        let q = q.min(n - p);
+        let outcome = lint_then_explore(0..4, Expect::Clean, LintConfig::new(), |seed| {
+            let config = NetConfig::default()
+                .with_seed(seed)
+                .with_latency(LatencyModel::Uniform {
+                    min: SimTime::from_micros(1),
+                    max: SimTime::from_micros(2_000),
+                });
+            caex::workloads::general(n, p, q, config).scenario
+        });
+        prop_assert!(!outcome.lint.has_denials(), "{}", outcome.lint.render());
+        prop_assert!(outcome.exploration.is_ok(), "{:?}", outcome.exploration.violations);
+        prop_assert!(outcome.is_ok());
+    }
+}

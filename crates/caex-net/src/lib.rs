@@ -31,8 +31,6 @@
 //! assert!(net.next_delivery().is_none());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod fault;
 mod latency;

@@ -319,6 +319,90 @@ impl ExceptionTree {
         out.push_str("}\n");
         out
     }
+
+    /// Returns `true` when a handler bound to `handler_class` covers a
+    /// raise of `raised`: the handler's class is an ancestor of (or
+    /// equal to) the raised class. Alias of [`ExceptionTree::is_ancestor`]
+    /// in the vocabulary used by the static analyser.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownId`] if either id is not in this tree.
+    pub fn covers(&self, handler_class: ExceptionId, raised: ExceptionId) -> Result<bool, TreeError> {
+        self.is_ancestor(handler_class, raised)
+    }
+
+    /// Returns every unordered pair from `raisables` whose concurrent
+    /// resolution degenerates to the universal (root) exception: their
+    /// LCA is the root while neither member is the root itself.
+    ///
+    /// Such pairs predict the §4.2 resolution fallback — if both are
+    /// raised concurrently the resolved class carries no information
+    /// beyond "something went wrong", which the linter flags.
+    ///
+    /// Unknown ids are skipped rather than reported; callers that care
+    /// should validate membership first with [`ExceptionTree::contains`].
+    #[must_use]
+    pub fn non_covering_pairs(&self, raisables: &[ExceptionId]) -> Vec<(ExceptionId, ExceptionId)> {
+        let root = self.root();
+        let known: Vec<ExceptionId> = {
+            let mut seen = Vec::new();
+            for &id in raisables {
+                if self.contains(id) && !seen.contains(&id) {
+                    seen.push(id);
+                }
+            }
+            seen
+        };
+        let mut pairs = Vec::new();
+        for (i, &a) in known.iter().enumerate() {
+            for &b in &known[i + 1..] {
+                if a == root || b == root {
+                    continue;
+                }
+                if self.lca(a, b) == Ok(root) {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Returns the set of classes on some root path of a raisable: the
+    /// union of [`ExceptionTree::path_to_root`] over `raisables`, sorted
+    /// by id. Classes *outside* this closure can never be raised nor
+    /// resolved to, which makes them dead weight in a declaration.
+    ///
+    /// Unknown ids are skipped.
+    #[must_use]
+    pub fn ancestor_closure(&self, raisables: &[ExceptionId]) -> Vec<ExceptionId> {
+        let mut mark = vec![false; self.len()];
+        for &id in raisables {
+            if let Ok(path) = self.path_to_root(id) {
+                for p in path {
+                    mark[p.index() as usize] = true;
+                }
+            }
+        }
+        mark.iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(i, _)| ExceptionId::new(i as u32))
+            .collect()
+    }
+
+    /// Returns `true` when the tree is a single chain (every class has
+    /// at most one child). A chain hierarchy makes every concurrent
+    /// resolution trivially pick the shallower exception — usually a
+    /// sign the tree was not designed for concurrent raises.
+    #[must_use]
+    pub fn is_chain(&self) -> bool {
+        self.iter().all(|id| {
+            self.children(id)
+                .map(|c| c.count() <= 1)
+                .unwrap_or(true)
+        })
+    }
 }
 
 impl fmt::Display for ExceptionTree {

@@ -400,6 +400,26 @@ impl Scenario {
         self
     }
 
+    /// The action structure this scenario runs over. Exposed so static
+    /// analysis passes (`caex-lint`) can cross-check the scripted
+    /// timeline against the declarations without executing it.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<ActionRegistry> {
+        &self.registry
+    }
+
+    /// The scripted timeline as `(time, object, event)` triples, in
+    /// script order (the engine sorts by time at run time; this view
+    /// preserves insertion order).
+    pub fn scripted(&self) -> impl Iterator<Item = (SimTime, NodeId, &Event)> {
+        self.steps.iter().map(|(t, o, e)| (*t, *o, e))
+    }
+
+    /// The installed handler tables as `(object, action)` bindings.
+    pub fn handler_tables(&self) -> impl Iterator<Item = (NodeId, ActionId, &HandlerTable)> {
+        self.handlers.iter().map(|(o, a, t)| (*o, *a, t))
+    }
+
     /// Executes the scenario to quiescence and reports.
     ///
     /// # Panics

@@ -143,6 +143,41 @@ where
     Exploration { runs, violations }
 }
 
+/// [`explore`], with a static pre-check: before any seed runs, `audit`
+/// inspects the seed-0 scenario and returns a list of predicted
+/// problems (empty = statically clean). The audit's findings become
+/// advisory context in the returned [`Exploration`]:
+///
+/// - statically *predicted* problems that then show up dynamically are
+///   ordinary violations (the prediction held);
+/// - a statically **clean** family that still violates invariants is
+///   itself reported as an extra violation tagged
+///   `"lint-clean but dynamically unsafe"` — a gap in the static
+///   analysis worth a bug report.
+///
+/// The `audit` callback is deliberately generic (`Fn(&Scenario) ->
+/// Vec<String>`), so `caex` does not depend on any particular analyser;
+/// `caex-lint` wraps this as `lint_then_explore` with its own linter
+/// plugged in.
+pub fn explore_with_audit<F, A>(seeds: Range<u64>, expect: Expect, build: F, audit: A) -> Exploration
+where
+    F: Fn(u64) -> Scenario,
+    A: Fn(&Scenario) -> Vec<String>,
+{
+    let first = seeds.start;
+    let predictions = audit(&build(first));
+    let mut outcome = explore(seeds, expect, build);
+    if predictions.is_empty() && !outcome.violations.is_empty() {
+        outcome.violations.push(Violation {
+            seed: first,
+            what: "lint-clean but dynamically unsafe: static analysis predicted no problem, \
+                   yet the invariant battery failed (see other violations)"
+                .to_owned(),
+        });
+    }
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -65,8 +65,6 @@
 //! assert_eq!(report.messages_of("commit"), 2);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod analysis;
 pub mod arche;

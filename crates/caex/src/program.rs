@@ -57,8 +57,31 @@ use std::sync::Arc;
 enum Step {
     Work(SimTime),
     Check(Box<dyn FnOnce() -> Result<(), Exception> + Send>),
+    Raise(Exception),
     Enter(ActionId),
     Leave(ActionId),
+    Complete,
+}
+
+/// A statically inspectable view of one program step, exposed through
+/// [`ActionProgram::steps_of`] so analysis passes (e.g. `caex-lint`)
+/// can examine a program without executing it.
+///
+/// `Check` closures are opaque: whether one fails is only known at run
+/// time, so the view records their presence but not their outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramStep {
+    /// Compute for the given virtual duration.
+    Work(SimTime),
+    /// A fallible step with a run-time-only outcome.
+    Check,
+    /// An unconditional raise of the given class.
+    Raise(caex_tree::ExceptionId),
+    /// Enter a nested action.
+    Enter(ActionId),
+    /// Finish participation in a nested action.
+    Leave(ActionId),
+    /// Finish participation in the top-level action.
     Complete,
 }
 
@@ -90,6 +113,15 @@ impl ObjectProgram<'_> {
         F: FnOnce() -> Result<(), Exception> + Send + 'static,
     {
         self.steps.push(Step::Check(Box::new(step)));
+        self
+    }
+
+    /// Unconditionally raise `exc` at the step's virtual time. Unlike
+    /// [`ObjectProgram::check`], the raised class is statically known,
+    /// so protocol analysers can validate it against the action's
+    /// declared exceptions before the program ever runs.
+    pub fn raise(&mut self, exc: Exception) -> &mut Self {
+        self.steps.push(Step::Raise(exc));
         self
     }
 
@@ -182,6 +214,53 @@ impl ActionProgram {
         }
     }
 
+    /// The action structure this program runs over.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<ActionRegistry> {
+        &self.registry
+    }
+
+    /// The top-level action being programmed.
+    #[must_use]
+    pub fn action(&self) -> ActionId {
+        self.action
+    }
+
+    /// The objects that have a (possibly empty) program, sorted.
+    #[must_use]
+    pub fn objects(&self) -> Vec<NodeId> {
+        let mut objects: Vec<NodeId> = self.programs.keys().copied().collect();
+        objects.sort_unstable();
+        objects
+    }
+
+    /// A static view of `object`'s program, step by step, for analysis
+    /// passes. Empty when the object has no program.
+    #[must_use]
+    pub fn steps_of(&self, object: NodeId) -> Vec<ProgramStep> {
+        self.programs
+            .get(&object)
+            .map(|steps| {
+                steps
+                    .iter()
+                    .map(|s| match s {
+                        Step::Work(d) => ProgramStep::Work(*d),
+                        Step::Check(_) => ProgramStep::Check,
+                        Step::Raise(exc) => ProgramStep::Raise(exc.id()),
+                        Step::Enter(a) => ProgramStep::Enter(*a),
+                        Step::Leave(a) => ProgramStep::Leave(*a),
+                        Step::Complete => ProgramStep::Complete,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The installed handler tables as `(object, action)` bindings.
+    pub fn handler_tables(&self) -> impl Iterator<Item = (NodeId, ActionId, &HandlerTable)> {
+        self.handlers.iter().map(|(o, a, t)| (*o, *a, t))
+    }
+
     /// Compiles the programs to a scenario and executes it.
     ///
     /// Virtual time advances per object as its `work` steps prescribe;
@@ -215,6 +294,9 @@ impl ActionProgram {
                         if let Err(exc) = f() {
                             scenario = scenario.raise_at(clock, object, exc);
                         }
+                    }
+                    Step::Raise(exc) => {
+                        scenario = scenario.raise_at(clock, object, exc);
                     }
                     Step::Enter(a) => {
                         scenario = scenario.enter_at(clock, object, a);

@@ -1,0 +1,95 @@
+//! Static analysis demo: lint a deliberately broken action declaration
+//! and print the report, then show the same checks passing on a
+//! well-formed declaration.
+//!
+//! The broken declaration violates four static obligations at once:
+//!
+//! - two declared raisables only meet at the universal exception
+//!   (`CAEX001` — §4.2's resolution would lose all diagnosis);
+//! - a declared raisable is not a class of the tree (`CAEX009`);
+//! - a nested action smuggles in a stranger participant (`CAEX007` —
+//!   §3.1 requires nested participants to be a subset);
+//! - an explicit handler table covers only one class (`CAEX006` —
+//!   §3.3 handler totality) and has no abortion handler (`CAEX008`).
+//!
+//! Run with: `cargo run --example lint_broken`
+
+use caex_action::{ActionId, ActionRegistry, ActionScope, HandlerOutcome, HandlerTable};
+use caex_lint::Linter;
+use caex_net::{NodeId, SimTime};
+use caex_tree::{ExceptionId, TreeBuilder};
+use std::sync::Arc;
+
+fn main() {
+    let linter = Linter::new();
+
+    // A forked tree: io and memory exceptions share no ancestor but
+    // the universal exception.
+    let mut b = TreeBuilder::new("universal_exception");
+    let io = b.child_of_root("io_exception").expect("fresh name");
+    let mem = b.child_of_root("memory_exception").expect("fresh name");
+    let tree = Arc::new(b.build().expect("valid tree"));
+
+    println!("=== Broken declaration ===\n");
+    let scopes = vec![
+        (
+            ActionId::new(0),
+            ActionScope::top_level("transfer", (0..3).map(NodeId::new), Arc::clone(&tree))
+                // e42 is not in the tree; io and mem only meet at root.
+                .with_declared_exceptions([io, mem, ExceptionId::new(42)]),
+        ),
+        (
+            ActionId::new(1),
+            // O7 is a stranger to the parent action.
+            ActionScope::nested(
+                "audit",
+                [NodeId::new(1), NodeId::new(7)],
+                Arc::clone(&tree),
+                ActionId::new(0),
+            ),
+        ),
+    ];
+    let mut report = linter.lint_scopes(&scopes);
+
+    // A handler table that covers only `io`, bound to a participant of
+    // a nested action, with no abortion handler.
+    let mut reg = ActionRegistry::new();
+    let top = reg
+        .declare(ActionScope::top_level(
+            "transfer",
+            (0..3).map(NodeId::new),
+            Arc::clone(&tree),
+        ))
+        .expect("valid");
+    let audit = reg
+        .declare(ActionScope::nested(
+            "audit",
+            [NodeId::new(1)],
+            Arc::clone(&tree),
+            top,
+        ))
+        .expect("valid");
+    let mut partial = HandlerTable::new(Arc::clone(&tree));
+    partial.on(io, SimTime::ZERO, |_| HandlerOutcome::Recovered);
+    report.merge(linter.lint_handlers(&reg, [(NodeId::new(1), audit, &partial)]));
+
+    print!("{}", report.render());
+    assert!(report.has_denials(), "the broken fixture must fail");
+
+    println!("\n=== Well-formed declaration ===\n");
+    let mut good = ActionRegistry::new();
+    let top = good
+        .declare(
+            ActionScope::top_level("transfer", (0..3).map(NodeId::new), Arc::clone(&tree))
+                // Declaring the shared parent too gives every pair a
+                // non-root meeting point. Here that parent is the root
+                // itself, so declare just one subtree as raisable.
+                .with_declared_exceptions([io]),
+        )
+        .expect("valid");
+    let total = HandlerTable::recover_all(Arc::clone(&tree));
+    let mut clean = linter.lint_registry(&good);
+    clean.merge(linter.lint_handlers(&good, [(NodeId::new(0), top, &total)]));
+    print!("{}", clean.render());
+    assert!(!clean.has_denials(), "the well-formed fixture must pass");
+}

@@ -1,0 +1,180 @@
+//! Offline stand-in for `criterion` 0.5, covering the harness surface
+//! the benches use: `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId` and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's statistical engine it runs a short
+//! calibrated loop and prints one median-time line per benchmark —
+//! enough to compare scaling shapes offline. Passing `--test` (as
+//! `cargo test --benches` does) runs each benchmark once.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Apply command-line configuration (accepted and ignored, except
+    /// `--test`, which switches to single-iteration smoke mode).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.test_mode, |b| f(b));
+        self
+    }
+
+    /// Print the closing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure under `<group>/<name>`.
+    pub fn bench_function(&mut self, name: impl Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.criterion.test_mode, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.label);
+        run_one(&full, self.criterion.test_mode, |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter value.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `new("name", 32)` renders as `name/32`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, storing a median-of-samples estimate.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // Calibrate the per-iteration count to ~2ms, then sample.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 24 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut samples: Vec<f64> = (0..9)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_one(name: &str, test_mode: bool, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        test_mode,
+        median_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.median_ns {
+        Some(ns) if !test_mode => println!("{name:<50} {}", format_ns(ns)),
+        _ => {
+            if test_mode {
+                println!("{name:<50} ok (test mode)");
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs/iter", ns / 1_000.0)
+    } else {
+        format!("{:8.3} ms/iter", ns / 1_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,143 @@
+//! Offline stand-in for `crossbeam` 0.8, covering the `channel` module
+//! surface this workspace uses (`unbounded`, `Sender`, `Receiver`,
+//! `recv_timeout`, `try_recv`).
+//!
+//! Backed by `std::sync::mpsc`, whose `Sender` has been `Sync` since
+//! Rust 1.72 — which is what lets the threaded transport share one
+//! `Arc<Vec<Sender<_>>>` across node threads exactly as it would with
+//! real crossbeam channels.
+
+/// Multi-producer channels (the `crossbeam-channel` subset in use).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    use std::fmt;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send, failing only when every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Block with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    /// The message could not be delivered: all receivers disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// All senders disconnected while waiting.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a timed receive.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message.
+        Timeout,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    /// Outcome of a non-blocking receive.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message currently queued.
+        Empty,
+        /// All senders disconnected.
+        Disconnected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn shared_sender_across_threads() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx = Arc::new(tx);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = Arc::clone(&tx);
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got: Vec<u32> = (0..4)
+            .map(|_| rx.recv_timeout(Duration::from_secs(1)).unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn timeout_and_disconnect_are_distinguished() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+    }
+}

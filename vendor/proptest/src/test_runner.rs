@@ -1,0 +1,69 @@
+//! Test-runner configuration and the deterministic RNG behind the shim.
+
+use crate::Strategy;
+
+/// Per-test configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Matches real proptest's default; PROPTEST_CASES overrides it,
+        // which CI can use to dial effort up or down.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Config { cases }
+    }
+}
+
+/// Deterministic SplitMix64 generator feeding the strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded construction.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Drive `test` over `config.cases` generated inputs.
+///
+/// The seed is fixed so failures reproduce exactly; the panic message
+/// is augmented with the failing case number via an unwind hook-free
+/// wrapper (the case number is printed before re-raising).
+pub fn run_cases<S: Strategy>(config: Config, strategy: S, mut test: impl FnMut(S::Value)) {
+    let mut rng = TestRng::from_seed(0xCAE0_5EED_0000_0001);
+    for case in 0..config.cases {
+        let value = strategy.new_value(&mut rng);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+        if let Err(panic) = outcome {
+            eprintln!("proptest shim: property failed at case {case}/{}", config.cases);
+            std::panic::resume_unwind(panic);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Offline stand-in for `rand` 0.8, covering the API surface this
+//! workspace uses: `Rng::{gen_range, gen_bool}`, `SeedableRng::seed_from_u64`
+//! and `rngs::StdRng`.
+//!
+//! **Bit-exact with rand 0.8.5 for the calls the simulator makes.**
+//! Several integration tests pin latency-draw-dependent outcomes
+//! (message totals under jittered seeds, golden envelopes), so the shim
+//! reproduces the real crate's byte stream exactly:
+//!
+//! - `StdRng` is ChaCha12 (as in `rand_chacha` 0.3), buffered four
+//!   blocks at a time exactly like `rand_core`'s `BlockRng`;
+//! - `seed_from_u64` expands the seed with the same PCG32 sequence as
+//!   `rand_core` 0.6;
+//! - `gen_range` over `u64` ranges uses rand 0.8.5's widening-multiply
+//!   rejection sampler, `gen_range` over `f64` uses its `[1, 2)`
+//!   mantissa-fill sampler, and `gen_bool` uses its fixed-point
+//!   Bernoulli — each consuming one `u64` draw per accepted sample.
+//!
+//! Integer types other than `u64`/`usize` fall back to a simple modulo
+//! sampler (in-bounds but not stream-identical to the real crate);
+//! nothing in the workspace draws them from `StdRng`.
+
+use std::ops::{Range, RangeInclusive};
+
+mod chacha;
+
+/// Core randomness source: a stream of `u32`/`u64` words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range that a uniform value can be sampled from.
+pub trait SampleRange<T> {
+    /// Sample a single uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// rand 0.8.5 `UniformInt::<u64>::sample_single_inclusive`: widening
+/// multiply with rejection of the biased zone.
+fn sample_u64_inclusive<R: RngCore + ?Sized>(lo: u64, hi: u64, rng: &mut R) -> u64 {
+    assert!(lo <= hi, "cannot sample empty range");
+    let range = hi.wrapping_sub(lo).wrapping_add(1);
+    if range == 0 {
+        // Full domain.
+        return rng.next_u64();
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (range as u128);
+        let (m_hi, m_lo) = ((m >> 64) as u64, m as u64);
+        if m_lo <= zone {
+            return lo.wrapping_add(m_hi);
+        }
+    }
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        sample_u64_inclusive(self.start, self.end - 1, rng)
+    }
+}
+
+impl SampleRange<u64> for RangeInclusive<u64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        sample_u64_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample empty range");
+        sample_u64_inclusive(self.start as u64, (self.end - 1) as u64, rng) as usize
+    }
+}
+
+impl SampleRange<usize> for RangeInclusive<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        sample_u64_inclusive(*self.start() as u64, *self.end() as u64, rng) as usize
+    }
+}
+
+macro_rules! impl_fallback_int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi - lo) as u128;
+                (lo + ((rng.next_u64() as u128) % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u128 + 1;
+                let r = if span > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    (rng.next_u64() as u128) % span
+                };
+                (lo + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_fallback_int_sample_range!(u8, u16, u32, i8, i16, i32, i64, isize);
+
+/// rand 0.8.5 `UniformFloat::<f64>::sample_single`: fill the mantissa
+/// to get a value in `[1, 2)`, shift to `[0, 1)`, scale, and reject the
+/// (rare) rounding overshoot onto `high`.
+fn sample_f64<R: RngCore + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+    assert!(lo < hi, "cannot sample empty range");
+    let scale = hi - lo;
+    loop {
+        let mantissa = rng.next_u64() >> 12;
+        let value1_2 = f64::from_bits(mantissa | (1023u64 << 52));
+        let value0_1 = value1_2 - 1.0;
+        let res = value0_1 * scale + lo;
+        if res < hi {
+            return res;
+        }
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        sample_f64(self.start, self.end, rng)
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`] (including unsized receivers, matching rand 0.8's
+/// `R: Rng + ?Sized` idiom).
+pub trait Rng: RngCore {
+    /// Uniform value in `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (rand 0.8.5 Bernoulli: fixed-point
+    /// compare against one `u64` draw; `p == 1.0` draws nothing).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (2.0 * (1u64 << 63) as f64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use crate::chacha::ChaCha;
+    use crate::{RngCore, SeedableRng};
+
+    /// The standard generator: ChaCha12, bit-compatible with rand 0.8.5.
+    ///
+    /// Buffers four 64-byte blocks (64 `u32` words) per refill and
+    /// serves draws with `rand_core::BlockRng`'s exact indexing rules.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        core: ChaCha,
+        results: [u32; 64],
+        index: usize,
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            self.core.generate(&mut self.results);
+            self.index = 0;
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= self.results.len() {
+                self.refill();
+            }
+            let v = self.results[self.index];
+            self.index += 1;
+            v
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let len = self.results.len();
+            if self.index < len - 1 {
+                let lo = self.results[self.index];
+                let hi = self.results[self.index + 1];
+                self.index += 2;
+                (u64::from(hi) << 32) | u64::from(lo)
+            } else if self.index >= len {
+                self.refill();
+                let lo = self.results[0];
+                let hi = self.results[1];
+                self.index = 2;
+                (u64::from(hi) << 32) | u64::from(lo)
+            } else {
+                let lo = self.results[len - 1];
+                self.refill();
+                let hi = self.results[0];
+                self.index = 1;
+                (u64::from(hi) << 32) | u64::from(lo)
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        /// rand_core 0.6's `seed_from_u64`: a PCG32 stream fills the
+        /// 32-byte ChaCha key four bytes at a time.
+        fn seed_from_u64(mut state: u64) -> Self {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_exact_mut(4) {
+                state = state.wrapping_mul(MUL).wrapping_add(INC);
+                let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+                let rot = (state >> 59) as u32;
+                chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+            }
+            StdRng {
+                core: ChaCha::new(&seed, 12),
+                results: [0; 64],
+                index: 64, // force a refill on first use
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..300 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..=20);
+            assert!((10..=20).contains(&v));
+            let f = rng.gen_range(f64::EPSILON..1.0);
+            assert!(f > 0.0 && f < 1.0);
+            let s = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn unit_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "hits {hits}");
+    }
+}

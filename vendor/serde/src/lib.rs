@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The crates.io registry is unreachable in this build environment, and
+//! the workspace uses serde purely as a forward-compatibility marker
+//! (`#[derive(Serialize, Deserialize)]` on wire/report types — there is
+//! no runtime serialisation anywhere). This shim keeps those derives
+//! compiling: the traits are empty markers with blanket implementations
+//! and the derive macros expand to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
