@@ -2,6 +2,11 @@
 //! executed protocol. See `EXPERIMENTS.md` for the experiment index.
 //!
 //! Run with: `cargo run -p caex-bench --bin tables`
+//!
+//! `--bench-json <path>` additionally runs the E19 observability suite
+//! (metrics registry + invariant watchdog over every built-in
+//! workload), validates it, and writes `BENCH_PR2.json`-format output;
+//! the process exits nonzero if a §4.4 law or watchdog invariant fails.
 
 use caex_bench::{
     render_table, table_abort_depth, table_case1, table_case2, table_case3,
@@ -350,6 +355,22 @@ fn main() {
             let path = args.next().expect("--out requires a path");
             std::fs::write(&path, &out).expect("failed to write tables output");
             eprintln!("tables written to {path}");
+        } else if arg == "--bench-json" {
+            let path = args.next().expect("--bench-json requires a path");
+            let rows = caex_bench::obs_bench::bench_pr2();
+            let doc = caex_bench::obs_bench::bench_pr2_json(&rows);
+            match caex_bench::obs_bench::validate_bench_pr2(&doc) {
+                Ok(count) => {
+                    let mut text = doc.to_string();
+                    text.push('\n');
+                    std::fs::write(&path, text).expect("failed to write bench json");
+                    eprintln!("bench json ({count} workloads, laws + watchdog ok) written to {path}");
+                }
+                Err(why) => {
+                    eprintln!("bench json validation FAILED: {why}");
+                    std::process::exit(1);
+                }
+            }
         }
     }
 }

@@ -11,6 +11,8 @@
 //! the criterion benches time them; unit tests pin the shapes.
 
 
+pub mod obs_bench;
+
 use caex::thread_engine::ThreadRunner;
 use caex::{analysis, cr, workloads, NestedStrategy, Scenario};
 use caex_action::{AbortionOutcome, ActionRegistry, ActionScope, HandlerTable};

@@ -1,0 +1,222 @@
+//! E19 — the observability benchmark behind `BENCH_PR2.json`.
+//!
+//! Runs every built-in workload under the full `caex-obs` stack
+//! ([`MetricsRegistry`] + [`Watchdog`]) and reports, per workload, the
+//! resolution latency, the per-round message count with the live §4.4
+//! law verdict, and the watchdog verdict. Everything is virtual-time
+//! only, so the JSON is byte-deterministic and can be checked in and
+//! pinned by tests.
+
+use caex::{analysis, workloads};
+use caex_net::NetConfig;
+use caex_obs::{JsonValue, MetricsRegistry, Tee, Watchdog};
+
+/// One workload's measured observability row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsBenchRow {
+    /// Workload name (e.g. `case1(8)`).
+    pub workload: String,
+    /// Participants of the first resolved round.
+    pub n: u64,
+    /// Raisers of the first resolved round.
+    pub p: u64,
+    /// Nested objects of the first resolved round.
+    pub q: u64,
+    /// Virtual commit latency of the first round (µs).
+    pub latency_us: u64,
+    /// §4.4-countable messages of the first round.
+    pub messages: u64,
+    /// The `(N−1)(2P+3Q+1)` prediction, when the law applies.
+    pub predicted: Option<u64>,
+    /// Whether every round's live count matched its prediction.
+    pub law_holds: Option<bool>,
+    /// The exception the first round committed.
+    pub resolved: Option<String>,
+    /// Total resolution rounds observed in the run.
+    pub rounds: u64,
+    /// Whether the invariant watchdog saw no violation.
+    pub watchdog_clean: bool,
+}
+
+/// The benchmark's workload suite: the three §4.4 cases at `N = 8`, a
+/// mixed general point, Fig. 3 and both §4.3 worked examples.
+fn suite() -> Vec<(String, workloads::Workload)> {
+    vec![
+        ("case1(8)".into(), workloads::case1(8, NetConfig::default())),
+        ("case2(8)".into(), workloads::case2(8, NetConfig::default())),
+        ("case3(8)".into(), workloads::case3(8, NetConfig::default())),
+        (
+            "general(8,3,2)".into(),
+            workloads::general(8, 3, 2, NetConfig::default()),
+        ),
+        ("fig3".into(), workloads::fig3(NetConfig::default())),
+        (
+            "example1".into(),
+            workloads::example1(NetConfig::default()).0,
+        ),
+        (
+            "example2".into(),
+            workloads::example2(NetConfig::default()).0,
+        ),
+    ]
+}
+
+/// Runs the suite and collects one row per workload.
+///
+/// # Panics
+///
+/// Panics if a workload resolves nothing (every built-in resolves at
+/// least one round).
+#[must_use]
+pub fn bench_pr2() -> Vec<ObsBenchRow> {
+    suite()
+        .into_iter()
+        .map(|(name, workload)| {
+            let mut metrics = MetricsRegistry::new().with_law(analysis::messages_general);
+            let mut watchdog = Watchdog::new();
+            {
+                let mut tee = Tee::new().with(&mut metrics).with(&mut watchdog);
+                let _ = workload.scenario.run_observed(&mut tee);
+            }
+            let first = metrics
+                .resolutions()
+                .first()
+                .unwrap_or_else(|| panic!("{name}: no resolution observed"));
+            ObsBenchRow {
+                workload: name,
+                n: first.n,
+                p: first.p,
+                q: first.q,
+                latency_us: first.latency_us,
+                messages: first.messages,
+                predicted: first.predicted,
+                law_holds: first.law_holds,
+                resolved: first.resolved.clone(),
+                rounds: metrics.resolutions().len() as u64,
+                watchdog_clean: watchdog.is_clean(),
+            }
+        })
+        .collect()
+}
+
+/// Serializes rows as the `BENCH_PR2.json` document.
+#[must_use]
+pub fn bench_pr2_json(rows: &[ObsBenchRow]) -> JsonValue {
+    #[allow(clippy::cast_precision_loss)]
+    let num = |v: u64| JsonValue::Num(v as f64);
+    let workloads = rows
+        .iter()
+        .map(|r| {
+            JsonValue::Obj(vec![
+                ("workload".into(), JsonValue::Str(r.workload.clone())),
+                ("n".into(), num(r.n)),
+                ("p".into(), num(r.p)),
+                ("q".into(), num(r.q)),
+                ("latency_us".into(), num(r.latency_us)),
+                ("messages".into(), num(r.messages)),
+                (
+                    "predicted".into(),
+                    r.predicted.map_or(JsonValue::Null, num),
+                ),
+                (
+                    "law_holds".into(),
+                    r.law_holds.map_or(JsonValue::Null, JsonValue::Bool),
+                ),
+                (
+                    "resolved".into(),
+                    r.resolved
+                        .clone()
+                        .map_or(JsonValue::Null, JsonValue::Str),
+                ),
+                ("rounds".into(), num(r.rounds)),
+                ("watchdog_clean".into(), JsonValue::Bool(r.watchdog_clean)),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        ("bench".into(), JsonValue::Str("BENCH_PR2".into())),
+        ("workloads".into(), JsonValue::Arr(workloads)),
+    ])
+}
+
+/// Validates a `BENCH_PR2.json` document: the watchdog must be clean on
+/// every workload, and every §4.4 workload (`case*`, `general*`) must
+/// report a live message count equal to its closed-form prediction.
+///
+/// # Errors
+///
+/// Returns the first violated property as a human-readable message.
+pub fn validate_bench_pr2(doc: &JsonValue) -> Result<usize, String> {
+    let rows = doc
+        .get("workloads")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing workloads array")?;
+    if rows.is_empty() {
+        return Err("empty workloads array".into());
+    }
+    for row in rows {
+        let name = row
+            .get("workload")
+            .and_then(JsonValue::as_str)
+            .ok_or("row without workload name")?;
+        if row.get("watchdog_clean").and_then(JsonValue::as_bool) != Some(true) {
+            return Err(format!("{name}: watchdog not clean"));
+        }
+        if name.starts_with("case") || name.starts_with("general") {
+            if row.get("law_holds").and_then(JsonValue::as_bool) != Some(true) {
+                return Err(format!("{name}: §4.4 law violated"));
+            }
+            let messages = row.get("messages").and_then(JsonValue::as_u64);
+            let predicted = row.get("predicted").and_then(JsonValue::as_u64);
+            if messages.is_none() || messages != predicted {
+                return Err(format!(
+                    "{name}: messages {messages:?} != predicted {predicted:?}"
+                ));
+            }
+        }
+    }
+    Ok(rows.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_rows_cover_the_suite_and_validate() {
+        let rows = bench_pr2();
+        assert_eq!(rows.len(), 7);
+        let doc = bench_pr2_json(&rows);
+        assert_eq!(validate_bench_pr2(&doc), Ok(7));
+    }
+
+    #[test]
+    fn case_rows_match_the_closed_forms() {
+        let rows = bench_pr2();
+        let by_name = |n: &str| {
+            rows.iter()
+                .find(|r| r.workload == n)
+                .unwrap_or_else(|| panic!("{n} missing"))
+                .clone()
+        };
+        assert_eq!(by_name("case1(8)").messages, analysis::messages_case1(8));
+        assert_eq!(by_name("case2(8)").messages, analysis::messages_case2(8));
+        assert_eq!(by_name("case3(8)").messages, analysis::messages_case3(8));
+        assert_eq!(
+            by_name("general(8,3,2)").messages,
+            analysis::messages_general(8, 3, 2)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_dirty_watchdog() {
+        let doc = JsonValue::Obj(vec![(
+            "workloads".into(),
+            JsonValue::Arr(vec![JsonValue::Obj(vec![
+                ("workload".into(), JsonValue::Str("case1(2)".into())),
+                ("watchdog_clean".into(), JsonValue::Bool(false)),
+            ])]),
+        )]);
+        assert!(validate_bench_pr2(&doc).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! Pins the checked-in `BENCH_PR2.json` to a live regeneration: the
+//! observability suite is virtual-time-deterministic, so the document
+//! at the repository root must match what the code produces today.
+
+use caex_bench::obs_bench::{bench_pr2, bench_pr2_json, validate_bench_pr2};
+use caex_obs::JsonValue;
+
+fn checked_in() -> JsonValue {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_PR2.json exists at the repo root");
+    caex_obs::json::parse(&text).expect("BENCH_PR2.json parses")
+}
+
+#[test]
+fn checked_in_bench_json_validates() {
+    assert_eq!(validate_bench_pr2(&checked_in()), Ok(7));
+}
+
+#[test]
+fn checked_in_bench_json_matches_live_regeneration() {
+    let live = bench_pr2_json(&bench_pr2());
+    assert_eq!(
+        checked_in(),
+        live,
+        "BENCH_PR2.json is stale — regenerate with \
+         `cargo run -p caex-bench --bin tables -- --bench-json BENCH_PR2.json`"
+    );
+}

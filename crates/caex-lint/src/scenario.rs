@@ -20,14 +20,15 @@ use std::collections::HashMap;
 pub(crate) fn lint_scenario_into(sink: &mut Sink<'_>, scenario: &Scenario) {
     let registry = scenario.registry();
 
-    // Gather each object's scripted events in time order (stable, so
-    // equal-time events keep script order, matching the engine).
-    let mut per_object: HashMap<NodeId, Vec<(SimTime, &Event)>> = HashMap::new();
-    for (time, object, event) in scenario.scripted() {
-        per_object.entry(object).or_default().push((time, event));
-    }
-    for events in per_object.values_mut() {
-        events.sort_by_key(|(t, _)| *t);
+    // Sort the whole scripted timeline once (stable, so equal-time
+    // events keep script order, matching the engine) and distribute it
+    // to objects in a single linear sweep; the per-object lists come
+    // out time-ordered for free.
+    let mut timeline: Vec<(SimTime, NodeId, &Event)> = scenario.scripted().collect();
+    timeline.sort_by_key(|(t, _, _)| *t);
+    let mut per_object: HashMap<NodeId, Vec<&Event>> = HashMap::new();
+    for (_, object, event) in timeline {
+        per_object.entry(object).or_default().push(event);
     }
     let mut objects: Vec<NodeId> = per_object.keys().copied().collect();
     objects.sort_unstable();
@@ -42,7 +43,7 @@ pub(crate) fn lint_scenario_into(sink: &mut Sink<'_>, scenario: &Scenario) {
 
     for &object in &objects {
         let mut stack: Vec<ActionId> = Vec::new();
-        for &(_, event) in &per_object[&object] {
+        for &event in &per_object[&object] {
             match event {
                 Event::Enter(a) => {
                     let subject = format!("{a}/{object}");

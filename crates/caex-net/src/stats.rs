@@ -172,8 +172,23 @@ impl fmt::Display for NetStats {
             self.dropped_total(),
             self.max_in_flight
         )?;
-        for (kind, count) in &self.sent {
-            writeln!(f, "  {kind}: sent {count}")?;
+        // One row per kind over the union of all three counters: a
+        // kind that was only ever dropped still shows up.
+        let kinds: std::collections::BTreeSet<&str> = self
+            .sent
+            .keys()
+            .chain(self.delivered.keys())
+            .chain(self.dropped.keys())
+            .map(String::as_str)
+            .collect();
+        for kind in kinds {
+            writeln!(
+                f,
+                "  {kind}: sent {} delivered {} dropped {}",
+                self.sent_of_kind(kind),
+                self.delivered_of_kind(kind),
+                self.dropped_of_kind(kind)
+            )?;
         }
         Ok(())
     }
@@ -231,6 +246,22 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("sent=1"));
         assert!(text.contains("exception"));
+    }
+
+    #[test]
+    fn display_breaks_down_deliveries_and_drops_per_kind() {
+        let mut s = NetStats::default();
+        s.record_send("exception");
+        s.record_delivery("exception");
+        s.record_send("ack");
+        s.record_drop("ack");
+        // A kind never sent but dropped (e.g. merged from a partial
+        // record) still gets a row.
+        s.record_drop("commit");
+        let text = s.to_string();
+        assert!(text.contains("exception: sent 1 delivered 1 dropped 0"), "{text}");
+        assert!(text.contains("ack: sent 1 delivered 0 dropped 1"), "{text}");
+        assert!(text.contains("commit: sent 0 delivered 0 dropped 1"), "{text}");
     }
 
     #[test]

@@ -190,7 +190,10 @@ impl TraceLog {
     }
 
     /// Exports the log as CSV (`time_us,kind,from,to,label`) for
-    /// analysis outside the process.
+    /// analysis outside the process. Fields are quoted per RFC 4180:
+    /// a label containing a comma, a double quote or a line break is
+    /// wrapped in quotes with internal quotes doubled; plain labels
+    /// stay bare.
     ///
     /// # Examples
     ///
@@ -202,6 +205,13 @@ impl TraceLog {
     /// ```
     #[must_use]
     pub fn to_csv(&self) -> String {
+        fn field(raw: &str) -> std::borrow::Cow<'_, str> {
+            if raw.contains([',', '"', '\n', '\r']) {
+                std::borrow::Cow::Owned(format!("\"{}\"", raw.replace('"', "\"\"")))
+            } else {
+                std::borrow::Cow::Borrowed(raw)
+            }
+        }
         let mut out = String::from("time_us,kind,from,to,label\n");
         for e in &self.events {
             out.push_str(&format!(
@@ -210,7 +220,7 @@ impl TraceLog {
                 e.kind,
                 e.from,
                 e.to,
-                e.label
+                field(&e.label)
             ));
         }
         out
@@ -344,5 +354,20 @@ mod tests {
         assert_eq!(lines.next(), Some("time_us,kind,from,to,label"));
         assert_eq!(lines.next(), Some("7,sent,O0,O1,exception"));
         assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn csv_quotes_labels_per_rfc_4180() {
+        let mut log = TraceLog::default();
+        log.push(ev(1, TraceEventKind::Sent, "commit, e1"));
+        log.push(ev(2, TraceEventKind::Sent, "say \"ack\""));
+        log.push(ev(3, TraceEventKind::Sent, "two\nlines"));
+        let csv = log.to_csv();
+        let mut lines = csv.split('\n').skip(1);
+        assert_eq!(lines.next(), Some("1,sent,O0,O1,\"commit, e1\""));
+        assert_eq!(lines.next(), Some("2,sent,O0,O1,\"say \"\"ack\"\"\""));
+        // The embedded newline stays inside one quoted field.
+        assert_eq!(lines.next(), Some("3,sent,O0,O1,\"two"));
+        assert_eq!(lines.next(), Some("lines\""));
     }
 }

@@ -1,0 +1,495 @@
+//! Exporters over the event stream: a JSONL structured log and a
+//! Chrome trace-event document (`B`/`E` span pairs, one track per
+//! participant) loadable in `chrome://tracing` or Perfetto.
+
+use crate::event::{ObsEvent, ObsKind, Observer};
+use crate::json::JsonValue;
+use caex_net::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Renders one [`ObsEvent`] as a flat JSON object. Shared by the JSONL
+/// exporter and tests; keys are stable.
+#[must_use]
+pub fn event_to_json(event: &ObsEvent) -> JsonValue {
+    let mut fields = vec![
+        ("at_us".to_owned(), JsonValue::num(event.at.as_micros())),
+        (
+            "wall_us".to_owned(),
+            event.wall_micros.map_or(JsonValue::Null, JsonValue::num),
+        ),
+        ("object".to_owned(), JsonValue::str(event.object.to_string())),
+        (
+            "action".to_owned(),
+            JsonValue::num(u64::from(event.span.action.index())),
+        ),
+        ("round".to_owned(), JsonValue::num(u64::from(event.span.round))),
+        ("span".to_owned(), JsonValue::str(event.span.to_string())),
+        ("kind".to_owned(), JsonValue::str(event.kind.label())),
+    ];
+    match &event.kind {
+        ObsKind::Raise { exception }
+        | ObsKind::HandlerStart { exception }
+        | ObsKind::ActionFailed { exception } => {
+            fields.push((
+                "exception".to_owned(),
+                JsonValue::str(format!("e{}", exception.index())),
+            ));
+        }
+        ObsKind::StateTransition { from, to } => {
+            fields.push(("from".to_owned(), JsonValue::str(from.to_string())));
+            fields.push(("to".to_owned(), JsonValue::str(to.to_string())));
+        }
+        ObsKind::ResolverElected { resolver } => {
+            fields.push((
+                "resolver".to_owned(),
+                JsonValue::str(resolver.to_string()),
+            ));
+        }
+        ObsKind::ResolutionCommit { resolved, raised } => {
+            fields.push((
+                "resolved".to_owned(),
+                JsonValue::str(format!("e{}", resolved.index())),
+            ));
+            fields.push(("raised".to_owned(), JsonValue::num(u64::from(*raised))));
+        }
+        ObsKind::AbortionStart { depth } => {
+            fields.push(("depth".to_owned(), JsonValue::num(u64::from(*depth))));
+        }
+        ObsKind::HandlerEnd { signalled } => {
+            fields.push(("signalled".to_owned(), JsonValue::Bool(*signalled)));
+        }
+        ObsKind::MessageSent { kind, to } => {
+            fields.push(("msg".to_owned(), JsonValue::str(*kind)));
+            fields.push(("to".to_owned(), JsonValue::str(to.to_string())));
+        }
+        ObsKind::ActionEnter
+        | ObsKind::ActionLeave
+        | ObsKind::ResolutionStart
+        | ObsKind::AbortionEnd => {}
+    }
+    JsonValue::Obj(fields)
+}
+
+/// Structured-log exporter: one JSON object per line, in event order.
+#[derive(Debug, Default)]
+pub struct JsonlExporter {
+    lines: Vec<String>,
+}
+
+impl JsonlExporter {
+    /// Creates an empty exporter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The log as one newline-terminated string.
+    #[must_use]
+    pub fn contents(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of lines logged so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// `true` if nothing has been logged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+impl Observer for JsonlExporter {
+    fn on_event(&mut self, event: &ObsEvent) {
+        self.lines.push(event_to_json(event).to_string());
+    }
+}
+
+/// One open span on a participant's track.
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    name: String,
+}
+
+/// Chrome trace-event exporter.
+///
+/// Spans (`ActionEnter`/`ActionLeave`, `AbortionStart`/`AbortionEnd`,
+/// `HandlerStart`/`HandlerEnd`) become `B`/`E` pairs on one track per
+/// participant (`tid` = object index); point events (raises, elections,
+/// commits, state transitions, failures) become instants (`ph:"i"`).
+/// `on_run_end` closes any still-open spans so the document always has
+/// balanced pairs, and emits `M` metadata naming each track after its
+/// participant. The result loads in Perfetto / `chrome://tracing`.
+#[derive(Debug, Default)]
+pub struct ChromeTraceExporter {
+    events: Vec<JsonValue>,
+    open: BTreeMap<u64, Vec<OpenSpan>>, // tid -> span stack
+    tracks: BTreeSet<u64>,
+    finished: bool,
+}
+
+const PID: u64 = 1;
+
+fn ts_of(event: &ObsEvent) -> u64 {
+    event.wall_micros.unwrap_or_else(|| event.at.as_micros())
+}
+
+fn trace_record(ph: &str, name: &str, cat: &str, ts: u64, tid: u64) -> JsonValue {
+    let mut fields = vec![
+        ("name".to_owned(), JsonValue::str(name)),
+        ("cat".to_owned(), JsonValue::str(cat)),
+        ("ph".to_owned(), JsonValue::str(ph)),
+        ("ts".to_owned(), JsonValue::num(ts)),
+        ("pid".to_owned(), JsonValue::num(PID)),
+        ("tid".to_owned(), JsonValue::num(tid)),
+    ];
+    if ph == "i" {
+        // Thread-scoped instant.
+        fields.push(("s".to_owned(), JsonValue::str("t")));
+    }
+    JsonValue::Obj(fields)
+}
+
+impl ChromeTraceExporter {
+    /// Creates an empty exporter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, tid: u64, ts: u64, name: String, cat: &str) {
+        self.events.push(trace_record("B", &name, cat, ts, tid));
+        self.open.entry(tid).or_default().push(OpenSpan { name });
+    }
+
+    fn end(&mut self, tid: u64, ts: u64, cat: &str) {
+        if let Some(span) = self.open.entry(tid).or_default().pop() {
+            self.events.push(trace_record("E", &span.name, cat, ts, tid));
+        }
+        // An end with no matching begin is dropped: the watchdog (not
+        // the exporter) reports unbalanced streams.
+    }
+
+    /// Renders the `{"traceEvents": [...]}` document. Call after
+    /// `on_run_end`; open spans left by a deadlocked run are closed at
+    /// the final timestamp first.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        JsonValue::Obj(vec![(
+            "traceEvents".to_owned(),
+            JsonValue::Arr(self.events.clone()),
+        )])
+        .to_string()
+    }
+
+    /// The set of participant tracks (`tid`s) seen.
+    #[must_use]
+    pub fn tracks(&self) -> &BTreeSet<u64> {
+        &self.tracks
+    }
+}
+
+impl Observer for ChromeTraceExporter {
+    fn on_event(&mut self, event: &ObsEvent) {
+        let tid = u64::from(event.object.index());
+        let ts = ts_of(event);
+        if self.tracks.insert(tid) {
+            // Name the track after the participant on first sight.
+            let meta = vec![
+                ("name".to_owned(), JsonValue::str("thread_name")),
+                ("ph".to_owned(), JsonValue::str("M")),
+                ("pid".to_owned(), JsonValue::num(PID)),
+                ("tid".to_owned(), JsonValue::num(tid)),
+                (
+                    "args".to_owned(),
+                    JsonValue::Obj(vec![(
+                        "name".to_owned(),
+                        JsonValue::str(event.object.to_string()),
+                    )]),
+                ),
+            ];
+            self.events.push(JsonValue::Obj(meta));
+        }
+        let action = event.span.action;
+        match &event.kind {
+            ObsKind::ActionEnter => {
+                self.begin(tid, ts, action.to_string(), "action");
+            }
+            ObsKind::ActionLeave => {
+                self.end(tid, ts, "action");
+            }
+            ObsKind::AbortionStart { .. } => {
+                self.begin(tid, ts, format!("abort {action}"), "abortion");
+            }
+            ObsKind::AbortionEnd => {
+                self.end(tid, ts, "abortion");
+            }
+            ObsKind::HandlerStart { exception } => {
+                self.begin(
+                    tid,
+                    ts,
+                    format!("handle e{} ({})", exception.index(), event.span),
+                    "handler",
+                );
+            }
+            ObsKind::HandlerEnd { .. } => {
+                self.end(tid, ts, "handler");
+            }
+            ObsKind::Raise { exception } => {
+                self.events.push(trace_record(
+                    "i",
+                    &format!("raise e{} ({})", exception.index(), event.span),
+                    "raise",
+                    ts,
+                    tid,
+                ));
+            }
+            ObsKind::StateTransition { from, to } => {
+                self.events.push(trace_record(
+                    "i",
+                    &format!("{from}\u{2192}{to}"),
+                    "state",
+                    ts,
+                    tid,
+                ));
+            }
+            ObsKind::ResolutionStart => {
+                self.events.push(trace_record(
+                    "i",
+                    &format!("resolution start ({})", event.span),
+                    "resolution",
+                    ts,
+                    tid,
+                ));
+            }
+            ObsKind::ResolverElected { resolver } => {
+                self.events.push(trace_record(
+                    "i",
+                    &format!("resolver {resolver} ({})", event.span),
+                    "resolution",
+                    ts,
+                    tid,
+                ));
+            }
+            ObsKind::ResolutionCommit { resolved, .. } => {
+                self.events.push(trace_record(
+                    "i",
+                    &format!("commit e{} ({})", resolved.index(), event.span),
+                    "resolution",
+                    ts,
+                    tid,
+                ));
+            }
+            ObsKind::ActionFailed { exception } => {
+                self.events.push(trace_record(
+                    "i",
+                    &format!("failed e{}", exception.index()),
+                    "failure",
+                    ts,
+                    tid,
+                ));
+            }
+            ObsKind::MessageSent { .. } => {} // too noisy for the trace view
+        }
+    }
+
+    fn on_run_end(&mut self, at: SimTime) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let ts = at.as_micros();
+        let tids: Vec<u64> = self.open.keys().copied().collect();
+        for tid in tids {
+            while self
+                .open
+                .get(&tid)
+                .is_some_and(|stack| !stack.is_empty())
+            {
+                self.end(tid, ts, "action");
+            }
+        }
+    }
+}
+
+/// Parses a trace document and checks that, per track, `B`/`E` events
+/// form balanced LIFO pairs with non-decreasing timestamps and
+/// matching names. Returns the number of `B`/`E` pairs checked.
+///
+/// # Errors
+///
+/// Returns a description of the first imbalance found.
+pub fn check_balanced(doc: &JsonValue) -> Result<usize, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing traceEvents array".to_owned())?;
+    let mut stacks: BTreeMap<u64, Vec<(String, u64)>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut pairs = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(JsonValue::as_str).unwrap_or("");
+        if ph == "M" {
+            continue;
+        }
+        let tid = ev
+            .get("tid")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| "event without tid".to_owned())?;
+        let ts = ev
+            .get("ts")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| "event without ts".to_owned())?;
+        let name = ev
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("")
+            .to_owned();
+        if let Some(&prev) = last_ts.get(&tid) {
+            if ts < prev {
+                return Err(format!(
+                    "track {tid}: timestamp {ts} decreases below {prev}"
+                ));
+            }
+        }
+        last_ts.insert(tid, ts);
+        match ph {
+            "B" => stacks.entry(tid).or_default().push((name, ts)),
+            "E" => {
+                let Some((open_name, open_ts)) =
+                    stacks.entry(tid).or_default().pop()
+                else {
+                    return Err(format!("track {tid}: E `{name}` without open B"));
+                };
+                if open_name != name {
+                    return Err(format!(
+                        "track {tid}: E `{name}` closes B `{open_name}`"
+                    ));
+                }
+                if ts < open_ts {
+                    return Err(format!(
+                        "track {tid}: span `{name}` ends at {ts} before it begins at {open_ts}"
+                    ));
+                }
+                pairs += 1;
+            }
+            _ => {}
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some((name, _)) = stack.last() {
+            return Err(format!("track {tid}: B `{name}` never closed"));
+        }
+    }
+    Ok(pairs)
+}
+
+/// The set of track ids (`tid`s) present in a trace document,
+/// metadata rows included.
+#[must_use]
+pub fn track_ids(doc: &JsonValue) -> BTreeSet<u64> {
+    doc.get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .map(|events| {
+            events
+                .iter()
+                .filter_map(|ev| ev.get("tid").and_then(JsonValue::as_u64))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CorrelationId;
+    use crate::json;
+    use caex_action::ActionId;
+    use caex_net::NodeId;
+    use caex_tree::ExceptionId;
+
+    fn ev(at: u64, object: u32, kind: ObsKind) -> ObsEvent {
+        ObsEvent {
+            at: SimTime::from_micros(at),
+            wall_micros: None,
+            object: NodeId::new(object),
+            span: CorrelationId { action: ActionId::new(1), round: 1 },
+            kind,
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json() {
+        let mut log = JsonlExporter::new();
+        log.on_event(&ev(3, 0, ObsKind::ActionEnter));
+        log.on_event(&ev(
+            5,
+            0,
+            ObsKind::Raise { exception: ExceptionId::new(2) },
+        ));
+        let contents = log.contents();
+        assert_eq!(log.len(), 2);
+        for line in contents.lines() {
+            let doc = json::parse(line).expect("valid json line");
+            assert!(doc.get("kind").is_some());
+            assert_eq!(doc.get("action").and_then(JsonValue::as_u64), Some(1));
+        }
+        assert!(contents.contains("\"exception\":\"e2\""));
+    }
+
+    #[test]
+    fn chrome_trace_is_balanced_and_named() {
+        let mut trace = ChromeTraceExporter::new();
+        trace.on_event(&ev(0, 0, ObsKind::ActionEnter));
+        trace.on_event(&ev(0, 1, ObsKind::ActionEnter));
+        trace.on_event(&ev(
+            4,
+            1,
+            ObsKind::HandlerStart { exception: ExceptionId::new(1) },
+        ));
+        trace.on_event(&ev(9, 1, ObsKind::HandlerEnd { signalled: false }));
+        trace.on_event(&ev(9, 1, ObsKind::ActionLeave));
+        trace.on_event(&ev(9, 0, ObsKind::ActionLeave));
+        trace.on_run_end(SimTime::from_micros(10));
+
+        let doc = json::parse(&trace.to_json()).expect("valid trace json");
+        assert_eq!(check_balanced(&doc), Ok(3));
+        assert_eq!(track_ids(&doc).len(), 2);
+        assert!(trace.to_json().contains("thread_name"));
+        assert!(trace.to_json().contains("\"name\":\"O1\""));
+    }
+
+    #[test]
+    fn run_end_closes_open_spans() {
+        let mut trace = ChromeTraceExporter::new();
+        trace.on_event(&ev(0, 2, ObsKind::ActionEnter));
+        trace.on_event(&ev(
+            1,
+            2,
+            ObsKind::AbortionStart { depth: 1 },
+        ));
+        trace.on_run_end(SimTime::from_micros(7));
+        let doc = json::parse(&trace.to_json()).expect("valid");
+        assert_eq!(check_balanced(&doc), Ok(2));
+    }
+
+    #[test]
+    fn check_balanced_rejects_mismatches() {
+        let doc = json::parse(
+            r#"{"traceEvents":[
+                {"name":"A1","ph":"B","ts":1,"pid":1,"tid":0},
+                {"name":"A2","ph":"E","ts":2,"pid":1,"tid":0}
+            ]}"#,
+        )
+        .expect("valid json");
+        assert!(check_balanced(&doc).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! `caex-obs`: the observability layer for the caex workspace.
+//!
+//! The protocol crates emit a typed stream of [`ObsEvent`]s — action
+//! enter/leave, raises, §4.2 `N`/`X`/`S`/`R` state transitions,
+//! resolver election, resolution round start/commit, abortion and
+//! handler spans — through the [`Observer`] trait. Every event carries
+//! a [`CorrelationId`] tying it to its `(ActionId, resolution round)`
+//! so one resolution can be followed end-to-end across participants.
+//!
+//! On top of the raw stream this crate ships:
+//!
+//! - [`MetricsRegistry`] — counters and fixed-bucket histograms for
+//!   resolution latency (sim and wall time), per-round message counts
+//!   checked against an injected §4.4 predictor, per-state dwell times
+//!   and handler durations, with Prometheus-style text exposition and
+//!   a JSON-round-trippable snapshot;
+//! - [`JsonlExporter`] and [`ChromeTraceExporter`] — structured-log and
+//!   Chrome trace-event output (`B`/`E` span pairs, one track per
+//!   participant) loadable in Perfetto;
+//! - [`Watchdog`] — an invariant observer that flags state-machine
+//!   violations (illegal `N`/`X`/`S`/`R` edges, commits landing during
+//!   an abortion, ACK overflow beyond `N−1` per broadcast, unbalanced
+//!   spans, duplicate commits) as the events stream past.
+//!
+//! The layer is additive: engines keep their `TraceLog` and report
+//! structs untouched and gain `run_observed` variants that thread an
+//! `&mut dyn Observer` through the same code path.
+
+pub mod event;
+pub mod exporters;
+pub mod json;
+pub mod metrics;
+pub mod watchdog;
+
+pub use event::{CorrelationId, ObsEvent, ObsKind, ObsState, Observer, Recorder, Tee};
+pub use exporters::{ChromeTraceExporter, JsonlExporter};
+pub use json::JsonValue;
+pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ResolutionMetrics};
+pub use watchdog::{Violation, Watchdog};

@@ -1,0 +1,443 @@
+//! [`Watchdog`]: an observer that checks protocol invariants as the
+//! event stream passes, flagging state-machine violations live rather
+//! than post-hoc.
+//!
+//! Checked invariants:
+//!
+//! 1. **State edges** — only the §4.2 transitions reachable under
+//!    pre/post sampling of `Participant::handle` are legal:
+//!    `N→X`, `N→S`, `S→X`, `S→N`, `X→S`, `X→R`, `X→N`, `R→N`, `R→S`.
+//!    Anything else (e.g. `R→X`: a ready object re-raising before the
+//!    commit) is a violation.
+//! 2. **Commit during abortion** — a handler must never start while
+//!    the object's abortion span is still open: the resolver cannot
+//!    have been ready while an `LO` entry was incomplete.
+//! 3. **ACK overflow** — a participant can collect at most `N−1` ACKs
+//!    per broadcast it made in a round; more means a peer acked twice
+//!    or a stale ack leaked through.
+//! 4. **Span balance** — `ActionLeave`, `AbortionEnd` and `HandlerEnd`
+//!    must close a matching open span on the same object.
+//! 5. **Commit multiplicity** — at most `expected_commits` resolvers
+//!    may commit one round (1 unless a resolver group is configured).
+
+use crate::event::{ObsEvent, ObsKind, ObsState, Observer};
+use caex_action::ActionId;
+use caex_net::NodeId;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// One invariant violation, with the offending event's coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Microsecond timestamp of the offending event.
+    pub at_us: u64,
+    /// The object the violation was observed at.
+    pub object: NodeId,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}µs] {}: {}", self.at_us, self.object, self.message)
+    }
+}
+
+/// The invariant-checking observer. Collects [`Violation`]s; a clean
+/// run ends with [`Watchdog::is_clean`] true.
+#[derive(Debug)]
+pub struct Watchdog {
+    expected_commits: u64,
+    violations: Vec<Violation>,
+    state: HashMap<NodeId, ObsState>,
+    participants: HashMap<ActionId, BTreeSet<NodeId>>,
+    // (action, round, receiver) -> acks seen so far
+    acks_to: HashMap<(ActionId, u32, NodeId), u64>,
+    // (action, round, sender) -> ack-expecting broadcasts (exception /
+    // nested_completed multicast fan-out, counted per destination and
+    // divided by N−1 is fragile; count multicast *starts* instead by
+    // first destination of a burst).
+    broadcasts: HashMap<(ActionId, u32, NodeId), BroadcastTally>,
+    commits: HashMap<(ActionId, u32), u64>,
+    open_actions: HashMap<NodeId, u64>,
+    open_abortions: HashMap<NodeId, u64>,
+    open_handlers: HashMap<NodeId, u64>,
+}
+
+/// Per-(round, sender) tally of ack-expecting sends, grouped into
+/// broadcasts of `N−1` messages each.
+#[derive(Debug, Default)]
+struct BroadcastTally {
+    sends: u64,
+}
+
+const LEGAL_EDGES: [(ObsState, ObsState); 9] = [
+    (ObsState::N, ObsState::X),
+    (ObsState::N, ObsState::S),
+    (ObsState::S, ObsState::X),
+    (ObsState::S, ObsState::N),
+    (ObsState::X, ObsState::S),
+    (ObsState::X, ObsState::R),
+    (ObsState::X, ObsState::N),
+    (ObsState::R, ObsState::N),
+    (ObsState::R, ObsState::S),
+];
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog::new()
+    }
+}
+
+impl Watchdog {
+    /// Creates a watchdog expecting a single resolver per round.
+    #[must_use]
+    pub fn new() -> Self {
+        Watchdog {
+            expected_commits: 1,
+            violations: Vec::new(),
+            state: HashMap::new(),
+            participants: HashMap::new(),
+            acks_to: HashMap::new(),
+            broadcasts: HashMap::new(),
+            commits: HashMap::new(),
+            open_actions: HashMap::new(),
+            open_abortions: HashMap::new(),
+            open_handlers: HashMap::new(),
+        }
+    }
+
+    /// Allows up to `count` commits per round (resolver groups).
+    #[must_use]
+    pub fn with_expected_commits(mut self, count: u64) -> Self {
+        self.expected_commits = count.max(1);
+        self
+    }
+
+    /// The violations recorded so far.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// `true` iff no invariant has been violated.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn flag(&mut self, event: &ObsEvent, message: String) {
+        self.violations.push(Violation {
+            at_us: event.at.as_micros(),
+            object: event.object,
+            message,
+        });
+    }
+}
+
+impl Observer for Watchdog {
+    fn on_event(&mut self, event: &ObsEvent) {
+        let object = event.object;
+        match &event.kind {
+            ObsKind::ActionEnter => {
+                self.participants
+                    .entry(event.span.action)
+                    .or_default()
+                    .insert(object);
+                *self.open_actions.entry(object).or_insert(0) += 1;
+            }
+            ObsKind::ActionLeave => {
+                let open = self.open_actions.entry(object).or_insert(0);
+                if *open == 0 {
+                    self.flag(
+                        event,
+                        format!(
+                            "ActionLeave for {} with no open action span",
+                            event.span.action
+                        ),
+                    );
+                } else {
+                    *open -= 1;
+                }
+            }
+            ObsKind::StateTransition { from, to } => {
+                let known = self.state.get(&object).copied().unwrap_or(ObsState::N);
+                if known != *from {
+                    self.flag(
+                        event,
+                        format!(
+                            "transition {from}\u{2192}{to} but {object} was last \
+                             observed in {known}"
+                        ),
+                    );
+                }
+                if !LEGAL_EDGES.contains(&(*from, *to)) {
+                    self.flag(
+                        event,
+                        format!("illegal state transition {from}\u{2192}{to}"),
+                    );
+                }
+                self.state.insert(object, *to);
+            }
+            ObsKind::AbortionStart { .. } => {
+                *self.open_abortions.entry(object).or_insert(0) += 1;
+            }
+            ObsKind::AbortionEnd => {
+                let open = self.open_abortions.entry(object).or_insert(0);
+                if *open == 0 {
+                    self.flag(event, "AbortionEnd with no open abortion".to_owned());
+                } else {
+                    *open -= 1;
+                }
+            }
+            ObsKind::HandlerStart { .. } => {
+                if self.open_abortions.get(&object).copied().unwrap_or(0) > 0 {
+                    self.flag(
+                        event,
+                        format!(
+                            "commit delivered to {object} while its abortion is \
+                             still in progress (LO incomplete)"
+                        ),
+                    );
+                }
+                *self.open_handlers.entry(object).or_insert(0) += 1;
+            }
+            ObsKind::HandlerEnd { .. } => {
+                let open = self.open_handlers.entry(object).or_insert(0);
+                if *open == 0 {
+                    self.flag(event, "HandlerEnd with no open handler".to_owned());
+                } else {
+                    *open -= 1;
+                }
+            }
+            ObsKind::ResolutionCommit { .. } => {
+                if event.span.round > 0 {
+                    let commits = self
+                        .commits
+                        .entry((event.span.action, event.span.round))
+                        .or_insert(0);
+                    *commits += 1;
+                    if *commits > self.expected_commits {
+                        let total = *commits;
+                        self.flag(
+                            event,
+                            format!(
+                                "{} committed {total} times (expected at most {})",
+                                event.span, self.expected_commits
+                            ),
+                        );
+                    }
+                }
+            }
+            ObsKind::MessageSent { kind, to } => {
+                if event.span.round == 0 {
+                    return;
+                }
+                let action = event.span.action;
+                let round = event.span.round;
+                // Broadcasts that expect an ACK per peer.
+                if matches!(*kind, "exception" | "nested_completed") {
+                    self.broadcasts
+                        .entry((action, round, object))
+                        .or_default()
+                        .sends += 1;
+                }
+                if *kind == "ack" {
+                    let n = self
+                        .participants
+                        .get(&action)
+                        .map_or(0, |set| set.len() as u64);
+                    let peers = n.saturating_sub(1);
+                    let received = self
+                        .acks_to
+                        .entry((action, round, *to))
+                        .or_insert(0);
+                    *received += 1;
+                    let broadcasts = self
+                        .broadcasts
+                        .get(&(action, round, *to))
+                        .map_or(0, |b| {
+                            if peers == 0 {
+                                0
+                            } else {
+                                b.sends.div_ceil(peers)
+                            }
+                        });
+                    let allowed = peers * broadcasts.max(1);
+                    if peers > 0 && *received > allowed {
+                        let received = *received;
+                        self.flag(
+                            event,
+                            format!(
+                                "{to} has been sent {received} ACKs in {} but made \
+                                 {broadcasts} broadcast(s) of N\u{2212}1 = {peers}: \
+                                 at most {allowed} are legal",
+                                event.span
+                            ),
+                        );
+                    }
+                }
+            }
+            ObsKind::Raise { .. }
+            | ObsKind::ResolutionStart
+            | ObsKind::ResolverElected { .. }
+            | ObsKind::ActionFailed { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CorrelationId;
+    use caex_net::SimTime;
+    use caex_tree::ExceptionId;
+
+    fn ev(object: u32, round: u32, kind: ObsKind) -> ObsEvent {
+        ObsEvent {
+            at: SimTime::from_micros(1),
+            wall_micros: None,
+            object: NodeId::new(object),
+            span: CorrelationId { action: ActionId::new(0), round },
+            kind,
+        }
+    }
+
+    #[test]
+    fn clean_stream_stays_clean() {
+        let mut dog = Watchdog::new();
+        dog.on_event(&ev(0, 0, ObsKind::ActionEnter));
+        dog.on_event(&ev(1, 0, ObsKind::ActionEnter));
+        dog.on_event(&ev(
+            0,
+            1,
+            ObsKind::StateTransition { from: ObsState::N, to: ObsState::X },
+        ));
+        dog.on_event(&ev(
+            0,
+            1,
+            ObsKind::MessageSent { kind: "exception", to: NodeId::new(1) },
+        ));
+        dog.on_event(&ev(
+            1,
+            1,
+            ObsKind::MessageSent { kind: "ack", to: NodeId::new(0) },
+        ));
+        dog.on_event(&ev(
+            0,
+            1,
+            ObsKind::ResolutionCommit { resolved: ExceptionId::new(1), raised: 1 },
+        ));
+        dog.on_event(&ev(
+            0,
+            1,
+            ObsKind::StateTransition { from: ObsState::X, to: ObsState::N },
+        ));
+        assert!(dog.is_clean(), "{:?}", dog.violations());
+    }
+
+    #[test]
+    fn illegal_edge_is_flagged() {
+        let mut dog = Watchdog::new();
+        dog.on_event(&ev(
+            0,
+            1,
+            ObsKind::StateTransition { from: ObsState::N, to: ObsState::X },
+        ));
+        dog.on_event(&ev(
+            0,
+            1,
+            ObsKind::StateTransition { from: ObsState::X, to: ObsState::R },
+        ));
+        dog.on_event(&ev(
+            0,
+            1,
+            ObsKind::StateTransition { from: ObsState::R, to: ObsState::X },
+        ));
+        assert_eq!(dog.violations().len(), 1);
+        assert!(dog.violations()[0].message.contains("illegal state transition"));
+    }
+
+    #[test]
+    fn stale_from_state_is_flagged() {
+        let mut dog = Watchdog::new();
+        dog.on_event(&ev(
+            0,
+            1,
+            ObsKind::StateTransition { from: ObsState::S, to: ObsState::X },
+        ));
+        assert_eq!(dog.violations().len(), 1);
+        assert!(dog.violations()[0].message.contains("last observed in N"));
+    }
+
+    #[test]
+    fn ack_overflow_is_flagged() {
+        let mut dog = Watchdog::new();
+        for o in 0..3 {
+            dog.on_event(&ev(o, 0, ObsKind::ActionEnter));
+        }
+        // O0 broadcasts one exception (2 sends)...
+        for to in 1..3 {
+            dog.on_event(&ev(
+                0,
+                1,
+                ObsKind::MessageSent { kind: "exception", to: NodeId::new(to) },
+            ));
+        }
+        // ...so two ACKs are fine, a third is an overflow.
+        for _ in 0..2 {
+            dog.on_event(&ev(
+                1,
+                1,
+                ObsKind::MessageSent { kind: "ack", to: NodeId::new(0) },
+            ));
+        }
+        assert!(dog.is_clean());
+        dog.on_event(&ev(
+            2,
+            1,
+            ObsKind::MessageSent { kind: "ack", to: NodeId::new(0) },
+        ));
+        assert_eq!(dog.violations().len(), 1);
+        assert!(dog.violations()[0].message.contains("ACKs"));
+    }
+
+    #[test]
+    fn commit_during_abortion_is_flagged() {
+        let mut dog = Watchdog::new();
+        dog.on_event(&ev(0, 1, ObsKind::AbortionStart { depth: 1 }));
+        dog.on_event(&ev(
+            0,
+            1,
+            ObsKind::HandlerStart { exception: ExceptionId::new(1) },
+        ));
+        assert_eq!(dog.violations().len(), 1);
+        assert!(dog.violations()[0].message.contains("abortion"));
+    }
+
+    #[test]
+    fn duplicate_commit_respects_expected_group() {
+        let commit = ObsKind::ResolutionCommit {
+            resolved: ExceptionId::new(1),
+            raised: 1,
+        };
+        let mut dog = Watchdog::new();
+        dog.on_event(&ev(0, 1, commit.clone()));
+        dog.on_event(&ev(1, 1, commit.clone()));
+        assert_eq!(dog.violations().len(), 1);
+
+        let mut group = Watchdog::new().with_expected_commits(2);
+        group.on_event(&ev(0, 1, commit.clone()));
+        group.on_event(&ev(1, 1, commit));
+        assert!(group.is_clean());
+    }
+
+    #[test]
+    fn unbalanced_spans_are_flagged() {
+        let mut dog = Watchdog::new();
+        dog.on_event(&ev(0, 0, ObsKind::ActionLeave));
+        dog.on_event(&ev(0, 0, ObsKind::AbortionEnd));
+        dog.on_event(&ev(0, 0, ObsKind::HandlerEnd { signalled: false }));
+        assert_eq!(dog.violations().len(), 3);
+    }
+}

@@ -19,9 +19,26 @@
 //! asserted. Like [`crate::cr`], it supports flat (non-nested) actions,
 //! which is where the comparison is meaningful.
 
+use caex_action::ActionId;
 use caex_net::{Kinded, NetConfig, NetStats, NodeId, SimNet, SimTime};
+use caex_obs::{CorrelationId, ObsEvent, ObsKind, Observer};
 use caex_tree::{ExceptionId, ExceptionTree};
 use std::sync::Arc;
+
+/// The conventional span for baseline engines: they run one flat
+/// resolution, reported as round 1 of action 0.
+fn span_event(at: SimTime, object: NodeId, kind: ObsKind) -> ObsEvent {
+    ObsEvent {
+        at,
+        wall_micros: None,
+        object,
+        span: CorrelationId {
+            action: ActionId::new(0),
+            round: 1,
+        },
+        kind,
+    }
+}
 
 /// Messages of the centralized protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +115,29 @@ pub fn run(
     window: SimTime,
     net_config: NetConfig,
 ) -> CentralReport {
+    run_observed(n, tree, coordinator, raises, window, net_config, &mut ())
+}
+
+/// Like [`run`], but streams synthetic [`ObsEvent`]s to `obs`: raises,
+/// `central_report`/`central_commit` message sends, and — the election
+/// being fixed by construction — a `ResolverElected` that always names
+/// the coordinator. The whole run is reported as span `A0#r1`, the
+/// baseline convention (flat action, single round).
+///
+/// # Panics
+///
+/// Panics as [`run`] does.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_observed(
+    n: u32,
+    tree: Arc<ExceptionTree>,
+    coordinator: NodeId,
+    raises: &[(NodeId, ExceptionId)],
+    window: SimTime,
+    net_config: NetConfig,
+    obs: &mut dyn Observer,
+) -> CentralReport {
     assert!(!raises.is_empty(), "nothing to resolve");
     let mut net: SimNet<CMsg> = SimNet::new(net_config, n);
     for &(node, exc) in raises {
@@ -108,10 +148,17 @@ pub fn run(
     let mut window_open = false;
     let mut committed = None;
     let mut informed = 0u32;
+    let mut started = false;
 
     while let Some(d) = net.next_delivery() {
+        let at = net.now();
         match d.payload {
             CMsg::LocalRaise(exc) => {
+                if !started {
+                    started = true;
+                    obs.on_event(&span_event(at, d.to, ObsKind::ResolutionStart));
+                }
+                obs.on_event(&span_event(at, d.to, ObsKind::Raise { exception: exc }));
                 if d.to == coordinator {
                     // The coordinator's own exception needs no message.
                     collected.push(exc);
@@ -120,6 +167,14 @@ pub fn run(
                         net.schedule_local_in(window, coordinator, CMsg::WindowClosed);
                     }
                 } else {
+                    obs.on_event(&span_event(
+                        at,
+                        d.to,
+                        ObsKind::MessageSent {
+                            kind: "central_report",
+                            to: coordinator,
+                        },
+                    ));
                     net.send(d.to, coordinator, CMsg::Report { from: d.to, exc });
                 }
             }
@@ -136,8 +191,34 @@ pub fn run(
                     .resolve(collected.iter().copied())
                     .expect("window opened only after a report");
                 committed = Some(resolved);
+                obs.on_event(&span_event(
+                    at,
+                    coordinator,
+                    ObsKind::ResolverElected {
+                        resolver: coordinator,
+                    },
+                ));
+                let mut distinct = collected.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                obs.on_event(&span_event(
+                    at,
+                    coordinator,
+                    ObsKind::ResolutionCommit {
+                        resolved,
+                        raised: distinct.len() as u32,
+                    },
+                ));
                 for peer in (0..n).map(NodeId::new) {
                     if peer != coordinator {
+                        obs.on_event(&span_event(
+                            at,
+                            coordinator,
+                            ObsKind::MessageSent {
+                                kind: "central_commit",
+                                to: peer,
+                            },
+                        ));
                         net.send(coordinator, peer, CMsg::Commit { exc: resolved });
                     }
                 }
@@ -148,6 +229,7 @@ pub fn run(
         }
     }
 
+    obs.on_run_end(net.now());
     CentralReport {
         stats: net.stats().clone(),
         committed,

@@ -24,10 +24,27 @@
 //! commit. Even with that head start the message count grows as
 //! `O(N³)` on domino workloads, versus `O(N²)` for the new algorithm.
 
+use caex_action::ActionId;
 use caex_net::{Kinded, NetConfig, NetStats, NodeId, SimNet, SimTime};
+use caex_obs::{CorrelationId, ObsEvent, ObsKind, Observer};
 use caex_tree::{ExceptionId, ExceptionTree, ReducedTree};
 use std::collections::BTreeSet;
 use std::sync::Arc;
+
+/// The conventional span for baseline engines: one flat resolution,
+/// reported as round 1 of action 0.
+fn span_event(at: SimTime, object: NodeId, kind: ObsKind) -> ObsEvent {
+    ObsEvent {
+        at,
+        wall_micros: None,
+        object,
+        span: CorrelationId {
+            action: ActionId::new(0),
+            round: 1,
+        },
+        kind,
+    }
+}
 
 /// Messages of the modelled CR protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,6 +160,27 @@ pub fn run(
     initial_raises: &[(NodeId, ExceptionId)],
     net_config: NetConfig,
 ) -> CrReport {
+    run_observed(n, tree, reduced, initial_raises, net_config, &mut ())
+}
+
+/// Like [`run`], but streams synthetic [`ObsEvent`]s to `obs`: every
+/// raise (original and third-source re-raise — the domino is visible
+/// as a chain of `Raise` events in one round), every `cr_*` message
+/// send, and the idealised final election/commit. The whole run is
+/// reported as span `A0#r1`, the baseline convention.
+///
+/// # Panics
+///
+/// Panics as [`run`] does.
+#[must_use]
+pub fn run_observed(
+    n: u32,
+    tree: Arc<ExceptionTree>,
+    reduced: Vec<ReducedTree>,
+    initial_raises: &[(NodeId, ExceptionId)],
+    net_config: NetConfig,
+    obs: &mut dyn Observer,
+) -> CrReport {
     assert_eq!(
         reduced.len(),
         n as usize,
@@ -167,6 +205,7 @@ pub fn run(
     }
 
     let mut raised_total = 0u32;
+    let mut started = false;
     // Two phases: exception storm to quiescence, then the idealised
     // final commit.
     loop {
@@ -174,10 +213,19 @@ pub fn run(
             let idx = d.to.index() as usize;
             match d.payload {
                 CrMsg::LocalRaise(exc) => {
-                    raise(&mut parts[idx], exc, &mut net, &mut raised_total);
-                    propose(&mut parts[idx], &tree, &mut net);
+                    if !started {
+                        started = true;
+                        obs.on_event(&span_event(net.now(), d.to, ObsKind::ResolutionStart));
+                    }
+                    raise(&mut parts[idx], exc, &mut net, &mut raised_total, obs);
+                    propose(&mut parts[idx], &tree, &mut net, obs);
                 }
                 CrMsg::Exception { from, exc } => {
+                    obs.on_event(&span_event(
+                        net.now(),
+                        d.to,
+                        ObsKind::MessageSent { kind: "cr_ack", to: from },
+                    ));
                     net.send(d.to, from, CrMsg::Ack { from: d.to });
                     let newly = parts[idx].known.insert(exc);
                     if newly {
@@ -191,9 +239,9 @@ pub fn run(
                             && !parts[idx].known.contains(&climbed)
                             && !parts[idx].raised_by_me.contains(&climbed)
                         {
-                            raise(&mut parts[idx], climbed, &mut net, &mut raised_total);
+                            raise(&mut parts[idx], climbed, &mut net, &mut raised_total, obs);
                         }
-                        propose(&mut parts[idx], &tree, &mut net);
+                        propose(&mut parts[idx], &tree, &mut net, obs);
                     }
                 }
                 CrMsg::Ack { .. } | CrMsg::Proposal { .. } => {
@@ -215,9 +263,21 @@ pub fn run(
                 .expect("at least the initial raise is known");
             max.committed = Some(resolved);
             let me = max.id;
+            let at = net.now();
+            obs.on_event(&span_event(at, me, ObsKind::ResolverElected { resolver: me }));
+            obs.on_event(&span_event(
+                at,
+                me,
+                ObsKind::ResolutionCommit { resolved, raised: raised_total },
+            ));
             for peer in 0..n {
                 let peer = NodeId::new(peer);
                 if peer != me {
+                    obs.on_event(&span_event(
+                        at,
+                        me,
+                        ObsKind::MessageSent { kind: "cr_commit", to: peer },
+                    ));
                     net.send(me, peer, CrMsg::Commit { exc: resolved });
                 }
             }
@@ -226,6 +286,7 @@ pub fn run(
         }
     }
 
+    obs.on_run_end(net.now());
     let committed = parts
         .last()
         .and_then(|p| p.committed)
@@ -238,16 +299,28 @@ pub fn run(
     }
 }
 
-fn raise(p: &mut CrParticipant, exc: ExceptionId, net: &mut SimNet<CrMsg>, raised_total: &mut u32) {
+fn raise(
+    p: &mut CrParticipant,
+    exc: ExceptionId,
+    net: &mut SimNet<CrMsg>,
+    raised_total: &mut u32,
+    obs: &mut dyn Observer,
+) {
     if !p.known.insert(exc) && !p.raised_by_me.insert(exc) {
         return;
     }
     p.raised_by_me.insert(exc);
     *raised_total += 1;
     let me = p.id;
+    obs.on_event(&span_event(net.now(), me, ObsKind::Raise { exception: exc }));
     for peer in 0..net.num_nodes() {
         let peer = NodeId::new(peer);
         if peer != me {
+            obs.on_event(&span_event(
+                net.now(),
+                me,
+                ObsKind::MessageSent { kind: "cr_exception", to: peer },
+            ));
             net.send(me, peer, CrMsg::Exception { from: me, exc });
         }
     }
@@ -256,7 +329,12 @@ fn raise(p: &mut CrParticipant, exc: ExceptionId, net: &mut SimNet<CrMsg>, raise
 /// "Each participant … has to look through [its handlers] after raising
 /// each exception and after each resolution": every knowledge change
 /// triggers a local resolution and a proposal broadcast.
-fn propose(p: &mut CrParticipant, tree: &ExceptionTree, net: &mut SimNet<CrMsg>) {
+fn propose(
+    p: &mut CrParticipant,
+    tree: &ExceptionTree,
+    net: &mut SimNet<CrMsg>,
+    obs: &mut dyn Observer,
+) {
     let resolved = tree
         .resolve(p.known.iter().copied())
         .expect("known is non-empty here");
@@ -268,6 +346,11 @@ fn propose(p: &mut CrParticipant, tree: &ExceptionTree, net: &mut SimNet<CrMsg>)
     for peer in 0..net.num_nodes() {
         let peer = NodeId::new(peer);
         if peer != me {
+            obs.on_event(&span_event(
+                net.now(),
+                me,
+                ObsKind::MessageSent { kind: "cr_proposal", to: peer },
+            ));
             net.send(
                 me,
                 peer,

@@ -428,6 +428,19 @@ impl Scenario {
     /// (entering actions out of nesting order, raising outside actions).
     #[must_use]
     pub fn run(self) -> RunReport {
+        self.run_observed(&mut ())
+    }
+
+    /// Like [`Scenario::run`], but streams typed [`caex_obs::ObsEvent`]s
+    /// to `obs` while the protocol executes — the engine's structured
+    /// observability tap. The [`crate::ObsBridge`] translation layers on
+    /// top of (never replaces) the `TraceLog` and `RunReport`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same scenario programming errors as [`Scenario::run`].
+    #[must_use]
+    pub fn run_observed(self, obs: &mut dyn caex_obs::Observer) -> RunReport {
         let num_nodes = self
             .registry
             .iter()
@@ -473,6 +486,7 @@ impl Scenario {
             HashMap::new();
         let mut acceptance: HashMap<ActionId, AcceptanceTest> =
             self.acceptance.into_iter().collect();
+        let mut bridge = crate::ObsBridge::new();
 
         while let Some(delivery) = net.next_delivery() {
             if net.delivered_count() > self.max_deliveries {
@@ -481,10 +495,12 @@ impl Scenario {
             }
             let at = delivery.at;
             let object = delivery.to;
-            let effects = participants
+            let participant = participants
                 .get_mut(&object)
-                .expect("delivery to unknown object")
-                .handle(delivery.payload);
+                .expect("delivery to unknown object");
+            let pre = bridge.pre(participant, &delivery.payload);
+            let effects = participant.handle(delivery.payload);
+            bridge.post(&pre, participant, &effects, at, None, obs);
             for effect in effects {
                 match effect {
                     Effect::Send { to, msg } => {
@@ -581,6 +597,7 @@ impl Scenario {
             .filter(|p| !p.is_normal())
             .map(Participant::id)
             .collect();
+        obs.on_run_end(net.now());
 
         RunReport {
             resolutions,

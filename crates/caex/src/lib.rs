@@ -72,6 +72,7 @@ pub mod central;
 pub mod codec;
 pub mod cr;
 pub mod explore;
+pub mod obs;
 pub mod program;
 pub mod thread_engine;
 pub mod timeline;
@@ -85,4 +86,5 @@ mod participant;
 pub use effect::{Effect, LeaveMode, NestedStrategy, Note};
 pub use engine::{HandlerStart, ResolutionRecord, RunReport, Scenario};
 pub use message::{Event, Msg};
+pub use obs::ObsBridge;
 pub use participant::{PState, Participant};

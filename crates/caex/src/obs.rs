@@ -1,0 +1,328 @@
+//! The bridge between the engines' [`Note`]/[`Effect`] stream and the
+//! typed [`caex_obs`] event stream.
+//!
+//! [`ObsBridge`] wraps every `Participant::handle` call: [`ObsBridge::pre`]
+//! snapshots the participant's observable state before the event is
+//! applied, [`ObsBridge::post`] compares it with the state afterwards and
+//! translates the emitted effects into [`ObsEvent`]s — opening and
+//! closing `(action, round)` correlation spans along the way. One
+//! bridge instance serves a whole run: the per-action round counters
+//! are global, which is what makes the correlation ids line up across
+//! participants.
+//!
+//! Two translations are synthesized rather than copied from notes:
+//!
+//! - **Abortion end** — `on_abortion_done` has no dedicated note; the
+//!   bridge derives [`ObsKind::AbortionEnd`] from the `aborting` flag
+//!   dropping across the handle (stale `AbortionDone` continuations,
+//!   whose epoch mismatches, correctly emit nothing).
+//! - **Signal raises** — an abortion handler's signalled exception is
+//!   pushed straight into `LE` without a `Raised` note; the bridge
+//!   emits the [`ObsKind::Raise`] so metrics still count the paper's
+//!   `P` correctly (Example 2's `E3`).
+
+use crate::{Effect, Event, Note, PState, Participant};
+use caex_action::ActionId;
+use caex_net::{Kinded, NodeId, SimTime};
+use caex_obs::{CorrelationId, ObsEvent, ObsKind, ObsState, Observer};
+use caex_tree::Exception;
+use std::collections::HashMap;
+
+/// Maps the participant's optional [`PState`] onto the observable
+/// four-state alphabet (`None` is the paper's `N`).
+#[must_use]
+pub fn obs_state(state: Option<PState>) -> ObsState {
+    match state {
+        None => ObsState::N,
+        Some(PState::Exceptional) => ObsState::X,
+        Some(PState::Suspended) => ObsState::S,
+        Some(PState::Ready) => ObsState::R,
+    }
+}
+
+/// Pre-`handle` snapshot of everything `post` needs to diff.
+#[derive(Debug, Clone)]
+pub struct PreSnapshot {
+    object: NodeId,
+    state: Option<PState>,
+    aborting: bool,
+    res_action: Option<ActionId>,
+    active_action: Option<ActionId>,
+    handler_done: Option<(ActionId, bool)>,
+    abortion_done: Option<(ActionId, Option<Exception>)>,
+}
+
+#[derive(Debug, Default)]
+struct RoundState {
+    number: u32,
+    open: bool,
+}
+
+/// Translates `Participant::handle` calls into [`ObsEvent`]s.
+#[derive(Debug, Default)]
+pub struct ObsBridge {
+    rounds: HashMap<ActionId, RoundState>,
+    open_handlers: HashMap<NodeId, ActionId>,
+}
+
+impl ObsBridge {
+    /// Creates a bridge with no open rounds.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current round number of `action` (0 before the first raise).
+    #[must_use]
+    pub fn round_of(&self, action: ActionId) -> u32 {
+        self.rounds.get(&action).map_or(0, |r| r.number)
+    }
+
+    fn open_round(&mut self, action: ActionId) -> (u32, bool) {
+        let round = self.rounds.entry(action).or_default();
+        if round.open {
+            (round.number, false)
+        } else {
+            round.number += 1;
+            round.open = true;
+            (round.number, true)
+        }
+    }
+
+    fn close_round(&mut self, action: ActionId) {
+        if let Some(round) = self.rounds.get_mut(&action) {
+            round.open = false;
+        }
+    }
+
+    /// Snapshots `participant` before it handles `event`.
+    #[must_use]
+    pub fn pre(&self, participant: &Participant, event: &Event) -> PreSnapshot {
+        PreSnapshot {
+            object: participant.id(),
+            state: participant.state(),
+            aborting: participant.is_aborting(),
+            res_action: participant.resolution_action(),
+            active_action: participant.active_action(),
+            handler_done: match event {
+                Event::HandlerDone { action, signal } => Some((*action, signal.is_some())),
+                _ => None,
+            },
+            abortion_done: match event {
+                Event::AbortionDone { action, signal, .. } => {
+                    Some((*action, signal.clone()))
+                }
+                _ => None,
+            },
+        }
+    }
+
+    /// Diffs the snapshot against the post-`handle` participant and
+    /// streams the resulting events to `obs`. `wall` carries real
+    /// elapsed microseconds on engines with a wall clock.
+    #[allow(clippy::too_many_lines)]
+    pub fn post(
+        &mut self,
+        snap: &PreSnapshot,
+        participant: &Participant,
+        fx: &[Effect],
+        at: SimTime,
+        wall: Option<u64>,
+        obs: &mut dyn Observer,
+    ) {
+        let object = snap.object;
+        let mk = |action: ActionId, round: u32, kind: ObsKind| ObsEvent {
+            at,
+            wall_micros: wall,
+            object,
+            span: CorrelationId { action, round },
+            kind,
+        };
+
+        // Abortion completion: the `aborting` flag dropped across this
+        // handle. Chronologically first — the NestedCompleted fan-out
+        // and any immediate commit in `fx` happen after the abortion
+        // has finished.
+        if let Some((action, signal)) = &snap.abortion_done {
+            if snap.aborting && !participant.is_aborting() {
+                let round = self.round_of(*action);
+                obs.on_event(&mk(*action, round, ObsKind::AbortionEnd));
+                if let Some(exc) = signal {
+                    // The signalled exception enters LE without a
+                    // `Raised` note; synthesize its raise.
+                    obs.on_event(&mk(
+                        *action,
+                        round,
+                        ObsKind::Raise { exception: exc.id() },
+                    ));
+                }
+            }
+        }
+
+        // Handler completion (the continuation may be void if an outer
+        // abortion already tore the handler down — then the span was
+        // closed by the abortion translation below).
+        if let Some((action, signalled)) = snap.handler_done {
+            if self.open_handlers.get(&object) == Some(&action) {
+                self.open_handlers.remove(&object);
+                obs.on_event(&mk(
+                    action,
+                    self.round_of(action),
+                    ObsKind::HandlerEnd { signalled },
+                ));
+            }
+        }
+
+        for effect in fx {
+            match effect {
+                Effect::Send { to, msg } => {
+                    let action = msg.action();
+                    obs.on_event(&mk(
+                        action,
+                        self.round_of(action),
+                        ObsKind::MessageSent { kind: msg.kind(), to: *to },
+                    ));
+                }
+                Effect::After { .. } => {}
+                Effect::Note(note) => {
+                    self.translate_note(note, &mk, obs);
+                }
+            }
+        }
+
+        // The net state transition across the handle. Intra-handle
+        // compound moves (N→X→N for a sole-raiser instant commit)
+        // cancel out by design: dwell time in a zero-length state is
+        // zero and the commit events above already tell the story.
+        let from = obs_state(snap.state);
+        let to = obs_state(participant.state());
+        if from != to {
+            let action = participant
+                .resolution_action()
+                .or(snap.res_action)
+                .or(snap.active_action)
+                .unwrap_or_else(|| ActionId::new(0));
+            obs.on_event(&mk(
+                action,
+                self.round_of(action),
+                ObsKind::StateTransition { from, to },
+            ));
+        }
+    }
+
+    fn translate_note(
+        &mut self,
+        note: &Note,
+        mk: &dyn Fn(ActionId, u32, ObsKind) -> ObsEvent,
+        obs: &mut dyn Observer,
+    ) {
+        match note {
+            Note::Entered { action, .. } => {
+                obs.on_event(&mk(*action, self.round_of(*action), ObsKind::ActionEnter));
+            }
+            Note::Completed { action, .. } | Note::SignalledFailure { action, .. } => {
+                obs.on_event(&mk(*action, self.round_of(*action), ObsKind::ActionLeave));
+            }
+            Note::Raised { action, exc, .. } => {
+                let (round, fresh) = self.open_round(*action);
+                if fresh {
+                    obs.on_event(&mk(*action, round, ObsKind::ResolutionStart));
+                }
+                obs.on_event(&mk(*action, round, ObsKind::Raise { exception: exc.id() }));
+            }
+            Note::AbortedNested { object, outer, chain }
+            | Note::WaitingForNested { object, outer, chain, .. } => {
+                // A handler still running for a chain action dies with
+                // it; close its span before the action spans.
+                if let Some(h) = self.open_handlers.get(object).copied() {
+                    if chain.contains(&h) {
+                        self.open_handlers.remove(object);
+                        obs.on_event(&mk(
+                            h,
+                            self.round_of(h),
+                            ObsKind::HandlerEnd { signalled: false },
+                        ));
+                    }
+                }
+                // The chain unwinds innermost-first, keeping each
+                // track's span stack LIFO.
+                for nested in chain {
+                    obs.on_event(&mk(
+                        *nested,
+                        self.round_of(*nested),
+                        ObsKind::ActionLeave,
+                    ));
+                }
+                obs.on_event(&mk(
+                    *outer,
+                    self.round_of(*outer),
+                    ObsKind::AbortionStart { depth: chain.len() as u32 },
+                ));
+            }
+            Note::ResolutionCommitted { action, resolver, resolved, raised } => {
+                let round = self.round_of(*action);
+                obs.on_event(&mk(
+                    *action,
+                    round,
+                    ObsKind::ResolverElected { resolver: *resolver },
+                ));
+                let mut distinct: Vec<_> = raised.iter().map(|(_, e)| e.id()).collect();
+                distinct.sort_unstable();
+                distinct.dedup();
+                obs.on_event(&mk(
+                    *action,
+                    round,
+                    ObsKind::ResolutionCommit {
+                        resolved: resolved.id(),
+                        raised: distinct.len() as u32,
+                    },
+                ));
+                self.close_round(*action);
+            }
+            Note::HandlerStarted { object, action, exc, .. } => {
+                self.open_handlers.insert(*object, *action);
+                obs.on_event(&mk(
+                    *action,
+                    self.round_of(*action),
+                    ObsKind::HandlerStart { exception: exc.id() },
+                ));
+            }
+            Note::ActionFailed { action, exc, .. } => {
+                obs.on_event(&mk(
+                    *action,
+                    self.round_of(*action),
+                    ObsKind::ActionFailed { exception: exc.id() },
+                ));
+            }
+            // Book-keeping notes with no span semantics: skipped
+            // entries, suppressed raises, stale messages, multicast
+            // tallies, leave coordination.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_open_once_and_reopen_after_close() {
+        let mut bridge = ObsBridge::new();
+        let a = ActionId::new(3);
+        assert_eq!(bridge.round_of(a), 0);
+        assert_eq!(bridge.open_round(a), (1, true));
+        assert_eq!(bridge.open_round(a), (1, false));
+        bridge.close_round(a);
+        assert_eq!(bridge.round_of(a), 1);
+        assert_eq!(bridge.open_round(a), (2, true));
+    }
+
+    #[test]
+    fn obs_state_maps_the_paper_alphabet() {
+        assert_eq!(obs_state(None), ObsState::N);
+        assert_eq!(obs_state(Some(PState::Exceptional)), ObsState::X);
+        assert_eq!(obs_state(Some(PState::Suspended)), ObsState::S);
+        assert_eq!(obs_state(Some(PState::Ready)), ObsState::R);
+    }
+}

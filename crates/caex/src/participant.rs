@@ -204,6 +204,19 @@ impl Participant {
         self.res.is_none()
     }
 
+    /// The action of the current resolution context, if any.
+    #[must_use]
+    pub fn resolution_action(&self) -> Option<ActionId> {
+        self.res.as_ref().map(|r| r.action)
+    }
+
+    /// `true` while this object is still aborting (or, under the wait
+    /// strategy, waiting out) its nested actions.
+    #[must_use]
+    pub fn is_aborting(&self) -> bool {
+        self.res.as_ref().is_some_and(|r| r.aborting)
+    }
+
     /// The exceptions currently in `LE` (raiser, occurrence).
     #[must_use]
     pub fn known_exceptions(&self) -> Vec<(NodeId, Exception)> {

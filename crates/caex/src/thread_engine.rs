@@ -71,6 +71,45 @@ impl ThreadReport {
     }
 }
 
+/// Observer adapter appending into a shared buffer (the worker threads
+/// cannot hold the caller's `&mut dyn Observer`).
+struct BufObs<'a>(&'a mut Vec<caex_obs::ObsEvent>);
+
+impl caex_obs::Observer for BufObs<'_> {
+    fn on_event(&mut self, event: &caex_obs::ObsEvent) {
+        self.0.push(event.clone());
+    }
+}
+
+type ObsSink = Mutex<(crate::ObsBridge, Vec<caex_obs::ObsEvent>)>;
+
+/// Runs one `Participant::handle` under the shared bridge. The lock is
+/// held across the handle so bridge round state, event order, and the
+/// wall timestamps stay globally consistent — acceptable serialization
+/// for a demo-grade engine (handler costs are queued, not slept, so
+/// the critical section is short).
+fn handle_observed(
+    participant: &mut Participant,
+    event: Event,
+    sink: &ObsSink,
+    start: Instant,
+) -> Vec<Effect> {
+    let mut guard = sink.lock();
+    let (bridge, events) = &mut *guard;
+    let pre = bridge.pre(participant, &event);
+    let fx = participant.handle(event);
+    let wall = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    bridge.post(
+        &pre,
+        participant,
+        &fx,
+        SimTime::from_micros(wall),
+        Some(wall),
+        &mut BufObs(events),
+    );
+    fx
+}
+
 struct TimedEvent {
     due: Instant,
     seq: u64,
@@ -229,6 +268,22 @@ impl ThreadRunner {
     /// surface this way, as in the simulator engine).
     #[must_use]
     pub fn run(self) -> ThreadReport {
+        self.run_observed(&mut ())
+    }
+
+    /// Like [`ThreadRunner::run`], but streams typed
+    /// [`caex_obs::ObsEvent`]s to `obs`. Timestamps are wall-clock
+    /// microseconds since run start (both as the event's `SimTime` and
+    /// its `wall_micros`), so latency histograms measure real elapsed
+    /// time. Events from all threads are serialized through one bridge
+    /// (the correlation ids must be global) and replayed to `obs` after
+    /// the join, in emission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked, as in [`ThreadRunner::run`].
+    #[must_use]
+    pub fn run_observed(self, obs: &mut dyn caex_obs::Observer) -> ThreadReport {
         let num_nodes = self
             .registry
             .iter()
@@ -240,6 +295,7 @@ impl ThreadRunner {
         let stats = net.stats();
         let ports = net.into_ports();
         let notes = Arc::new(Mutex::new(Vec::new()));
+        let sink: Arc<ObsSink> = Arc::new(Mutex::new((crate::ObsBridge::new(), Vec::new())));
         let start = Instant::now();
 
         let uses_completion = self
@@ -276,6 +332,7 @@ impl ThreadRunner {
             ports.into_iter().zip(participants.into_iter().zip(queues))
         {
             let notes = Arc::clone(&notes);
+            let sink = Arc::clone(&sink);
             joins.push(thread::spawn(move || {
                 let mut seq = u64::MAX / 2;
                 let mut last_activity = Instant::now();
@@ -285,7 +342,7 @@ impl ThreadRunner {
                     let mut effects = Vec::new();
                     while queue.peek().is_some_and(|t| t.due <= now) {
                         let t = queue.pop().expect("peeked");
-                        effects.extend(participant.handle(t.event));
+                        effects.extend(handle_observed(&mut participant, t.event, &sink, start));
                         last_activity = Instant::now();
                     }
                     // Then wait briefly for a message.
@@ -296,7 +353,7 @@ impl ThreadRunner {
                         .min(Duration::from_millis(10));
                     match port.recv_timeout(wait) {
                         Ok((_, event)) => {
-                            effects.extend(participant.handle(event));
+                            effects.extend(handle_observed(&mut participant, event, &sink, start));
                             last_activity = Instant::now();
                         }
                         Err(RecvTimeoutError::Timeout) => {}
@@ -327,6 +384,17 @@ impl ThreadRunner {
         for j in joins {
             j.join().expect("participant thread panicked");
         }
+        let (_, events) = Arc::try_unwrap(sink)
+            .map(Mutex::into_inner)
+            .unwrap_or_else(|arc| {
+                let guard = arc.lock();
+                (crate::ObsBridge::new(), guard.1.clone())
+            });
+        for event in &events {
+            obs.on_event(event);
+        }
+        let end = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        obs.on_run_end(SimTime::from_micros(end));
         let notes = Arc::try_unwrap(notes)
             .map(Mutex::into_inner)
             .unwrap_or_else(|arc| arc.lock().clone());

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-2 checks, beyond `cargo build --release && cargo test -q`:
+#
+# 1. caex-lint statically analyses every built-in workload family and
+#    exits nonzero on deny-level findings;
+# 2. the observability battery runs the invariant watchdog and the live
+#    §4.4 message-law checks over every built-in workload on the real
+#    engines;
+# 3. the tables binary regenerates TABLES.md and BENCH_PR2.json,
+#    validating the bench document (laws + watchdog) before writing it;
+# 4. the checked-in BENCH_PR2.json is pinned against a live
+#    regeneration, so a stale document fails the build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-2 [1/4]: caex-lint over every built-in workload =="
+cargo run -q -p caex-lint --bin caex-lint
+
+echo "== tier-2 [2/4]: obs watchdog + §4.4 laws over every built-in workload =="
+cargo test -q --test observability
+
+echo "== tier-2 [3/4]: regenerate TABLES.md and validated BENCH_PR2.json =="
+cargo run -q -p caex-bench --bin tables -- --out TABLES.md --bench-json BENCH_PR2.json \
+    > /dev/null
+
+echo "== tier-2 [4/4]: BENCH_PR2.json matches the checked-in pin =="
+cargo test -q -p caex-bench --test bench_pr2
+
+echo "tier-2 OK"
