@@ -1,0 +1,104 @@
+//! Transport benches: the wire frame codec's throughput, and the §4.2
+//! resolution latency of the real-socket transport against the
+//! in-process threaded runtime for the same (n, p, q) = (3, 1, 0)
+//! workload. Not a paper table — it prices what crossing a real
+//! socket costs over crossing a channel.
+
+use caex::thread_engine::ThreadRunner;
+use caex::Msg;
+use caex_action::{ActionId, ActionRegistry, ActionScope};
+use caex_net::{NodeId, SimTime};
+use caex_tree::{chain_tree, Exception, ExceptionId, Severity};
+use caex_wire::frame::{decode_frame, encode_frame, Frame};
+use caex_wire::harness::{run_local, Transport};
+use caex_wire::WireConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn rich_msg_frame() -> Frame {
+    Frame::Msg {
+        from: NodeId::new(7),
+        msg: Msg::Exception {
+            action: ActionId::new(3),
+            from: NodeId::new(7),
+            exc: Exception::new(ExceptionId::new(42))
+                .with_severity(Severity::Serious)
+                .with_origin("pressure sensor 9")
+                .with_detail("reading outside calibrated envelope"),
+        },
+    }
+}
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_frame");
+    let rich = rich_msg_frame();
+    group.bench_function("encode_rich_msg", |b| {
+        b.iter(|| black_box(encode_frame(black_box(&rich))));
+    });
+    group.bench_function("encode_heartbeat", |b| {
+        b.iter(|| black_box(encode_frame(black_box(&Frame::Heartbeat))));
+    });
+    let rich_bytes = encode_frame(&rich);
+    group.bench_function("decode_rich_msg", |b| {
+        b.iter(|| black_box(decode_frame(black_box(&rich_bytes)).unwrap()));
+    });
+    group.finish();
+}
+
+/// The threaded engine resolving one raise among three participants —
+/// the in-process baseline the socket transport is compared against.
+fn threaded_resolution() -> usize {
+    let tree = Arc::new(chain_tree(2));
+    let mut reg = ActionRegistry::new();
+    let a1 = reg
+        .declare(ActionScope::top_level(
+            "bench",
+            (0..3).map(NodeId::new),
+            Arc::clone(&tree),
+        ))
+        .unwrap();
+    let report = ThreadRunner::new(Arc::new(reg))
+        .with_idle_timeout(Duration::from_millis(50))
+        .enter_all_at(SimTime::ZERO, a1)
+        .raise_at(SimTime::ZERO, NodeId::new(0), Exception::new(ExceptionId::new(1)))
+        .run();
+    report.handled_exceptions(a1).len()
+}
+
+fn bench_resolution_latency(c: &mut Criterion) {
+    // Whole-resolution runs are hundreds of milliseconds (dominated by
+    // the quiescence timeout); the harness's calibration settles on one
+    // iteration per sample for these.
+    let mut group = c.benchmark_group("resolution_latency");
+
+    group.bench_function("threads_channels_n3", |b| {
+        b.iter(|| black_box(threaded_resolution()));
+    });
+
+    let sock_dir = std::env::temp_dir().join(format!("caex-wire-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&sock_dir).expect("bench scratch dir");
+    let config = WireConfig::default();
+    let idle = Duration::from_millis(100);
+    group.bench_function("threads_tcp_sockets_n3", |b| {
+        b.iter(|| {
+            black_box(
+                run_local("general:3,1,0", Transport::Tcp, &sock_dir, &config, idle)
+                    .expect("wire run over TCP"),
+            )
+        });
+    });
+    group.bench_function("threads_unix_sockets_n3", |b| {
+        b.iter(|| {
+            black_box(
+                run_local("general:3,1,0", Transport::Unix, &sock_dir, &config, idle)
+                    .expect("wire run over Unix sockets"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frame_codec, bench_resolution_latency);
+criterion_main!(benches);

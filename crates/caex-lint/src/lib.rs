@@ -143,7 +143,21 @@ impl Linter {
     #[must_use]
     pub fn lint_scenario(&self, scenario: &Scenario) -> LintReport {
         let mut sink = diag::Sink::new(&self.config);
-        scenario::lint_scenario_into(&mut sink, scenario);
+        scenario::lint_script_into(&mut sink, scenario);
+        let mut report = sink.finish();
+        report.dedup();
+        report
+    }
+
+    /// The full battery over a threaded
+    /// [`ThreadRunner`](caex::thread_engine::ThreadRunner)'s script:
+    /// the same static replay the simulator's scenarios get, so a
+    /// timeline destined for real threads (or, via `caex-wire`, real
+    /// processes) is vetted before anything spawns.
+    #[must_use]
+    pub fn lint_thread_runner(&self, runner: &caex::thread_engine::ThreadRunner) -> LintReport {
+        let mut sink = diag::Sink::new(&self.config);
+        scenario::lint_script_into(&mut sink, runner);
         let mut report = sink.finish();
         report.dedup();
         report

@@ -11,13 +11,47 @@
 //! left to the declaration family.
 
 use crate::diag::{LintCode, Sink};
+use caex::thread_engine::ThreadRunner;
 use caex::{Event, Scenario};
-use caex_action::ActionId;
+use caex_action::{ActionId, ActionRegistry, HandlerTable};
 use caex_net::{NodeId, SimTime};
 use caex_tree::ExceptionId;
 use std::collections::HashMap;
 
-pub(crate) fn lint_scenario_into(sink: &mut Sink<'_>, scenario: &Scenario) {
+/// The script surface the replay battery needs — implemented by both
+/// the simulator's [`Scenario`] and the threaded [`ThreadRunner`], so
+/// one static analysis covers both engines' scripts.
+pub(crate) trait ScriptSource {
+    fn registry(&self) -> &ActionRegistry;
+    fn scripted(&self) -> Box<dyn Iterator<Item = (SimTime, NodeId, &Event)> + '_>;
+    fn handler_tables(&self) -> Box<dyn Iterator<Item = (NodeId, ActionId, &HandlerTable)> + '_>;
+}
+
+impl ScriptSource for Scenario {
+    fn registry(&self) -> &ActionRegistry {
+        Scenario::registry(self).as_ref()
+    }
+    fn scripted(&self) -> Box<dyn Iterator<Item = (SimTime, NodeId, &Event)> + '_> {
+        Box::new(Scenario::scripted(self))
+    }
+    fn handler_tables(&self) -> Box<dyn Iterator<Item = (NodeId, ActionId, &HandlerTable)> + '_> {
+        Box::new(Scenario::handler_tables(self))
+    }
+}
+
+impl ScriptSource for ThreadRunner {
+    fn registry(&self) -> &ActionRegistry {
+        ThreadRunner::registry(self).as_ref()
+    }
+    fn scripted(&self) -> Box<dyn Iterator<Item = (SimTime, NodeId, &Event)> + '_> {
+        Box::new(ThreadRunner::scripted(self))
+    }
+    fn handler_tables(&self) -> Box<dyn Iterator<Item = (NodeId, ActionId, &HandlerTable)> + '_> {
+        Box::new(ThreadRunner::handler_tables(self))
+    }
+}
+
+pub(crate) fn lint_script_into(sink: &mut Sink<'_>, scenario: &dyn ScriptSource) {
     let registry = scenario.registry();
 
     // Sort the whole scripted timeline once (stable, so equal-time

@@ -35,6 +35,7 @@
 mod fault;
 mod latency;
 mod node;
+mod port;
 mod sim;
 mod stats;
 mod thread_net;
@@ -44,6 +45,7 @@ mod trace;
 pub use fault::{FaultEvent, FaultPlan, Partition};
 pub use latency::LatencyModel;
 pub use node::NodeId;
+pub use port::FifoPort;
 pub use sim::{Delivery, DeliverySource, NetConfig, SimNet};
 pub use stats::NetStats;
 pub use thread_net::{NodePort, RecvTimeoutError, ThreadNet};

@@ -6,7 +6,7 @@
 //! sends into a channel are totally ordered, and crossbeam channels
 //! deliver each sender's messages in order.
 
-use crate::{Kinded, NetStats, NodeId};
+use crate::{FifoPort, Kinded, NetStats, NodeId};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use std::fmt;
@@ -116,6 +116,44 @@ impl<M: Kinded> NodePort<M> {
             }
             Err(_) => None,
         }
+    }
+
+    /// Drains messages still sitting in the inbox when the node stops,
+    /// recording each as a per-kind drop instead of a delivery. Without
+    /// this, a thread that exits on its idle timeout leaves in-flight
+    /// messages unaccounted — `sent` would exceed `delivered + dropped`
+    /// and the per-kind breakdown shown by [`NetStats`]'s `Display`
+    /// would be incomplete on the thread engine. Returns the number of
+    /// messages drained.
+    pub fn drain_undelivered(&self) -> usize {
+        let mut drained = 0;
+        while let Ok((_, payload)) = self.inbox.try_recv() {
+            self.stats.lock().record_drop(payload.kind());
+            drained += 1;
+        }
+        drained
+    }
+}
+
+impl<M: Kinded> FifoPort<M> for NodePort<M> {
+    fn id(&self) -> NodeId {
+        NodePort::id(self)
+    }
+
+    fn num_nodes(&self) -> u32 {
+        NodePort::num_nodes(self)
+    }
+
+    fn send(&self, to: NodeId, payload: M) -> bool {
+        NodePort::send(self, to, payload)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<(NodeId, M), RecvTimeoutError> {
+        NodePort::recv_timeout(self, timeout)
+    }
+
+    fn drain_undelivered(&self) -> usize {
+        NodePort::drain_undelivered(self)
     }
 }
 

@@ -2,9 +2,11 @@
 //! Chrome trace-event document (`B`/`E` span pairs, one track per
 //! participant) loadable in `chrome://tracing` or Perfetto.
 
-use crate::event::{ObsEvent, ObsKind, Observer};
+use crate::event::{CorrelationId, ObsEvent, ObsKind, ObsState, Observer};
 use crate::json::JsonValue;
-use caex_net::SimTime;
+use caex_action::ActionId;
+use caex_net::{NodeId, SimTime};
+use caex_tree::ExceptionId;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Renders one [`ObsEvent`] as a flat JSON object. Shared by the JSONL
@@ -68,6 +70,108 @@ pub fn event_to_json(event: &ObsEvent) -> JsonValue {
         | ObsKind::AbortionEnd => {}
     }
     JsonValue::Obj(fields)
+}
+
+fn parse_object(s: &str) -> Option<NodeId> {
+    s.strip_prefix('O')?.parse().ok().map(NodeId::new)
+}
+
+fn parse_exception(s: &str) -> Option<ExceptionId> {
+    s.strip_prefix('e')?.parse().ok().map(ExceptionId::new)
+}
+
+/// Interns a wire-kind label back to the `&'static str` the typed
+/// event carries (`ObsKind::MessageSent` uses statics as counter keys).
+fn intern_msg_kind(s: &str) -> Option<&'static str> {
+    ["exception", "have_nested", "nested_completed", "ack", "commit", "leave_ready"]
+        .into_iter()
+        .find(|k| *k == s)
+}
+
+/// Parses the flat JSON object produced by [`event_to_json`] back into
+/// a typed [`ObsEvent`] — the collector side of a socket exporter
+/// stream rebuilds typed events this way so the merged stream can be
+/// replayed into the `MetricsRegistry`/`Watchdog` stack.
+///
+/// # Errors
+///
+/// Returns a description of the first missing or malformed field.
+pub fn event_from_json(doc: &JsonValue) -> Result<ObsEvent, String> {
+    let str_field = |key: &str| -> Result<&str, String> {
+        doc.get(key)
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("missing string field `{key}`"))
+    };
+    let num_field = |key: &str| -> Result<u64, String> {
+        doc.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("missing numeric field `{key}`"))
+    };
+    let exc_field = |key: &str| -> Result<ExceptionId, String> {
+        let s = str_field(key)?;
+        parse_exception(s).ok_or_else(|| format!("bad exception `{s}` in `{key}`"))
+    };
+    let at = SimTime::from_micros(num_field("at_us")?);
+    let wall_micros = doc.get("wall_us").and_then(JsonValue::as_u64);
+    let object_str = str_field("object")?;
+    let object =
+        parse_object(object_str).ok_or_else(|| format!("bad object `{object_str}`"))?;
+    let action = ActionId::new(
+        u32::try_from(num_field("action")?).map_err(|_| "action out of range".to_owned())?,
+    );
+    let round = u32::try_from(num_field("round")?).map_err(|_| "round out of range".to_owned())?;
+    let kind = match str_field("kind")? {
+        "action_enter" => ObsKind::ActionEnter,
+        "action_leave" => ObsKind::ActionLeave,
+        "raise" => ObsKind::Raise { exception: exc_field("exception")? },
+        "state_transition" => {
+            let from = ObsState::parse(str_field("from")?)
+                .ok_or_else(|| "bad `from` state".to_owned())?;
+            let to =
+                ObsState::parse(str_field("to")?).ok_or_else(|| "bad `to` state".to_owned())?;
+            ObsKind::StateTransition { from, to }
+        }
+        "resolution_start" => ObsKind::ResolutionStart,
+        "resolver_elected" => {
+            let resolver = parse_object(str_field("resolver")?)
+                .ok_or_else(|| "bad `resolver`".to_owned())?;
+            ObsKind::ResolverElected { resolver }
+        }
+        "resolution_commit" => ObsKind::ResolutionCommit {
+            resolved: exc_field("resolved")?,
+            raised: u32::try_from(num_field("raised")?)
+                .map_err(|_| "raised out of range".to_owned())?,
+        },
+        "abortion_start" => ObsKind::AbortionStart {
+            depth: u32::try_from(num_field("depth")?)
+                .map_err(|_| "depth out of range".to_owned())?,
+        },
+        "abortion_end" => ObsKind::AbortionEnd,
+        "handler_start" => ObsKind::HandlerStart { exception: exc_field("exception")? },
+        "handler_end" => ObsKind::HandlerEnd {
+            signalled: doc
+                .get("signalled")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| "missing bool field `signalled`".to_owned())?,
+        },
+        "message_sent" => {
+            let msg = str_field("msg")?;
+            ObsKind::MessageSent {
+                kind: intern_msg_kind(msg)
+                    .ok_or_else(|| format!("unknown message kind `{msg}`"))?,
+                to: parse_object(str_field("to")?).ok_or_else(|| "bad `to`".to_owned())?,
+            }
+        }
+        "action_failed" => ObsKind::ActionFailed { exception: exc_field("exception")? },
+        other => return Err(format!("unknown event kind `{other}`")),
+    };
+    Ok(ObsEvent {
+        at,
+        wall_micros,
+        object,
+        span: CorrelationId { action, round },
+        kind,
+    })
 }
 
 /// Structured-log exporter: one JSON object per line, in event order.
@@ -479,6 +583,52 @@ mod tests {
         trace.on_run_end(SimTime::from_micros(7));
         let doc = json::parse(&trace.to_json()).expect("valid");
         assert_eq!(check_balanced(&doc), Ok(2));
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_json() {
+        use crate::event::ObsState;
+        let kinds = vec![
+            ObsKind::ActionEnter,
+            ObsKind::ActionLeave,
+            ObsKind::Raise { exception: ExceptionId::new(2) },
+            ObsKind::StateTransition { from: ObsState::N, to: ObsState::X },
+            ObsKind::ResolutionStart,
+            ObsKind::ResolverElected { resolver: NodeId::new(2) },
+            ObsKind::ResolutionCommit { resolved: ExceptionId::new(1), raised: 2 },
+            ObsKind::AbortionStart { depth: 3 },
+            ObsKind::AbortionEnd,
+            ObsKind::HandlerStart { exception: ExceptionId::new(4) },
+            ObsKind::HandlerEnd { signalled: true },
+            ObsKind::MessageSent { kind: "nested_completed", to: NodeId::new(1) },
+            ObsKind::ActionFailed { exception: ExceptionId::new(5) },
+        ];
+        for kind in kinds {
+            let original = ObsEvent {
+                at: SimTime::from_micros(42),
+                wall_micros: Some(43),
+                object: NodeId::new(7),
+                span: CorrelationId { action: ActionId::new(3), round: 2 },
+                kind,
+            };
+            let line = event_to_json(&original).to_string();
+            let parsed = json::parse(&line).expect("valid json");
+            let back = event_from_json(&parsed).expect("round trip");
+            assert_eq!(back, original);
+        }
+    }
+
+    #[test]
+    fn event_from_json_rejects_malformed_docs() {
+        for bad in [
+            r#"{"kind":"raise"}"#,
+            r#"{"at_us":1,"object":"O0","action":0,"round":0,"kind":"warp"}"#,
+            r#"{"at_us":1,"object":"X9","action":0,"round":0,"kind":"action_enter"}"#,
+            r#"{"at_us":1,"object":"O0","action":0,"round":0,"kind":"message_sent","msg":"gossip","to":"O1"}"#,
+        ] {
+            let doc = json::parse(bad).expect("valid json");
+            assert!(event_from_json(&doc).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! - [`JsonlExporter`] and [`ChromeTraceExporter`] — structured-log and
 //!   Chrome trace-event output (`B`/`E` span pairs, one track per
 //!   participant) loadable in Perfetto;
+//! - [`TcpExporter`] / [`EventCollector`] — the same JSONL streamed
+//!   over a real TCP socket to a collector, which rebuilds typed
+//!   events and replays them into a local observer stack (how
+//!   `caex-wire`'s coordinator watches a multi-process run);
 //! - [`Watchdog`] — an invariant observer that flags state-machine
 //!   violations (illegal `N`/`X`/`S`/`R` edges, commits landing during
 //!   an abortion, ACK overflow beyond `N−1` per broadcast, unbalanced
@@ -30,10 +34,12 @@ pub mod event;
 pub mod exporters;
 pub mod json;
 pub mod metrics;
+pub mod stream;
 pub mod watchdog;
 
 pub use event::{CorrelationId, ObsEvent, ObsKind, ObsState, Observer, Recorder, Tee};
 pub use exporters::{ChromeTraceExporter, JsonlExporter};
+pub use stream::{EventCollector, TcpExporter};
 pub use json::JsonValue;
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ResolutionMetrics};
 pub use watchdog::{Violation, Watchdog};

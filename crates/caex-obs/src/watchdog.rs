@@ -19,11 +19,17 @@
 //!    must close a matching open span on the same object.
 //! 5. **Commit multiplicity** — at most `expected_commits` resolvers
 //!    may commit one round (1 unless a resolver group is configured).
+//! 6. **§4.5 multicast law** (opt-in, [`Watchdog::with_multicast_law`])
+//!    — per round, every protocol fan-out must reach all `N−1` peers
+//!    exactly once, every `HaveNested` announcer must also send
+//!    `NestedCompleted`, and the number of fan-outs must equal the
+//!    paper's `P + 2Q + 1` bound (checked at `on_run_end`, when the
+//!    round's `P` raisers and `Q` aborters are known).
 
 use crate::event::{ObsEvent, ObsKind, ObsState, Observer};
 use caex_action::ActionId;
-use caex_net::NodeId;
-use std::collections::{BTreeSet, HashMap};
+use caex_net::{NodeId, SimTime};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// One invariant violation, with the offending event's coordinates.
@@ -62,6 +68,10 @@ pub struct Watchdog {
     open_actions: HashMap<NodeId, u64>,
     open_abortions: HashMap<NodeId, u64>,
     open_handlers: HashMap<NodeId, u64>,
+    check_multicast_law: bool,
+    // (action, round) -> (sender, kind) -> distinct destinations of
+    // that sender's fan-out. Only the four broadcast kinds are tracked.
+    fanouts: BTreeMap<(ActionId, u32), BTreeMap<(NodeId, &'static str), BTreeSet<NodeId>>>,
 }
 
 /// Per-(round, sender) tally of ack-expecting sends, grouped into
@@ -104,6 +114,8 @@ impl Watchdog {
             open_actions: HashMap::new(),
             open_abortions: HashMap::new(),
             open_handlers: HashMap::new(),
+            check_multicast_law: false,
+            fanouts: BTreeMap::new(),
         }
     }
 
@@ -111,6 +123,20 @@ impl Watchdog {
     #[must_use]
     pub fn with_expected_commits(mut self, count: u64) -> Self {
         self.expected_commits = count.max(1);
+        self
+    }
+
+    /// Enables the §4.5 multicast-law check: per resolution round,
+    /// each fan-out must reach every peer exactly once and the round's
+    /// fan-out count must equal `P + 2Q + C` (`P` raisers, `Q`
+    /// aborters, `C = expected_commits`) — the paper's "p+2q+1
+    /// multicasts" accounting under reliable multicast. Verified in
+    /// [`Observer::on_run_end`], once the round is complete. Do not
+    /// enable for runs with injected crashes: a deserter legitimately
+    /// truncates fan-outs.
+    #[must_use]
+    pub fn with_multicast_law(mut self) -> Self {
+        self.check_multicast_law = true;
         self
     }
 
@@ -235,6 +261,26 @@ impl Observer for Watchdog {
                 }
                 let action = event.span.action;
                 let round = event.span.round;
+                if self.check_multicast_law
+                    && matches!(
+                        *kind,
+                        "exception" | "have_nested" | "nested_completed" | "commit"
+                    )
+                {
+                    let dests = self
+                        .fanouts
+                        .entry((action, round))
+                        .or_default()
+                        .entry((object, *kind))
+                        .or_default();
+                    if !dests.insert(*to) {
+                        let span = event.span;
+                        self.flag(
+                            event,
+                            format!("{object} multicast {kind} to {to} twice in {span}"),
+                        );
+                    }
+                }
                 // Broadcasts that expect an ACK per peer.
                 if matches!(*kind, "exception" | "nested_completed") {
                     self.broadcasts
@@ -283,6 +329,75 @@ impl Observer for Watchdog {
             | ObsKind::ResolverElected { .. }
             | ObsKind::ActionFailed { .. } => {}
         }
+    }
+
+    fn on_run_end(&mut self, at: SimTime) {
+        if !self.check_multicast_law {
+            return;
+        }
+        let at_us = at.as_micros();
+        let mut end_violations = Vec::new();
+        for ((action, round), bursts) in &self.fanouts {
+            let span = format!("{action}#r{round}");
+            let peers = self
+                .participants
+                .get(action)
+                .map_or(0, |set| set.len().saturating_sub(1));
+            // Every fan-out must be a full multicast: N−1 distinct
+            // destinations.
+            for ((sender, kind), dests) in bursts {
+                if dests.len() != peers {
+                    end_violations.push(Violation {
+                        at_us,
+                        object: *sender,
+                        message: format!(
+                            "{span}: {sender}'s {kind} fan-out reached {} of N\u{2212}1 = \
+                             {peers} peers",
+                            dests.len()
+                        ),
+                    });
+                }
+            }
+            // Every announced abortion must complete.
+            let senders_of = |kind: &str| -> BTreeSet<NodeId> {
+                bursts
+                    .keys()
+                    .filter(|(_, k)| *k == kind)
+                    .map(|(s, _)| *s)
+                    .collect()
+            };
+            let raisers = senders_of("exception");
+            let have_nested = senders_of("have_nested");
+            let completed = senders_of("nested_completed");
+            let committers = senders_of("commit");
+            if have_nested != completed {
+                end_violations.push(Violation {
+                    at_us,
+                    object: NodeId::new(0),
+                    message: format!(
+                        "{span}: HaveNested announcers {have_nested:?} \u{2260} \
+                         NestedCompleted senders {completed:?}"
+                    ),
+                });
+            }
+            // The §4.5 count: P + 2Q + C multicasts per round.
+            let (p, q, c) = (raisers.len(), have_nested.len(), committers.len());
+            let expected =
+                p + 2 * q + usize::try_from(self.expected_commits).unwrap_or(usize::MAX);
+            let actual = bursts.len();
+            if actual != expected || c as u64 != self.expected_commits {
+                end_violations.push(Violation {
+                    at_us,
+                    object: NodeId::new(0),
+                    message: format!(
+                        "{span}: {actual} multicasts with P = {p} raisers, Q = {q} \
+                         aborters, {c} commit(s); \u{00a7}4.5 predicts P+2Q+{} = {expected}",
+                        self.expected_commits
+                    ),
+                });
+            }
+        }
+        self.violations.extend(end_violations);
     }
 }
 
@@ -430,6 +545,103 @@ mod tests {
         group.on_event(&ev(0, 1, commit.clone()));
         group.on_event(&ev(1, 1, commit));
         assert!(group.is_clean());
+    }
+
+    fn multicast(from: u32, kind: &'static str, to: u32) -> ObsEvent {
+        ev(from, 1, ObsKind::MessageSent { kind, to: NodeId::new(to) })
+    }
+
+    /// A complete Example-1-shaped round over 3 objects: O0 raises,
+    /// O1 aborts a nested action, O0 resolves. P=1, Q=1 → 4 multicasts.
+    fn feed_clean_round(dog: &mut Watchdog, skip: Option<(&'static str, u32, u32)>) {
+        for o in 0..3 {
+            dog.on_event(&ev(o, 0, ObsKind::ActionEnter));
+        }
+        let bursts: [(&'static str, u32); 4] = [
+            ("exception", 0),
+            ("have_nested", 1),
+            ("nested_completed", 1),
+            ("commit", 0),
+        ];
+        for (kind, from) in bursts {
+            for to in (0..3).filter(|&t| t != from) {
+                if skip == Some((kind, from, to)) {
+                    continue;
+                }
+                dog.on_event(&multicast(from, kind, to));
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_law_accepts_a_complete_round() {
+        let mut dog = Watchdog::new().with_multicast_law();
+        feed_clean_round(&mut dog, None);
+        dog.on_run_end(SimTime::from_micros(99));
+        assert!(dog.is_clean(), "{:?}", dog.violations());
+    }
+
+    #[test]
+    fn multicast_law_flags_a_truncated_fanout() {
+        let mut dog = Watchdog::new().with_multicast_law();
+        feed_clean_round(&mut dog, Some(("commit", 0, 2)));
+        dog.on_run_end(SimTime::from_micros(99));
+        assert_eq!(dog.violations().len(), 1, "{:?}", dog.violations());
+        assert!(dog.violations()[0]
+            .message
+            .contains("commit fan-out reached 1 of N\u{2212}1 = 2"));
+    }
+
+    #[test]
+    fn multicast_law_flags_a_missing_nested_completed() {
+        let mut dog = Watchdog::new().with_multicast_law();
+        for o in 0..3 {
+            dog.on_event(&ev(o, 0, ObsKind::ActionEnter));
+        }
+        // O1 announces HaveNested but never reports completion.
+        for to in [1, 2] {
+            dog.on_event(&multicast(0, "exception", to));
+        }
+        for to in [0, 2] {
+            dog.on_event(&multicast(1, "have_nested", to));
+        }
+        for to in [1, 2] {
+            dog.on_event(&multicast(0, "commit", to));
+        }
+        dog.on_run_end(SimTime::from_micros(99));
+        let messages: Vec<&str> = dog.violations().iter().map(|v| v.message.as_str()).collect();
+        assert!(
+            messages.iter().any(|m| m.contains("NestedCompleted")),
+            "{messages:?}"
+        );
+        assert!(
+            messages.iter().any(|m| m.contains("\u{00a7}4.5 predicts")),
+            "{messages:?}"
+        );
+    }
+
+    #[test]
+    fn multicast_law_flags_duplicate_destination() {
+        let mut dog = Watchdog::new().with_multicast_law();
+        for o in 0..2 {
+            dog.on_event(&ev(o, 0, ObsKind::ActionEnter));
+        }
+        dog.on_event(&multicast(0, "exception", 1));
+        dog.on_event(&multicast(0, "exception", 1));
+        assert_eq!(dog.violations().len(), 1);
+        assert!(dog.violations()[0].message.contains("twice"));
+    }
+
+    #[test]
+    fn multicast_law_is_off_by_default() {
+        let mut dog = Watchdog::new();
+        // A blatantly truncated fan-out, but the law is not enabled.
+        for o in 0..3 {
+            dog.on_event(&ev(o, 0, ObsKind::ActionEnter));
+        }
+        dog.on_event(&multicast(0, "exception", 1));
+        dog.on_run_end(SimTime::from_micros(99));
+        assert!(dog.is_clean());
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! The length-prefixed binary frame format `caex-wire` puts on a
+//! socket.
+//!
+//! A frame wraps either a protocol message (encoded by
+//! [`caex::codec`]) or one of the transport's own control messages
+//! (peer identification, heartbeats, the start barrier, graceful
+//! goodbye). Layout, all integers little-endian:
+//!
+//! ```text
+//! version:u8  kind:u8  len:u32  crc:u32  payload[len]
+//!
+//! kind 1 Hello      payload = id:u32
+//! kind 2 Heartbeat  payload empty
+//! kind 3 Ready      payload empty
+//! kind 4 Msg        payload = from:u32 ++ caex::codec::encode(msg)
+//! kind 5 Bye        payload empty
+//! ```
+//!
+//! `crc` is the CRC-32 (IEEE 802.3) of the payload bytes, so a torn or
+//! bit-flipped frame is rejected instead of decoded into a wrong —
+//! but structurally valid — protocol message. `len` is bounded by
+//! [`MAX_PAYLOAD`]; a longer prefix is rejected *before* any
+//! allocation, so a corrupt length field cannot OOM the reader.
+
+use caex::codec::{self, CodecError};
+use caex::Msg;
+use caex_net::NodeId;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// The frame-format version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on a frame payload. The largest legitimate payload is a
+/// protocol message with two maximal (`u16`-capped) strings — well
+/// under 256 KiB.
+pub const MAX_PAYLOAD: u32 = 1 << 18;
+
+const K_HELLO: u8 = 1;
+const K_HEARTBEAT: u8 = 2;
+const K_READY: u8 = 3;
+const K_MSG: u8 = 4;
+const K_BYE: u8 = 5;
+
+/// Everything that crosses a `caex-wire` socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// First frame on every connection: the sender's node id.
+    Hello {
+        /// The connecting node.
+        id: NodeId,
+    },
+    /// Keep-alive, sent whenever the outbound link is otherwise idle.
+    Heartbeat,
+    /// Start-barrier announcement: the sender has formed its mesh.
+    Ready,
+    /// A protocol message of §4.1.
+    Msg {
+        /// The sending node.
+        from: NodeId,
+        /// The message, framed via [`caex::codec`].
+        msg: Msg,
+    },
+    /// Graceful goodbye: the sender is quiescent and leaving. A
+    /// connection that ends *without* one is a crash.
+    Bye,
+}
+
+/// Errors produced while reading or decoding a frame.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// An I/O error other than a clean end-of-stream.
+    Io(io::Error),
+    /// The stream ended inside a frame.
+    Truncated,
+    /// An unknown version byte.
+    BadVersion(u8),
+    /// An unknown frame kind.
+    BadKind(u8),
+    /// The payload checksum did not match.
+    BadCrc {
+        /// CRC carried by the header.
+        expected: u32,
+        /// CRC computed over the received payload.
+        actual: u32,
+    },
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The payload shape does not match the frame kind.
+    Malformed(&'static str),
+    /// The payload failed protocol-message decoding.
+    Codec(CodecError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Truncated => f.write_str("frame truncated"),
+            FrameError::BadVersion(v) => write!(f, "unknown frame version {v}"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::BadCrc { expected, actual } => {
+                write!(f, "frame crc mismatch: header {expected:#010x}, payload {actual:#010x}")
+            }
+            FrameError::Oversized(n) => {
+                write!(f, "frame payload of {n} bytes exceeds the {MAX_PAYLOAD}-byte cap")
+            }
+            FrameError::Malformed(what) => write!(f, "malformed frame payload: {what}"),
+            FrameError::Codec(e) => write!(f, "frame payload failed message decoding: {e}"),
+        }
+    }
+}
+
+impl Error for FrameError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            FrameError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, `0xEDB88320`), table-driven.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc_table();
+    let mut crc = !0u32;
+    for &byte in data {
+        let idx = (crc ^ u32::from(byte)) & 0xFF;
+        crc = (crc >> 8) ^ TABLE[idx as usize];
+    }
+    !crc
+}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+fn payload_of(frame: &Frame) -> (u8, Vec<u8>) {
+    match frame {
+        Frame::Hello { id } => (K_HELLO, id.index().to_le_bytes().to_vec()),
+        Frame::Heartbeat => (K_HEARTBEAT, Vec::new()),
+        Frame::Ready => (K_READY, Vec::new()),
+        Frame::Msg { from, msg } => {
+            let body = codec::encode(msg);
+            let mut payload = Vec::with_capacity(4 + body.len());
+            payload.extend_from_slice(&from.index().to_le_bytes());
+            payload.extend_from_slice(&body);
+            (K_MSG, payload)
+        }
+        Frame::Bye => (K_BYE, Vec::new()),
+    }
+}
+
+/// Encodes one frame into a fresh buffer.
+#[must_use]
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let (kind, payload) = payload_of(frame);
+    let mut out = Vec::with_capacity(10 + payload.len());
+    out.push(VERSION);
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Writes one frame as a single `write_all`.
+///
+/// # Errors
+///
+/// Propagates the write error.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
+    let node = |bytes: &[u8]| -> Result<NodeId, FrameError> {
+        let raw: [u8; 4] = bytes
+            .try_into()
+            .map_err(|_| FrameError::Malformed("node id is not 4 bytes"))?;
+        Ok(NodeId::new(u32::from_le_bytes(raw)))
+    };
+    match kind {
+        K_HELLO => Ok(Frame::Hello { id: node(payload)? }),
+        K_HEARTBEAT | K_READY | K_BYE => {
+            if !payload.is_empty() {
+                return Err(FrameError::Malformed("control frame carries a payload"));
+            }
+            Ok(match kind {
+                K_HEARTBEAT => Frame::Heartbeat,
+                K_READY => Frame::Ready,
+                _ => Frame::Bye,
+            })
+        }
+        K_MSG => {
+            if payload.len() < 4 {
+                return Err(FrameError::Malformed("msg frame shorter than its from field"));
+            }
+            let from = node(&payload[..4])?;
+            let msg = codec::decode(&bytes::Bytes::copy_from_slice(&payload[4..]))
+                .map_err(FrameError::Codec)?;
+            Ok(Frame::Msg { from, msg })
+        }
+        other => Err(FrameError::BadKind(other)),
+    }
+}
+
+/// Reads one frame from a blocking stream.
+///
+/// # Errors
+///
+/// [`FrameError::Truncated`] on a clean or mid-frame end-of-stream;
+/// the header/payload validation errors otherwise.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
+    let mut header = [0u8; 10];
+    r.read_exact(&mut header)?;
+    let version = header[0];
+    if version != VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let kind = header[1];
+    let len = u32::from_le_bytes(header[2..6].try_into().expect("4 bytes"));
+    let expected = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(FrameError::BadCrc { expected, actual });
+    }
+    decode_payload(kind, &payload)
+}
+
+/// Decodes exactly one frame from a byte slice, returning it with the
+/// number of bytes consumed.
+///
+/// # Errors
+///
+/// [`FrameError::Truncated`] if the slice ends inside the frame; the
+/// same validation errors as [`read_frame`] otherwise.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), FrameError> {
+    let mut cursor = io::Cursor::new(bytes);
+    let frame = read_frame(&mut cursor)?;
+    #[allow(clippy::cast_possible_truncation)] // cursor position ≤ slice length
+    Ok((frame, cursor.position() as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caex_action::ActionId;
+    use caex_tree::{Exception, ExceptionId};
+
+    fn sample_frames() -> Vec<Frame> {
+        let msg = Msg::Exception {
+            action: ActionId::new(2),
+            from: NodeId::new(1),
+            exc: Exception::new(ExceptionId::new(7)).with_origin("O1"),
+        };
+        vec![
+            Frame::Hello { id: NodeId::new(3) },
+            Frame::Heartbeat,
+            Frame::Ready,
+            Frame::Msg { from: NodeId::new(1), msg },
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            let (decoded, used) = decode_frame(&bytes).expect("decodes");
+            assert_eq!(decoded, frame);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The classic CRC-32 check: crc32("123456789") == 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streams_of_frames_read_back_in_order() {
+        let frames = sample_frames();
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut cursor = io::Cursor::new(buf);
+        for f in &frames {
+            assert_eq!(&read_frame(&mut cursor).unwrap(), f);
+        }
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_crc() {
+        let mut bytes = encode_frame(&Frame::Hello { id: NodeId::new(9) });
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(decode_frame(&bytes), Err(FrameError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn unknown_version_and_kind_are_rejected() {
+        let mut bytes = encode_frame(&Frame::Heartbeat);
+        bytes[0] = 99;
+        assert!(matches!(decode_frame(&bytes), Err(FrameError::BadVersion(99))));
+
+        let mut bytes = encode_frame(&Frame::Heartbeat);
+        bytes[1] = 42; // kind is outside the crc, so only the kind check fires
+        assert!(matches!(decode_frame(&bytes), Err(FrameError::BadKind(42))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = encode_frame(&Frame::Heartbeat);
+        bytes[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_frame(&bytes), Err(FrameError::Oversized(u32::MAX))));
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_cut() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            for cut in 0..bytes.len() {
+                assert!(
+                    matches!(decode_frame(&bytes[..cut]), Err(FrameError::Truncated)),
+                    "{frame:?} decoded from {cut}/{} bytes",
+                    bytes.len()
+                );
+            }
+        }
+    }
+}

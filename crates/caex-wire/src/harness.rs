@@ -1,0 +1,1004 @@
+//! Multi-process orchestration: one OS process per participant, real
+//! sockets in between, and the paper's laws asserted against what
+//! actually crossed the wire.
+//!
+//! The coordinator binds a line-based *rendezvous* listener and spawns
+//! one `caex-wire --role participant` child per node. Each child binds
+//! its own mesh listener **first**, then reports `"<id> <addr>\n"` to
+//! the rendezvous and blocks until the coordinator answers with the
+//! full address map — so by the time any process starts dialing, every
+//! listener already exists and mesh formation has no port races. After
+//! the [`crate::wire::WirePort::barrier`], each child plays its
+//! zero-clamped script through [`caex::drive::drive_node`] and prints
+//! a single `CAEX-WIRE-REPORT {json}` line; the coordinator aggregates
+//! those, optionally replays the merged observability streams through
+//! the [`caex_obs::Watchdog`], and checks the run against the §4.4
+//! closed form (or the simulator baseline) — message counts measured
+//! from real socket traffic, not simulated deliveries.
+//!
+//! Crash-injection runs (`--crash <id>`) suppress the victim's script
+//! entirely — it joins the mesh and the barrier, then either
+//! `exit(2)`s (connection-reset detection) or `SIGSTOP`s itself
+//! (freezing its heartbeat writers, forcing the genuine
+//! heartbeat-timeout path). Because the victim is a *declared*
+//! participant, the resolver still awaits its ACK; only the failure
+//! detector's deserter report lets resolution complete, which is
+//! exactly the §4.2 behaviour under desertion the paper calls for.
+
+use crate::scenario::{SimBaseline, WireScenario};
+use crate::wire::{WireAddr, WireBound, WireConfig, WirePort};
+use caex::drive::drive_node;
+use caex::{Event, LeaveMode, NestedStrategy, Note, ObsBridge, Participant};
+use caex_net::{NodeId, SimTime};
+use caex_obs::json::{self, JsonValue};
+use caex_obs::{ObsEvent, Observer, TcpExporter, Watchdog};
+use caex_tree::ExceptionId;
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Marker prefix of the one report line each participant prints.
+pub const REPORT_PREFIX: &str = "CAEX-WIRE-REPORT ";
+/// Marker prefix of the coordinator's summary line.
+pub const SUMMARY_PREFIX: &str = "CAEX-WIRE-SUMMARY ";
+
+/// Which socket family carries the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Localhost TCP (one listener per node, OS-assigned ports).
+    Tcp,
+    /// Unix-domain sockets under a spool directory.
+    Unix,
+}
+
+impl std::str::FromStr for Transport {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tcp" => Ok(Transport::Tcp),
+            "unix" => Ok(Transport::Unix),
+            other => Err(format!("unknown transport `{other}` (want tcp or unix)")),
+        }
+    }
+}
+
+/// How an injected crash takes the victim down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// `process::exit(2)`: sockets close, peers see resets/EOF.
+    Exit,
+    /// Self-`SIGSTOP`: the process freezes with sockets open, so only
+    /// the heartbeat timeout can expose it.
+    Stop,
+}
+
+impl std::str::FromStr for CrashMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exit" => Ok(CrashMode::Exit),
+            "stop" => Ok(CrashMode::Stop),
+            other => Err(format!("unknown crash mode `{other}` (want exit or stop)")),
+        }
+    }
+}
+
+/// Everything a participant process needs to run its node.
+#[derive(Debug, Clone)]
+pub struct ParticipantOptions {
+    /// This node.
+    pub id: NodeId,
+    /// Scenario spec (`example1`, `example2`, `general:n,p,q`).
+    pub scenario: String,
+    /// Socket family for the mesh.
+    pub transport: Transport,
+    /// Spool directory for Unix-domain sockets.
+    pub sock_dir: PathBuf,
+    /// The coordinator's rendezvous address.
+    pub rendezvous: SocketAddr,
+    /// Observability collector to stream `ObsEvent`s to, if any.
+    pub obs: Option<SocketAddr>,
+    /// Transport tuning.
+    pub config: WireConfig,
+    /// Drive-loop idle timeout.
+    pub idle_timeout: Duration,
+    /// Crash this long after the barrier (the victim's script is
+    /// suppressed).
+    pub crash_after: Option<Duration>,
+    /// How to crash.
+    pub crash_mode: CrashMode,
+}
+
+/// What one node did, as printed in its `CAEX-WIRE-REPORT` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeReport {
+    /// The node.
+    pub id: u32,
+    /// Protocol messages this node pushed onto the wire.
+    pub sent: u64,
+    /// Protocol messages delivered into its drive loop.
+    pub delivered: u64,
+    /// Messages dropped (undeliverable or drained at exit).
+    pub dropped: u64,
+    /// Undelivered messages drained from the inbox at exit.
+    pub drained: u64,
+    /// Deserter reports folded into the protocol.
+    pub desertions: u64,
+    /// Peers this node excluded as deserters.
+    pub deserters: Vec<u32>,
+    /// `(action, exception)` pairs whose handlers started here.
+    pub handled: Vec<(u32, u32)>,
+}
+
+impl NodeReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("id".into(), JsonValue::num(u64::from(self.id))),
+            ("sent".into(), JsonValue::num(self.sent)),
+            ("delivered".into(), JsonValue::num(self.delivered)),
+            ("dropped".into(), JsonValue::num(self.dropped)),
+            ("drained".into(), JsonValue::num(self.drained)),
+            ("desertions".into(), JsonValue::num(self.desertions)),
+            (
+                "deserters".into(),
+                JsonValue::Arr(
+                    self.deserters
+                        .iter()
+                        .map(|d| JsonValue::num(u64::from(*d)))
+                        .collect(),
+                ),
+            ),
+            (
+                "handled".into(),
+                JsonValue::Arr(
+                    self.handled
+                        .iter()
+                        .map(|(a, e)| {
+                            JsonValue::Obj(vec![
+                                ("action".into(), JsonValue::num(u64::from(*a))),
+                                ("exc".into(), JsonValue::num(u64::from(*e))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<NodeReport, String> {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("report missing numeric `{k}`"))
+        };
+        let list = |k: &str| -> Result<Vec<u32>, String> {
+            v.get(k)
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| format!("report missing array `{k}`"))?
+                .iter()
+                .map(|x| {
+                    x.as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| format!("bad entry in `{k}`"))
+                })
+                .collect()
+        };
+        let handled = v
+            .get("handled")
+            .and_then(JsonValue::as_array)
+            .ok_or("report missing array `handled`")?
+            .iter()
+            .map(|h| {
+                let num = |k: &str| {
+                    h.get(k)
+                        .and_then(JsonValue::as_u64)
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| format!("bad handled entry `{k}`"))
+                };
+                Ok((num("action")?, num("exc")?))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(NodeReport {
+            id: u32::try_from(field("id")?).map_err(|_| "id out of range".to_owned())?,
+            sent: field("sent")?,
+            delivered: field("delivered")?,
+            dropped: field("dropped")?,
+            drained: field("drained")?,
+            desertions: field("desertions")?,
+            deserters: list("deserters")?,
+            handled,
+        })
+    }
+}
+
+/// The coordinator's verdict over a whole multi-process run.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Scenario spec.
+    pub scenario: String,
+    /// Mesh size (spawned processes).
+    pub num_nodes: u32,
+    /// Protocol messages that crossed real sockets (sum over nodes).
+    pub total_sent: u64,
+    /// The §4.4 closed-form count, when the workload has one.
+    pub expected_messages: Option<u64>,
+    /// What the simulator sent for the same spec.
+    pub sim_messages: u64,
+    /// The exception the wire run resolved to, if any.
+    pub resolved: Option<u32>,
+    /// The exception the simulator resolved to, if any.
+    pub sim_resolved: Option<u32>,
+    /// Nodes reported as deserters by any survivor.
+    pub deserters: Vec<u32>,
+    /// Watchdog violations over the merged observability streams.
+    pub watchdog_violations: Vec<String>,
+    /// Per-node reports, in node order (crashed nodes are absent).
+    pub reports: Vec<NodeReport>,
+    /// Assertion failures; empty means the run checked out.
+    pub failures: Vec<String>,
+}
+
+impl RunSummary {
+    /// `true` iff every assertion held.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The summary as one JSON object (the `CAEX-WIRE-SUMMARY` body).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let opt = |o: Option<u64>| o.map_or(JsonValue::Null, JsonValue::num);
+        JsonValue::Obj(vec![
+            ("scenario".into(), JsonValue::str(self.scenario.clone())),
+            ("num_nodes".into(), JsonValue::num(u64::from(self.num_nodes))),
+            ("total_sent".into(), JsonValue::num(self.total_sent)),
+            ("expected_messages".into(), opt(self.expected_messages)),
+            ("sim_messages".into(), JsonValue::num(self.sim_messages)),
+            ("resolved".into(), opt(self.resolved.map(u64::from))),
+            ("sim_resolved".into(), opt(self.sim_resolved.map(u64::from))),
+            (
+                "deserters".into(),
+                JsonValue::Arr(self.deserters.iter().map(|d| JsonValue::num(u64::from(*d))).collect()),
+            ),
+            (
+                "watchdog_violations".into(),
+                JsonValue::Arr(
+                    self.watchdog_violations
+                        .iter()
+                        .map(JsonValue::str)
+                        .collect(),
+                ),
+            ),
+            (
+                "failures".into(),
+                JsonValue::Arr(self.failures.iter().map(JsonValue::str).collect()),
+            ),
+            ("ok".into(), JsonValue::Bool(self.ok())),
+        ])
+    }
+}
+
+/// The mesh address this node should bind, before the OS fills in
+/// ephemeral details.
+fn bind_addr(transport: Transport, sock_dir: &std::path::Path, id: NodeId) -> WireAddr {
+    match transport {
+        Transport::Tcp => WireAddr::Tcp(SocketAddr::from(([127, 0, 0, 1], 0))),
+        Transport::Unix => WireAddr::Unix(sock_dir.join(format!("caex-wire-{}.sock", id.index()))),
+    }
+}
+
+/// Exchanges this node's bound address for the full map via the
+/// coordinator's rendezvous: send `"<id> <addr>\n"`, read back one
+/// line of `num_nodes` addresses in node order.
+fn rendezvous_exchange(
+    rendezvous: SocketAddr,
+    id: NodeId,
+    local: &WireAddr,
+) -> Result<Vec<WireAddr>, String> {
+    let mut stream = None;
+    for attempt in 0..10 {
+        match TcpStream::connect_timeout(&rendezvous, Duration::from_secs(2)) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) if attempt == 9 => return Err(format!("rendezvous connect: {e}")),
+            Err(_) => thread::sleep(Duration::from_millis(30)),
+        }
+    }
+    let mut stream = stream.expect("connect loop either sets or returns");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("{} {local}\n", id.index()).as_bytes())
+        .map_err(|e| format!("rendezvous write: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("rendezvous read: {e}"))?;
+    line.trim()
+        .split(' ')
+        .map(|s| s.parse::<WireAddr>())
+        .collect()
+}
+
+/// Applies `handle` under the observability bridge, mirroring the
+/// threaded engine's instrumentation (wall-clock micros since `start`
+/// become the event's `SimTime` and `wall_micros`).
+fn handle_observed(
+    participant: &mut Participant,
+    event: Event,
+    bridge: &mut ObsBridge,
+    start: Instant,
+    obs: &mut dyn Observer,
+) -> Vec<caex::Effect> {
+    let pre = bridge.pre(participant, &event);
+    let fx = participant.handle(event);
+    let wall = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    bridge.post(&pre, participant, &fx, SimTime::from_micros(wall), Some(wall), obs);
+    fx
+}
+
+/// Runs one node end-to-end over an already-connected port: barrier,
+/// script, drive loop, report. Shared by the child process entry point
+/// and the in-process [`run_local`] mesh.
+fn drive_wire_node(
+    port: &WirePort,
+    scenario: &WireScenario,
+    id: NodeId,
+    idle_timeout: Duration,
+    suppress_steps: bool,
+    obs: &mut dyn Observer,
+    start: Instant,
+) -> NodeReport {
+    let mut participant = Participant::new(id, std::sync::Arc::clone(&scenario.registry), NestedStrategy::Abort);
+    if scenario.uses_completion() {
+        participant.set_leave_mode(LeaveMode::Distributed);
+    }
+    // Handler tables cannot be cloned (they hold closures), so each
+    // process rebuilds the scenario and takes only its own tables.
+    let steps = if suppress_steps { Vec::new() } else { scenario.steps_for(id) };
+    let mut notes: Vec<Note> = Vec::new();
+    let mut bridge = ObsBridge::new();
+    let summary = drive_node(
+        port,
+        &mut participant,
+        steps,
+        start,
+        idle_timeout,
+        |p, ev| handle_observed(p, ev, &mut bridge, start, obs),
+        |n| notes.push(n),
+    );
+    let end = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    obs.on_run_end(SimTime::from_micros(end));
+    let stats = port.stats();
+    let stats = stats.lock();
+    NodeReport {
+        id: id.index(),
+        sent: stats.sent_total(),
+        delivered: stats.delivered_total(),
+        dropped: stats.dropped_total(),
+        drained: summary.drained as u64,
+        desertions: summary.deserted as u64,
+        deserters: participant.deserters().iter().map(|d| d.index()).collect(),
+        handled: notes
+            .iter()
+            .filter_map(|n| match n {
+                Note::HandlerStarted { action, exc, .. } => {
+                    Some((action.index(), exc.id().index()))
+                }
+                _ => None,
+            })
+            .collect(),
+    }
+}
+
+/// Child-process entry point: bind, rendezvous, connect, barrier,
+/// (maybe arm the crash), drive, print the report line.
+///
+/// # Errors
+///
+/// Any setup failure (bad spec, socket error, barrier timeout) is
+/// returned as a message; the binary maps it to a nonzero exit.
+pub fn run_participant(opts: &ParticipantOptions) -> Result<(), String> {
+    let scenario = WireScenario::build(&opts.scenario)?;
+    let bound = WireBound::bind(opts.id, &bind_addr(opts.transport, &opts.sock_dir, opts.id), opts.config.clone())
+        .map_err(|e| format!("bind: {e}"))?;
+    let addrs = rendezvous_exchange(opts.rendezvous, opts.id, bound.local_addr())?;
+    if addrs.len() != scenario.num_nodes as usize {
+        return Err(format!(
+            "rendezvous sent {} addresses for a {}-node scenario",
+            addrs.len(),
+            scenario.num_nodes
+        ));
+    }
+    let port = bound.connect(&addrs).map_err(|e| format!("mesh connect: {e}"))?;
+
+    let mut exporter = match opts.obs {
+        Some(addr) => Some(
+            TcpExporter::connect_timeout(&addr, Duration::from_secs(2))
+                .map_err(|e| format!("obs connect: {e}"))?,
+        ),
+        None => None,
+    };
+
+    port.barrier(Duration::from_secs(15))?;
+    let start = Instant::now();
+
+    let crashing = opts.crash_after.is_some();
+    if let Some(after) = opts.crash_after {
+        let mode = opts.crash_mode;
+        thread::spawn(move || {
+            thread::sleep(after);
+            match mode {
+                CrashMode::Exit => std::process::exit(2),
+                CrashMode::Stop => {
+                    // Freeze in place: writer threads stop mid-flight,
+                    // heartbeats cease, sockets stay open — only the
+                    // peers' heartbeat timeout can expose us.
+                    let pid = std::process::id().to_string();
+                    let stopped = Command::new("kill").args(["-STOP", &pid]).status();
+                    if stopped.is_err() {
+                        std::process::exit(2);
+                    }
+                }
+            }
+        });
+    }
+
+    let report = match exporter.as_mut() {
+        Some(obs) => drive_wire_node(&port, &scenario, opts.id, opts.idle_timeout, crashing, obs, start),
+        None => drive_wire_node(&port, &scenario, opts.id, opts.idle_timeout, crashing, &mut (), start),
+    };
+    drop(exporter); // close the obs stream before reporting
+    drop(port);
+    println!("{REPORT_PREFIX}{}", report.to_json());
+    Ok(())
+}
+
+/// Knobs for a coordinator run.
+#[derive(Debug, Clone)]
+pub struct CoordinatorOptions {
+    /// Scenario spec.
+    pub scenario: String,
+    /// Path to the `caex-wire` binary to spawn participants from.
+    pub binary: PathBuf,
+    /// Socket family for the mesh.
+    pub transport: Transport,
+    /// Spool directory for Unix-domain sockets.
+    pub sock_dir: PathBuf,
+    /// Stream and check observability events (disabled on crash runs).
+    pub obs: bool,
+    /// Crash this node mid-run, if set.
+    pub crash: Option<NodeId>,
+    /// How the victim crashes.
+    pub crash_mode: CrashMode,
+    /// Delay between barrier and crash.
+    pub crash_after: Duration,
+    /// Transport tuning handed to every child.
+    pub config: WireConfig,
+    /// Children's drive-loop idle timeout.
+    pub idle_timeout: Duration,
+    /// Hard wall-clock budget for the whole run.
+    pub deadline: Duration,
+}
+
+impl CoordinatorOptions {
+    /// Defaults for `spec`, spawning `binary`.
+    #[must_use]
+    pub fn new(spec: impl Into<String>, binary: impl Into<PathBuf>) -> Self {
+        CoordinatorOptions {
+            scenario: spec.into(),
+            binary: binary.into(),
+            transport: Transport::Tcp,
+            sock_dir: std::env::temp_dir(),
+            obs: true,
+            crash: None,
+            crash_mode: CrashMode::Exit,
+            crash_after: Duration::from_millis(150),
+            config: WireConfig::default(),
+            idle_timeout: Duration::from_millis(300),
+            deadline: Duration::from_secs(30),
+        }
+    }
+
+    /// Injects a crash: victim, mode, and tuned timeouts so survivors
+    /// outlast detection (idle must exceed `crash_after` plus the
+    /// crash timeout, or they would quiesce before deserting the
+    /// victim).
+    #[must_use]
+    pub fn with_crash(mut self, victim: NodeId, mode: CrashMode) -> Self {
+        self.crash = Some(victim);
+        self.crash_mode = mode;
+        self.obs = false;
+        self.config.heartbeat_interval = Duration::from_millis(40);
+        self.config.crash_timeout = Duration::from_millis(400);
+        self.idle_timeout = Duration::from_millis(1500);
+        self
+    }
+}
+
+/// Serves the rendezvous: accepts `n` connections, reads each node's
+/// `"<id> <addr>"` line, then answers every node with the full map.
+fn serve_rendezvous(
+    listener: &TcpListener,
+    n: usize,
+    deadline: Instant,
+) -> Result<Vec<WireAddr>, String> {
+    listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+    let mut slots: Vec<Option<WireAddr>> = vec![None; n];
+    let mut streams = Vec::with_capacity(n);
+    while streams.len() < n {
+        if Instant::now() > deadline {
+            return Err(format!(
+                "rendezvous timed out with {}/{n} nodes registered",
+                streams.len()
+            ));
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .and_then(|()| stream.set_read_timeout(Some(Duration::from_secs(10))))
+                    .map_err(|e| e.to_string())?;
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                reader
+                    .read_line(&mut line)
+                    .map_err(|e| format!("rendezvous read: {e}"))?;
+                let (id, addr) = line
+                    .trim()
+                    .split_once(' ')
+                    .ok_or_else(|| format!("malformed rendezvous line `{}`", line.trim()))?;
+                let id: usize = id.parse().map_err(|e| format!("bad node id: {e}"))?;
+                if id >= n {
+                    return Err(format!("rendezvous id {id} out of range for {n} nodes"));
+                }
+                slots[id] = Some(addr.parse::<WireAddr>()?);
+                streams.push(reader.into_inner());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(format!("rendezvous accept: {e}")),
+        }
+    }
+    let map: Vec<WireAddr> = slots
+        .into_iter()
+        .map(|s| s.ok_or_else(|| "a node registered twice".to_owned()))
+        .collect::<Result<_, _>>()?;
+    let line = map
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(" ")
+        + "\n";
+    for mut stream in streams {
+        stream
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("rendezvous reply: {e}"))?;
+    }
+    Ok(map)
+}
+
+/// Reaps children within the deadline. The stop-mode victim never
+/// exits on its own: once every other child is done it is killed. On
+/// deadline, everything still running is killed and a failure
+/// recorded.
+fn reap_children(
+    children: &mut [(NodeId, Child)],
+    victim: Option<NodeId>,
+    crash_mode: CrashMode,
+    deadline: Instant,
+    failures: &mut Vec<String>,
+) {
+    let mut exited = vec![false; children.len()];
+    loop {
+        let mut all_others_done = true;
+        for (i, (id, child)) in children.iter_mut().enumerate() {
+            if exited[i] {
+                continue;
+            }
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    exited[i] = true;
+                    let is_victim = victim == Some(*id);
+                    let expected = if is_victim && crash_mode == CrashMode::Exit {
+                        status.code() == Some(2)
+                    } else if is_victim {
+                        true // stop-mode victim dies by our SIGKILL
+                    } else {
+                        status.success()
+                    };
+                    if !expected {
+                        failures.push(format!("node {id} exited with {status}"));
+                    }
+                }
+                Ok(None) => {
+                    if victim != Some(*id) {
+                        all_others_done = false;
+                    }
+                }
+                Err(e) => {
+                    exited[i] = true;
+                    failures.push(format!("waiting on node {id}: {e}"));
+                }
+            }
+        }
+        if exited.iter().all(|e| *e) {
+            return;
+        }
+        let overdue = Instant::now() > deadline;
+        for (i, (id, child)) in children.iter_mut().enumerate() {
+            if exited[i] {
+                continue;
+            }
+            let stalled_victim = all_others_done && victim == Some(*id);
+            if overdue || stalled_victim {
+                // SIGKILL works on a SIGSTOPped process too.
+                let _ = child.kill();
+                if overdue && victim != Some(*id) {
+                    failures.push(format!("node {id} missed the deadline and was killed"));
+                }
+            }
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Replays the merged per-process observability streams through the
+/// watchdog: concatenate, stable-sort by timestamp (per-object order
+/// is preserved — each object's events come from one stream), check.
+fn run_watchdog(streams: Vec<Vec<ObsEvent>>, pq: Option<(u32, u32)>) -> Vec<String> {
+    let mut merged: Vec<ObsEvent> = streams.into_iter().flatten().collect();
+    merged.sort_by_key(|e| e.at);
+    let mut dog = Watchdog::new().with_expected_commits(1);
+    if pq.is_some() {
+        dog = dog.with_multicast_law();
+    }
+    for event in &merged {
+        dog.on_event(event);
+    }
+    dog.violations().iter().map(ToString::to_string).collect()
+}
+
+/// Spawns the mesh, runs the scenario across OS processes, and checks
+/// the §4.4 / §4.5 laws against the aggregated socket traffic.
+///
+/// # Errors
+///
+/// Infrastructure failures (spawn, rendezvous, report parsing) are
+/// errors; *protocol* failures land in [`RunSummary::failures`] so
+/// callers can inspect them.
+///
+/// # Panics
+///
+/// Panics if an internal collector thread panicked.
+#[allow(clippy::too_many_lines)]
+pub fn run_coordinator(opts: &CoordinatorOptions) -> Result<RunSummary, String> {
+    let scenario = WireScenario::build(&opts.scenario)?;
+    let n = scenario.num_nodes;
+    let deadline = Instant::now() + opts.deadline;
+    let crash_run = opts.crash.is_some();
+    if let Some(victim) = opts.crash {
+        if victim.index() >= n {
+            return Err(format!("crash victim {victim} out of range for {n} nodes"));
+        }
+    }
+
+    // The simulator is the oracle; run it first, in-process.
+    let baseline: SimBaseline = WireScenario::sim_baseline(&opts.scenario)?;
+
+    let rendezvous = TcpListener::bind(("127.0.0.1", 0)).map_err(|e| e.to_string())?;
+    let rendezvous_addr = rendezvous.local_addr().map_err(|e| e.to_string())?;
+
+    let use_obs = opts.obs && !crash_run;
+    let (obs_addr, collector) = if use_obs {
+        let collector = caex_obs::EventCollector::bind(("127.0.0.1", 0)).map_err(|e| e.to_string())?;
+        let addr = collector.local_addr().map_err(|e| e.to_string())?;
+        let handle = thread::spawn(move || collector.collect(n as usize));
+        (Some(addr), Some(handle))
+    } else {
+        (None, None)
+    };
+
+    let mut children: Vec<(NodeId, Child)> = Vec::with_capacity(n as usize);
+    let mut stdout_readers = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let id = NodeId::new(i);
+        let mut cmd = Command::new(&opts.binary);
+        cmd.arg("--role")
+            .arg("participant")
+            .arg("--scenario")
+            .arg(&opts.scenario)
+            .arg("--id")
+            .arg(i.to_string())
+            .arg("--rendezvous")
+            .arg(rendezvous_addr.to_string())
+            .arg("--transport")
+            .arg(match opts.transport {
+                Transport::Tcp => "tcp",
+                Transport::Unix => "unix",
+            })
+            .arg("--sock-dir")
+            .arg(&opts.sock_dir)
+            .arg("--idle-timeout-ms")
+            .arg(opts.idle_timeout.as_millis().to_string())
+            .arg("--heartbeat-ms")
+            .arg(opts.config.heartbeat_interval.as_millis().to_string())
+            .arg("--crash-timeout-ms")
+            .arg(opts.config.crash_timeout.as_millis().to_string())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        if let Some(addr) = obs_addr {
+            cmd.arg("--obs").arg(addr.to_string());
+        }
+        if opts.crash == Some(id) {
+            cmd.arg("--crash-after-ms")
+                .arg(opts.crash_after.as_millis().to_string())
+                .arg("--crash-mode")
+                .arg(match opts.crash_mode {
+                    CrashMode::Exit => "exit",
+                    CrashMode::Stop => "stop",
+                });
+        }
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| format!("spawning node {i}: {e}"))?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        stdout_readers.push(thread::spawn(move || {
+            BufReader::new(stdout)
+                .lines()
+                .map_while(Result::ok)
+                .collect::<Vec<String>>()
+        }));
+        children.push((id, child));
+    }
+
+    let rendezvous_result = serve_rendezvous(&rendezvous, n as usize, deadline);
+    let mut failures: Vec<String> = Vec::new();
+    if let Err(e) = rendezvous_result {
+        // Children will fail their own rendezvous; kill and bail.
+        for (_, child) in &mut children {
+            let _ = child.kill();
+        }
+        return Err(e);
+    }
+
+    reap_children(&mut children, opts.crash, opts.crash_mode, deadline, &mut failures);
+
+    let mut reports: Vec<NodeReport> = Vec::new();
+    for (i, reader) in stdout_readers.into_iter().enumerate() {
+        let lines = reader.join().expect("stdout reader panicked");
+        let report_line = lines
+            .iter()
+            .find_map(|l| l.strip_prefix(REPORT_PREFIX));
+        match report_line {
+            Some(body) => {
+                let value = json::parse(body).map_err(|e| format!("node {i} report: {e:?}"))?;
+                reports.push(NodeReport::from_json(&value)?);
+            }
+            None if opts.crash == Some(NodeId::new(i as u32)) => {} // the victim dies reportless
+            None => failures.push(format!("node {i} printed no report")),
+        }
+    }
+    reports.sort_by_key(|r| r.id);
+
+    let watchdog_violations = match collector {
+        Some(handle) => {
+            let streams = handle
+                .join()
+                .expect("collector thread panicked")
+                .map_err(|e| format!("collecting obs streams: {e}"))?;
+            run_watchdog(streams, scenario.pq)
+        }
+        None => Vec::new(),
+    };
+    for v in &watchdog_violations {
+        failures.push(format!("watchdog: {v}"));
+    }
+
+    let total_sent: u64 = reports.iter().map(|r| r.sent).sum();
+    let action = scenario.action.index();
+    let mut resolved_set: BTreeSet<u32> = BTreeSet::new();
+    let mut handled_count = 0usize;
+    for report in &reports {
+        for (a, e) in &report.handled {
+            if *a == action {
+                resolved_set.insert(*e);
+                handled_count += 1;
+            }
+        }
+    }
+    if resolved_set.len() > 1 {
+        failures.push(format!(
+            "agreement violated: handlers saw exceptions {resolved_set:?}"
+        ));
+    }
+    let resolved = resolved_set.iter().next().copied();
+
+    let mut deserters: Vec<u32> = reports
+        .iter()
+        .flat_map(|r| r.deserters.iter().copied())
+        .collect();
+    deserters.sort_unstable();
+    deserters.dedup();
+
+    if crash_run {
+        let victim = opts.crash.expect("crash_run").index();
+        // Every surviving declared participant must have excluded the
+        // victim and still reached the same resolution as the oracle.
+        for p in &scenario.participants {
+            if p.index() == victim {
+                continue;
+            }
+            let listed = reports
+                .iter()
+                .find(|r| r.id == p.index())
+                .is_some_and(|r| r.deserters.contains(&victim));
+            if !listed {
+                failures.push(format!(
+                    "survivor {p} did not report node {victim} as a deserter"
+                ));
+            }
+        }
+        if resolved != baseline.agreed.map(|e| e.index()) {
+            failures.push(format!(
+                "crash run resolved {resolved:?}, simulator resolved {:?}",
+                baseline.agreed.map(|e| e.index())
+            ));
+        }
+        let live_participants = scenario
+            .participants
+            .iter()
+            .filter(|p| p.index() != victim)
+            .count();
+        if handled_count != live_participants {
+            failures.push(format!(
+                "{handled_count} handlers started, expected one per survivor ({live_participants})"
+            ));
+        }
+    } else {
+        match scenario.expected_messages {
+            Some(expected) => {
+                if total_sent != expected {
+                    failures.push(format!(
+                        "socket traffic {total_sent} != (N-1)(2P+3Q+1) = {expected}"
+                    ));
+                }
+            }
+            // No closed form (Example 2's cross-level run): the
+            // zero-clamped script makes the burst structure match the
+            // simulator's, so its count is still the oracle.
+            None => {
+                if total_sent != baseline.total_messages {
+                    failures.push(format!(
+                        "socket traffic {total_sent} != simulator's {}",
+                        baseline.total_messages
+                    ));
+                }
+            }
+        }
+        if resolved != baseline.agreed.map(|e| e.index()) {
+            failures.push(format!(
+                "wire resolved {resolved:?}, simulator resolved {:?}",
+                baseline.agreed.map(|e| e.index())
+            ));
+        }
+        if handled_count != scenario.participants.len() {
+            failures.push(format!(
+                "{handled_count} handlers started, expected one per participant ({})",
+                scenario.participants.len()
+            ));
+        }
+        if !deserters.is_empty() {
+            failures.push(format!("clean run reported deserters {deserters:?}"));
+        }
+    }
+
+    Ok(RunSummary {
+        scenario: opts.scenario.clone(),
+        num_nodes: n,
+        total_sent,
+        expected_messages: scenario.expected_messages,
+        sim_messages: baseline.total_messages,
+        resolved,
+        sim_resolved: baseline.agreed.map(|e| e.index()),
+        deserters,
+        watchdog_violations,
+        reports,
+        failures,
+    })
+}
+
+/// Outcome of an in-process [`run_local`] mesh.
+#[derive(Debug)]
+pub struct LocalOutcome {
+    /// Per-node reports, in node order.
+    pub reports: Vec<NodeReport>,
+    /// Protocol messages across all ports.
+    pub total_sent: u64,
+    /// The exception resolution agreed on (asserted consistent).
+    pub resolved: Option<ExceptionId>,
+}
+
+/// Runs a wire scenario with every node on its own thread of *this*
+/// process — same sockets, same frames, no child processes. The
+/// fixture for transport tests and benches.
+///
+/// # Errors
+///
+/// Propagates spec, socket, and barrier failures.
+///
+/// # Panics
+///
+/// Panics if a node thread panicked or the agreement invariant broke.
+pub fn run_local(
+    spec: &str,
+    transport: Transport,
+    sock_dir: &std::path::Path,
+    config: &WireConfig,
+    idle_timeout: Duration,
+) -> Result<LocalOutcome, String> {
+    let scenario = WireScenario::build(spec)?;
+    let n = scenario.num_nodes;
+    let mut bounds = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let id = NodeId::new(i);
+        bounds.push(
+            WireBound::bind(id, &bind_addr(transport, sock_dir, id), config.clone())
+                .map_err(|e| format!("bind {i}: {e}"))?,
+        );
+    }
+    let addrs: Vec<WireAddr> = bounds.iter().map(|b| b.local_addr().clone()).collect();
+    let spec = spec.to_string();
+    let start = Instant::now();
+    let mut joins = Vec::with_capacity(n as usize);
+    for (i, bound) in bounds.into_iter().enumerate() {
+        let addrs = addrs.clone();
+        let spec = spec.clone();
+        let idle = idle_timeout;
+        joins.push(thread::spawn(move || -> Result<NodeReport, String> {
+            // Each thread rebuilds the scenario: handler tables hold
+            // closures and cannot be cloned across threads.
+            let scenario = WireScenario::build(&spec)?;
+            let id = NodeId::new(i as u32);
+            let port = bound.connect(&addrs).map_err(|e| format!("connect {id}: {e}"))?;
+            port.barrier(Duration::from_secs(10))?;
+            Ok(drive_wire_node(&port, &scenario, id, idle, false, &mut (), start))
+        }));
+    }
+    let mut reports = Vec::with_capacity(n as usize);
+    for join in joins {
+        reports.push(join.join().expect("node thread panicked")?);
+    }
+    reports.sort_by_key(|r| r.id);
+    let total_sent = reports.iter().map(|r| r.sent).sum();
+    let action = scenario.action.index();
+    let mut resolved: Option<ExceptionId> = None;
+    for report in &reports {
+        for (a, e) in &report.handled {
+            if *a != action {
+                continue;
+            }
+            let exc = ExceptionId::new(*e);
+            match resolved {
+                None => resolved = Some(exc),
+                Some(prev) => assert_eq!(prev, exc, "agreement violated in local mesh"),
+            }
+        }
+    }
+    Ok(LocalOutcome {
+        reports,
+        total_sent,
+        resolved,
+    })
+}

@@ -1,0 +1,297 @@
+//! Paper workloads re-packaged for wall-clock, multi-process
+//! execution.
+//!
+//! The canonical [`caex::workloads`] scenarios carry virtual step
+//! times tuned for the discrete-event simulator, where message
+//! latency is always larger than the inter-step gaps — so concurrent
+//! raises really are concurrent. Over real sockets the relation can
+//! invert: barrier-exit skew between processes can exceed localhost
+//! propagation delay, and a microsecond-staggered raise script would
+//! race against incoming Exception messages, breaking the §4.4 count.
+//!
+//! [`WireScenario::build`] therefore *clamps every step to time zero*.
+//! [`caex::drive::drive_node`] fires all due local steps (in script
+//! order — the per-node sequence number breaks ties) before its first
+//! receive, so each process plays out its entire local script in one
+//! burst before reacting to the network. That structurally reproduces
+//! the simulator's concurrency assumption regardless of skew, and the
+//! real socket traffic can be held to `(N−1)(2P+3Q+1)`.
+//!
+//! Steps scheduled one virtual second or later (Example 2's belated
+//! re-entry probe, scheduled long after resolution) model "afterwards"
+//! and are dropped rather than clamped: folding them into the initial
+//! burst would change the protocol run.
+
+use caex::workloads::{self, ExampleIds};
+use caex::{analysis, Event, Scenario};
+use caex_action::{ActionId, ActionRegistry, HandlerTable};
+use caex_net::{NetConfig, NodeId, SimTime};
+use caex_tree::ExceptionId;
+use std::sync::Arc;
+
+/// Steps at or past this virtual time are "long after resolution" and
+/// are dropped from wire scripts instead of being clamped into the
+/// initial burst.
+fn belated() -> SimTime {
+    SimTime::from_micros(1_000_000)
+}
+
+/// What the sim engine says a scenario must do — the cross-engine
+/// oracle for the wire run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimBaseline {
+    /// Total protocol messages the simulator sent.
+    pub total_messages: u64,
+    /// The exception every handler agreed on, if resolution ran.
+    pub agreed: Option<ExceptionId>,
+}
+
+/// A workload compiled for the socket mesh: zero-clamped script,
+/// per-object handler tables, and the applicable §4.4/§4.5 law.
+pub struct WireScenario {
+    /// Spec string this was built from (`example1`, `general:5,2,1`, …).
+    pub name: String,
+    /// The action structure.
+    pub registry: Arc<ActionRegistry>,
+    /// All steps, clamped to [`SimTime::ZERO`] in script order.
+    pub steps: Vec<(SimTime, NodeId, Event)>,
+    /// Handler tables per `(object, action)`.
+    pub handlers: Vec<(NodeId, ActionId, HandlerTable)>,
+    /// The action resolution is expected to run in.
+    pub action: ActionId,
+    /// Declared participants of that action.
+    pub participants: Vec<NodeId>,
+    /// Mesh size (max participant index + 1 across the registry).
+    pub num_nodes: u32,
+    /// Closed-form §4.4 message count, when the workload has one.
+    pub expected_messages: Option<u64>,
+    /// `(p, q)` for the §4.5 multicast law, when the workload fits the
+    /// general family (Example 2's cross-level scenario does not).
+    pub pq: Option<(u32, u32)>,
+}
+
+impl std::fmt::Debug for WireScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireScenario")
+            .field("name", &self.name)
+            .field("num_nodes", &self.num_nodes)
+            .field("steps", &self.steps.len())
+            .field("expected_messages", &self.expected_messages)
+            .finish()
+    }
+}
+
+/// Parses a `general:n,p,q` spec tail.
+fn parse_general(tail: &str) -> Result<(u32, u32, u32), String> {
+    let parts: Vec<&str> = tail.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!("general spec needs n,p,q — got `{tail}`"));
+    }
+    let mut nums = [0u32; 3];
+    for (slot, part) in nums.iter_mut().zip(&parts) {
+        *slot = part
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad number `{part}` in general spec: {e}"))?;
+    }
+    let [n, p, q] = nums;
+    if p < 1 || p + q > n {
+        return Err(format!("general:{n},{p},{q} violates 1 ≤ p and p + q ≤ n"));
+    }
+    Ok((n, p, q))
+}
+
+fn compile(
+    name: &str,
+    scenario: Scenario,
+    action: ActionId,
+    participants: Vec<NodeId>,
+    expected_messages: Option<u64>,
+    pq: Option<(u32, u32)>,
+) -> WireScenario {
+    let (registry, raw_steps, handlers) = scenario.into_script();
+    let steps = raw_steps
+        .into_iter()
+        .filter(|(t, _, _)| *t < belated())
+        .map(|(_, o, e)| (SimTime::ZERO, o, e))
+        .collect();
+    let num_nodes = registry
+        .iter()
+        .flat_map(|(_, s)| s.participants().iter().copied())
+        .map(|n| n.index() + 1)
+        .max()
+        .unwrap_or(0);
+    WireScenario {
+        name: name.to_string(),
+        registry,
+        steps,
+        handlers,
+        action,
+        participants,
+        num_nodes,
+        expected_messages,
+        pq,
+    }
+}
+
+impl WireScenario {
+    /// Builds a wire scenario from a spec string: `example1`,
+    /// `example2`, or `general:n,p,q`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown specs and malformed/invalid `general`
+    /// parameters.
+    pub fn build(spec: &str) -> Result<WireScenario, String> {
+        match spec {
+            "example1" => {
+                let (workload, _ids): (workloads::Workload, ExampleIds) =
+                    workloads::example1(NetConfig::default());
+                Ok(compile(
+                    spec,
+                    workload.scenario,
+                    workload.action,
+                    workload.participants,
+                    Some(analysis::messages_general(3, 2, 0)),
+                    Some((2, 0)),
+                ))
+            }
+            "example2" => {
+                let (workload, _ids) = workloads::example2(NetConfig::default());
+                // Cross-level scenario: no closed-form count; the sim
+                // baseline is the oracle instead.
+                Ok(compile(
+                    spec,
+                    workload.scenario,
+                    workload.action,
+                    workload.participants,
+                    None,
+                    None,
+                ))
+            }
+            other => {
+                let Some(tail) = other.strip_prefix("general:") else {
+                    return Err(format!(
+                        "unknown scenario `{other}` (want example1, example2 or general:n,p,q)"
+                    ));
+                };
+                let (n, p, q) = parse_general(tail)?;
+                let workload = workloads::general(n, p, q, NetConfig::default());
+                Ok(compile(
+                    other,
+                    workload.scenario,
+                    workload.action,
+                    workload.participants,
+                    Some(analysis::messages_general(u64::from(n), u64::from(p), u64::from(q))),
+                    Some((p, q)),
+                ))
+            }
+        }
+    }
+
+    /// Runs the *simulator* on the same spec and returns its verdict —
+    /// the oracle the multi-process run is compared against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WireScenario::build`]'s spec errors.
+    pub fn sim_baseline(spec: &str) -> Result<SimBaseline, String> {
+        let (workload, action) = match spec {
+            "example1" => {
+                let (w, _) = workloads::example1(NetConfig::default());
+                let a = w.action;
+                (w, a)
+            }
+            "example2" => {
+                let (w, _) = workloads::example2(NetConfig::default());
+                let a = w.action;
+                (w, a)
+            }
+            other => {
+                let tail = other
+                    .strip_prefix("general:")
+                    .ok_or_else(|| format!("unknown scenario `{other}`"))?;
+                let (n, p, q) = parse_general(tail)?;
+                let w = workloads::general(n, p, q, NetConfig::default());
+                let a = w.action;
+                (w, a)
+            }
+        };
+        let report = workload.run();
+        Ok(SimBaseline {
+            total_messages: report.total_messages(),
+            agreed: report.agreed_exception(action).map(|e| e.id()),
+        })
+    }
+
+    /// The clamped steps belonging to `object`, in script order.
+    #[must_use]
+    pub fn steps_for(&self, object: NodeId) -> Vec<(SimTime, Event)> {
+        self.steps
+            .iter()
+            .filter(|(_, o, _)| *o == object)
+            .map(|(t, _, e)| (*t, e.clone()))
+            .collect()
+    }
+
+    /// Whether any step is a completion — decides the participant's
+    /// leave mode, mirroring the threaded engine.
+    #[must_use]
+    pub fn uses_completion(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|(_, _, e)| matches!(e, Event::Complete(_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example1_compiles_with_the_closed_form_count() {
+        let sc = WireScenario::build("example1").unwrap();
+        // Example 1 names its objects O1..O3, so the mesh spans node
+        // ids 0..=3 with node 0 a silent bystander.
+        assert_eq!(sc.num_nodes, 4);
+        assert_eq!(sc.expected_messages, Some(10));
+        assert_eq!(sc.pq, Some((2, 0)));
+        assert!(sc.steps.iter().all(|(t, _, _)| *t == SimTime::ZERO));
+        // Each of the three objects has at least an enter step.
+        for i in 0..3 {
+            assert!(!sc.steps_for(sc.participants[i]).is_empty());
+        }
+    }
+
+    #[test]
+    fn example2_drops_the_belated_entry_and_has_no_closed_form() {
+        let sim = workloads::example2(NetConfig::default()).0.scenario;
+        let raw_steps = sim.scripted().count();
+        let sc = WireScenario::build("example2").unwrap();
+        assert_eq!(sc.expected_messages, None);
+        assert_eq!(sc.pq, None);
+        assert!(
+            sc.steps.len() < raw_steps,
+            "the belated O3 re-entry must be dropped ({} vs {raw_steps})",
+            sc.steps.len()
+        );
+    }
+
+    #[test]
+    fn general_specs_parse_and_validate() {
+        let sc = WireScenario::build("general:5,2,1").unwrap();
+        assert_eq!(sc.num_nodes, 5);
+        assert_eq!(sc.expected_messages, Some(analysis::messages_general(5, 2, 1)));
+        assert!(WireScenario::build("general:3,0,0").is_err());
+        assert!(WireScenario::build("general:3,2,2").is_err());
+        assert!(WireScenario::build("general:nope").is_err());
+        assert!(WireScenario::build("bogus").is_err());
+    }
+
+    #[test]
+    fn sim_baseline_matches_the_law_for_the_general_family() {
+        let base = WireScenario::sim_baseline("general:4,2,1").unwrap();
+        assert_eq!(base.total_messages, analysis::messages_general(4, 2, 1));
+        assert_eq!(base.agreed, Some(ExceptionId::new(1)));
+    }
+}

@@ -1,0 +1,637 @@
+//! The socket mesh: a [`WirePort`] is one node's endpoint in a fully
+//! connected network of framed TCP or Unix-domain connections, and
+//! implements the same [`FifoPort`] contract as the in-process
+//! [`caex_net::NodePort`] — so [`caex::drive::drive_node`] runs the
+//! §4.2 resolution algorithm over it unchanged, from separate OS
+//! processes.
+//!
+//! Topology: every ordered pair of nodes gets one simplex connection.
+//! Node `i` dials each peer's listener for its *outbound* link
+//! (announcing itself with [`Frame::Hello`]) and accepts `n − 1`
+//! *inbound* links. Per-sender FIFO holds because each outbound link
+//! has exactly one writer thread draining a FIFO channel into one TCP
+//! stream.
+//!
+//! Failure detection: an idle outbound link carries a
+//! [`Frame::Heartbeat`] every [`WireConfig::heartbeat_interval`]. The
+//! receiving side timestamps every frame; a peer silent for longer
+//! than [`WireConfig::crash_timeout`], or whose connection ends
+//! without a [`Frame::Bye`], is reported once by
+//! [`FifoPort::take_crashed`] — which the drive loop folds into
+//! [`caex::Participant::on_deserter`], so a crashed participant
+//! surfaces as a §4.2 *deserter* instead of hanging resolution.
+//! Writers that lose their connection re-dial with bounded
+//! exponential backoff before giving the peer up for dead.
+
+use crate::frame::{read_frame, write_frame, Frame};
+use caex::Event;
+use caex_net::{FifoPort, Kinded, NetStats, NodeId, RecvTimeoutError};
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A mesh endpoint address: TCP socket or Unix-domain socket path.
+///
+/// Rendered/parsed as `tcp://127.0.0.1:4000` or `unix:/tmp/n0.sock`,
+/// so address maps travel through CLI arguments and rendezvous lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireAddr {
+    /// A TCP endpoint.
+    Tcp(SocketAddr),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl fmt::Display for WireAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireAddr::Tcp(a) => write!(f, "tcp://{a}"),
+            WireAddr::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+impl FromStr for WireAddr {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(rest) = s.strip_prefix("tcp://") {
+            rest.parse()
+                .map(WireAddr::Tcp)
+                .map_err(|e| format!("bad tcp address `{rest}`: {e}"))
+        } else if let Some(rest) = s.strip_prefix("unix:") {
+            Ok(WireAddr::Unix(PathBuf::from(rest)))
+        } else {
+            Err(format!("address `{s}` has neither a tcp:// nor a unix: scheme"))
+        }
+    }
+}
+
+/// Transport tuning: timeouts, heartbeat cadence, reconnect policy.
+#[derive(Debug, Clone)]
+pub struct WireConfig {
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Dial attempts (initial connect and mid-run reconnect alike).
+    pub dial_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub dial_backoff: Duration,
+    /// An idle outbound link sends a heartbeat this often.
+    pub heartbeat_interval: Duration,
+    /// A peer silent for this long is reported crashed.
+    pub crash_timeout: Duration,
+    /// Hard cap on any single blocking read (self-cleaning readers).
+    pub read_timeout: Duration,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            connect_timeout: Duration::from_secs(2),
+            dial_retries: 6,
+            dial_backoff: Duration::from_millis(25),
+            heartbeat_interval: Duration::from_millis(50),
+            crash_timeout: Duration::from_millis(700),
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+enum WireListener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl WireListener {
+    fn set_nonblocking(&self, v: bool) -> io::Result<()> {
+        match self {
+            WireListener::Tcp(l) => l.set_nonblocking(v),
+            WireListener::Unix(l) => l.set_nonblocking(v),
+        }
+    }
+
+    fn accept(&self) -> io::Result<WireStream> {
+        match self {
+            WireListener::Tcp(l) => l.accept().map(|(s, _)| WireStream::Tcp(s)),
+            WireListener::Unix(l) => l.accept().map(|(s, _)| WireStream::Unix(s)),
+        }
+    }
+}
+
+enum WireStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl WireStream {
+    fn tune(&self, read_timeout: Duration) {
+        match self {
+            WireStream::Tcp(s) => {
+                let _ = s.set_nonblocking(false);
+                let _ = s.set_nodelay(true);
+                let _ = s.set_read_timeout(Some(read_timeout));
+            }
+            WireStream::Unix(s) => {
+                let _ = s.set_nonblocking(false);
+                let _ = s.set_read_timeout(Some(read_timeout));
+            }
+        }
+    }
+}
+
+impl Read for WireStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            WireStream::Tcp(s) => s.read(buf),
+            WireStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for WireStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            WireStream::Tcp(s) => s.write(buf),
+            WireStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            WireStream::Tcp(s) => s.flush(),
+            WireStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Shared liveness bookkeeping, updated by reader/writer threads and
+/// consumed by [`FifoPort::take_crashed`] and the barrier.
+#[derive(Default)]
+struct MeshState {
+    last_seen: HashMap<NodeId, Instant>,
+    ready: HashSet<NodeId>,
+    departed: HashSet<NodeId>,
+    dead: HashSet<NodeId>,
+    reported: HashSet<NodeId>,
+}
+
+/// A bound-but-unconnected endpoint: the listener exists (so peers can
+/// already dial it) but the mesh is not formed. Splitting bind from
+/// connect lets a harness bind every listener *before* distributing
+/// the address map, which removes every port race from mesh formation.
+pub struct WireBound {
+    id: NodeId,
+    listener: WireListener,
+    addr: WireAddr,
+    config: WireConfig,
+}
+
+impl fmt::Debug for WireBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WireBound")
+            .field("id", &self.id)
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl WireBound {
+    /// Binds `id`'s listener. For TCP use port `0` to let the OS pick;
+    /// for Unix sockets a stale path is removed first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind(id: NodeId, addr: &WireAddr, config: WireConfig) -> io::Result<WireBound> {
+        let (listener, addr) = match addr {
+            WireAddr::Tcp(sa) => {
+                let l = TcpListener::bind(sa)?;
+                let actual = l.local_addr()?;
+                (WireListener::Tcp(l), WireAddr::Tcp(actual))
+            }
+            WireAddr::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                (WireListener::Unix(l), WireAddr::Unix(path.clone()))
+            }
+        };
+        Ok(WireBound { id, listener, addr, config })
+    }
+
+    /// The bound address (with the OS-assigned port resolved) — hand
+    /// it to the peers.
+    #[must_use]
+    pub fn local_addr(&self) -> &WireAddr {
+        &self.addr
+    }
+
+    /// Forms the mesh: dials every peer in `addrs` (indexed by node
+    /// id; the own entry is ignored) and starts accepting the `n − 1`
+    /// inbound links.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any initial dial exhausts its retries — mesh formation
+    /// must be complete before the protocol starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` has no entry for this node's id.
+    pub fn connect(self, addrs: &[WireAddr]) -> io::Result<WirePort> {
+        let WireBound { id, listener, addr: _, config } = self;
+        assert!(
+            (id.index() as usize) < addrs.len(),
+            "address map of {} entries lacks node {id}",
+            addrs.len()
+        );
+        let num_nodes = addrs.len() as u32;
+        let state = Arc::new(Mutex::new(MeshState::default()));
+        let stats = Arc::new(Mutex::new(NetStats::default()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (inbox_tx, inbox_rx) = channel::unbounded();
+
+        // Inbound half: accept until shutdown, one reader per link.
+        listener.set_nonblocking(true)?;
+        {
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            let inbox_tx: Sender<(NodeId, Event)> = inbox_tx.clone();
+            let read_timeout = config.read_timeout;
+            thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok(stream) => {
+                            stream.tune(read_timeout);
+                            let state = Arc::clone(&state);
+                            let inbox_tx = inbox_tx.clone();
+                            thread::spawn(move || reader_loop(stream, &state, &inbox_tx));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => return,
+                    }
+                }
+            });
+        }
+
+        // Outbound half: dial each peer, one writer thread per link.
+        let mut senders = HashMap::new();
+        let mut writers = Vec::new();
+        for (peer_idx, peer_addr) in addrs.iter().enumerate() {
+            let peer = NodeId::new(peer_idx as u32);
+            if peer == id {
+                continue;
+            }
+            let stream = dial(peer_addr, &config, id)?;
+            let (tx, rx) = channel::unbounded();
+            let peer_addr = peer_addr.clone();
+            let config_cl = config.clone();
+            let state_cl = Arc::clone(&state);
+            writers.push(thread::spawn(move || {
+                writer_loop(id, peer, stream, &peer_addr, &config_cl, &rx, &state_cl);
+            }));
+            senders.insert(peer, tx);
+        }
+
+        // Liveness clocks start at mesh formation, so a peer that never
+        // sends anything still times out.
+        {
+            let mut st = state.lock();
+            let now = Instant::now();
+            for peer in senders.keys() {
+                st.last_seen.insert(*peer, now);
+            }
+        }
+
+        Ok(WirePort {
+            id,
+            num_nodes,
+            config,
+            senders,
+            writers,
+            inbox_rx,
+            inbox_tx,
+            state,
+            stats,
+            shutdown,
+        })
+    }
+}
+
+/// Dials `addr` with bounded exponential backoff, sending the
+/// identifying [`Frame::Hello`] on success.
+fn dial(addr: &WireAddr, config: &WireConfig, hello_as: NodeId) -> io::Result<WireStream> {
+    let mut last_err = io::Error::other("no dial attempt made");
+    for attempt in 0..=config.dial_retries {
+        if attempt > 0 {
+            thread::sleep(config.dial_backoff * 2u32.saturating_pow(attempt - 1));
+        }
+        let connected = match addr {
+            WireAddr::Tcp(sa) => {
+                TcpStream::connect_timeout(sa, config.connect_timeout).map(WireStream::Tcp)
+            }
+            WireAddr::Unix(path) => UnixStream::connect(path).map(WireStream::Unix),
+        };
+        match connected {
+            Ok(mut stream) => {
+                stream.tune(config.read_timeout);
+                match write_frame(&mut stream, &Frame::Hello { id: hello_as }) {
+                    Ok(()) => return Ok(stream),
+                    Err(e) => last_err = e,
+                }
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+/// Inbound link: identify the peer from its Hello, then timestamp and
+/// dispatch every frame. A link ending without a Bye marks the peer
+/// dead; Bye marks it departed.
+fn reader_loop(mut stream: WireStream, state: &Mutex<MeshState>, inbox: &Sender<(NodeId, Event)>) {
+    let peer = match read_frame(&mut stream) {
+        Ok(Frame::Hello { id }) => id,
+        _ => return, // not a mesh peer; drop the connection
+    };
+    state.lock().last_seen.insert(peer, Instant::now());
+    loop {
+        match read_frame(&mut stream) {
+            Ok(frame) => {
+                let mut st = state.lock();
+                st.last_seen.insert(peer, Instant::now());
+                match frame {
+                    Frame::Msg { from, msg } => {
+                        drop(st);
+                        let _ = inbox.send((from, Event::Msg(msg)));
+                    }
+                    Frame::Ready => {
+                        st.ready.insert(peer);
+                    }
+                    Frame::Bye => {
+                        st.departed.insert(peer);
+                        return;
+                    }
+                    Frame::Heartbeat | Frame::Hello { .. } => {}
+                }
+            }
+            Err(_) => {
+                let mut st = state.lock();
+                if !st.departed.contains(&peer) {
+                    st.dead.insert(peer);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Outbound link: drain the FIFO channel into the stream, heartbeat
+/// when idle, reconnect with bounded backoff on a broken pipe, and
+/// exit after writing Bye (explicit or on channel close).
+fn writer_loop(
+    own_id: NodeId,
+    peer: NodeId,
+    mut stream: WireStream,
+    peer_addr: &WireAddr,
+    config: &WireConfig,
+    rx: &Receiver<Frame>,
+    state: &Mutex<MeshState>,
+) {
+    loop {
+        let frame = match rx.recv_timeout(config.heartbeat_interval) {
+            Ok(f) => f,
+            Err(channel::RecvTimeoutError::Timeout) => Frame::Heartbeat,
+            Err(channel::RecvTimeoutError::Disconnected) => Frame::Bye,
+        };
+        let ending = matches!(frame, Frame::Bye);
+        if write_frame(&mut stream, &frame).is_err() {
+            match dial(peer_addr, config, own_id) {
+                Ok(s) => {
+                    stream = s;
+                    if write_frame(&mut stream, &frame).is_err() {
+                        state.lock().dead.insert(peer);
+                        return;
+                    }
+                }
+                Err(_) => {
+                    // Reconnect exhausted: the peer is gone for good.
+                    state.lock().dead.insert(peer);
+                    return;
+                }
+            }
+        }
+        if ending {
+            let _ = stream.flush();
+            return;
+        }
+    }
+}
+
+/// One node's endpoint in the socket mesh. Implements [`FifoPort`], so
+/// [`caex::drive::drive_node`] treats it exactly like the in-process
+/// transport — plus [`WirePort::barrier`] for cross-process start
+/// alignment.
+pub struct WirePort {
+    id: NodeId,
+    num_nodes: u32,
+    config: WireConfig,
+    senders: HashMap<NodeId, Sender<Frame>>,
+    /// Writer threads, joined on drop so every queued frame — above
+    /// all the closing [`Frame::Bye`] — reaches the socket before the
+    /// process may exit. Without the join, a fast exit races the Byes
+    /// and peers misread the close as a crash.
+    writers: Vec<thread::JoinHandle<()>>,
+    inbox_rx: Receiver<(NodeId, Event)>,
+    /// Keeps the inbox open even when every reader has exited, so the
+    /// drive loop terminates on its idle rule, not on a spurious
+    /// disconnect. Also the self-delivery path.
+    inbox_tx: Sender<(NodeId, Event)>,
+    state: Arc<Mutex<MeshState>>,
+    stats: Arc<Mutex<NetStats>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl fmt::Debug for WirePort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WirePort")
+            .field("id", &self.id)
+            .field("num_nodes", &self.num_nodes)
+            .finish()
+    }
+}
+
+impl WirePort {
+    /// This port's node id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of nodes in the mesh.
+    #[must_use]
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Shared statistics handle (protocol messages only — heartbeats
+    /// and other control frames are not counted).
+    #[must_use]
+    pub fn stats(&self) -> Arc<Mutex<NetStats>> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Start barrier: broadcasts [`Frame::Ready`] and blocks until
+    /// every peer's Ready has arrived. Scenario step offsets measured
+    /// from the instant this returns are aligned across processes to
+    /// within one message propagation.
+    ///
+    /// # Errors
+    ///
+    /// Reports the peers still missing at `timeout` (including peers
+    /// that died while the barrier waited).
+    pub fn barrier(&self, timeout: Duration) -> Result<(), String> {
+        for tx in self.senders.values() {
+            let _ = tx.send(Frame::Ready);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let st = self.state.lock();
+                if self.senders.keys().all(|p| st.ready.contains(p)) {
+                    return Ok(());
+                }
+                if Instant::now() > deadline {
+                    let missing: Vec<String> = self
+                        .senders
+                        .keys()
+                        .filter(|p| !st.ready.contains(p))
+                        .map(ToString::to_string)
+                        .collect();
+                    return Err(format!("barrier timed out waiting for {}", missing.join(", ")));
+                }
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    fn send_event(&self, to: NodeId, event: Event) -> bool {
+        let kind = event.kind();
+        if to == self.id {
+            // Self-delivery short-circuits the sockets.
+            let ok = self.inbox_tx.send((self.id, event)).is_ok();
+            let mut stats = self.stats.lock();
+            if ok {
+                stats.record_send(kind);
+                stats.record_channel(self.id, to);
+            } else {
+                stats.record_drop(kind);
+            }
+            return ok;
+        }
+        let Event::Msg(msg) = event else {
+            // Local events never cross the wire; a caller handing one
+            // over is accounted as a drop, not a panic.
+            self.stats.lock().record_drop(kind);
+            return false;
+        };
+        let Some(tx) = self.senders.get(&to) else {
+            self.stats.lock().record_drop(kind);
+            return false;
+        };
+        let ok = tx.send(Frame::Msg { from: self.id, msg }).is_ok();
+        let mut stats = self.stats.lock();
+        if ok {
+            stats.record_send(kind);
+            stats.record_channel(self.id, to);
+        } else {
+            stats.record_drop(kind);
+        }
+        ok
+    }
+
+    fn recv_event(&self, timeout: Duration) -> Result<(NodeId, Event), RecvTimeoutError> {
+        match self.inbox_rx.recv_timeout(timeout) {
+            Ok((from, event)) => {
+                self.stats.lock().record_delivery(event.kind());
+                Ok((from, event))
+            }
+            Err(channel::RecvTimeoutError::Timeout) => Err(RecvTimeoutError::Timeout),
+            Err(channel::RecvTimeoutError::Disconnected) => Err(RecvTimeoutError::Disconnected),
+        }
+    }
+}
+
+impl FifoPort<Event> for WirePort {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    fn send(&self, to: NodeId, payload: Event) -> bool {
+        self.send_event(to, payload)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<(NodeId, Event), RecvTimeoutError> {
+        self.recv_event(timeout)
+    }
+
+    fn take_crashed(&self) -> Vec<NodeId> {
+        let now = Instant::now();
+        let mut st = self.state.lock();
+        let mut crashed = Vec::new();
+        for peer in self.senders.keys() {
+            if st.reported.contains(peer) || st.departed.contains(peer) {
+                continue;
+            }
+            let silent = st
+                .last_seen
+                .get(peer)
+                .is_some_and(|seen| now.duration_since(*seen) > self.config.crash_timeout);
+            if st.dead.contains(peer) || silent {
+                st.reported.insert(*peer);
+                crashed.push(*peer);
+            }
+        }
+        crashed.sort_unstable();
+        crashed
+    }
+
+    fn drain_undelivered(&self) -> usize {
+        let mut drained = 0;
+        while let Ok((_, event)) = self.inbox_rx.try_recv() {
+            self.stats.lock().record_drop(event.kind());
+            drained += 1;
+        }
+        drained
+    }
+}
+
+impl Drop for WirePort {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for tx in self.senders.values() {
+            let _ = tx.send(Frame::Bye);
+        }
+        // Block until every writer has flushed its Bye — the graceful
+        // departure must hit the wire before this process can exit.
+        // Readers need no join: they exit with the peer's close.
+        for writer in self.writers.drain(..) {
+            let _ = writer.join();
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! In-process tests for the socket transport: FIFO delivery across a
+//! real TCP link, whole-scenario runs over loopback TCP and Unix
+//! sockets, and the heartbeat failure detector distinguishing a silent
+//! crash from a graceful goodbye.
+
+use caex::{Event, Msg};
+use caex_action::ActionId;
+use caex_net::{FifoPort, NodeId};
+use caex_tree::{Exception, ExceptionId};
+use caex_wire::frame::{write_frame, Frame};
+use caex_wire::harness::{run_local, Transport};
+use caex_wire::scenario::WireScenario;
+use caex_wire::{WireAddr, WireBound, WireConfig, WirePort};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A unique scratch directory per test, for Unix-domain socket files.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("caex-wire-test-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn tcp_any() -> WireAddr {
+    "tcp://127.0.0.1:0".parse().expect("loopback wildcard")
+}
+
+/// Forms a full n-node TCP mesh in-process and returns the ports.
+fn tcp_mesh(n: u32, config: &WireConfig) -> Vec<WirePort> {
+    let bounds: Vec<WireBound> = (0..n)
+        .map(|i| {
+            WireBound::bind(NodeId::new(i), &tcp_any(), config.clone()).expect("bind loopback")
+        })
+        .collect();
+    let addrs: Vec<WireAddr> = bounds.iter().map(|b| b.local_addr().clone()).collect();
+    bounds
+        .into_iter()
+        .map(|b| b.connect(&addrs).expect("form mesh"))
+        .collect()
+}
+
+#[test]
+fn two_node_tcp_link_preserves_fifo_order() {
+    let ports = tcp_mesh(2, &WireConfig::default());
+    // No barrier: it synchronizes *threads*, one per node, and this
+    // test drives both ports from one thread. Sends buffer regardless.
+    let (sender, receiver) = (&ports[0], &ports[1]);
+
+    // A burst of protocol messages tagged by action id; FIFO order
+    // means they must arrive exactly in send order.
+    for i in 0..50u32 {
+        let msg = Msg::Ack { from: sender.id(), action: ActionId::new(i) };
+        assert!(sender.send(receiver.id(), Event::Msg(msg)), "send {i} accepted");
+    }
+    for i in 0..50u32 {
+        let (from, event) = receiver
+            .recv_timeout(Duration::from_secs(5))
+            .expect("burst message arrives");
+        assert_eq!(from, sender.id());
+        match event {
+            Event::Msg(Msg::Ack { action, .. }) => assert_eq!(action, ActionId::new(i)),
+            other => panic!("expected Ack #{i}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn local_events_never_cross_the_wire() {
+    let ports = tcp_mesh(2, &WireConfig::default());
+    // A non-Msg event addressed to a peer is refused and accounted as
+    // a drop, not silently serialized.
+    let exc = Exception::new(ExceptionId::new(1));
+    let refused = ports[0].send(NodeId::new(1), Event::Raise(exc));
+    assert!(!refused);
+    assert_eq!(ports[0].stats().lock().dropped_total(), 1);
+}
+
+#[test]
+fn example1_over_loopback_tcp_matches_the_simulator() {
+    let outcome = run_local(
+        "example1",
+        Transport::Tcp,
+        &scratch("tcp-ex1"),
+        &WireConfig::default(),
+        Duration::from_millis(300),
+    )
+    .expect("example1 runs over TCP");
+    let baseline = WireScenario::sim_baseline("example1").expect("sim oracle");
+    assert_eq!(outcome.total_sent, baseline.total_messages, "§4.4: (N−1)(2P+3Q+1) = 10");
+    assert_eq!(outcome.resolved, baseline.agreed);
+    assert!(outcome.resolved.is_some(), "resolution must have committed");
+}
+
+#[test]
+fn example1_over_unix_sockets_matches_the_simulator() {
+    let outcome = run_local(
+        "example1",
+        Transport::Unix,
+        &scratch("uds-ex1"),
+        &WireConfig::default(),
+        Duration::from_millis(300),
+    )
+    .expect("example1 runs over Unix sockets");
+    let baseline = WireScenario::sim_baseline("example1").expect("sim oracle");
+    assert_eq!(outcome.total_sent, baseline.total_messages);
+    assert_eq!(outcome.resolved, baseline.agreed);
+}
+
+/// Short liveness clocks so the silence tests finish fast.
+fn twitchy_config() -> WireConfig {
+    WireConfig {
+        heartbeat_interval: Duration::from_millis(30),
+        crash_timeout: Duration::from_millis(150),
+        ..WireConfig::default()
+    }
+}
+
+/// A fake peer occupying node id 1: a raw listener (so the port under
+/// test can dial out) plus a raw inbound stream that has said Hello.
+/// Returns the port and the fake's inbound stream.
+fn port_with_fake_peer(config: &WireConfig) -> (WirePort, TcpStream) {
+    let fake_listener = TcpListener::bind("127.0.0.1:0").expect("fake listener");
+    let fake_addr = WireAddr::Tcp(fake_listener.local_addr().expect("fake addr"));
+    let bound = WireBound::bind(NodeId::new(0), &tcp_any(), config.clone()).expect("bind");
+    let real_addr = bound.local_addr().clone();
+    let port = bound.connect(&[real_addr.clone(), fake_addr]).expect("mesh");
+    let WireAddr::Tcp(real_sock) = real_addr else { unreachable!("bound tcp") };
+    let mut inbound = TcpStream::connect(real_sock).expect("fake dials in");
+    write_frame(&mut inbound, &Frame::Hello { id: NodeId::new(1) }).expect("fake hello");
+    (port, inbound)
+}
+
+/// Polls `take_crashed` until `deadline`, accumulating reports.
+fn poll_crashed(port: &WirePort, deadline: Duration) -> Vec<NodeId> {
+    let until = Instant::now() + deadline;
+    let mut crashed = Vec::new();
+    while Instant::now() < until {
+        crashed.extend(port.take_crashed());
+        if !crashed.is_empty() {
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    crashed
+}
+
+#[test]
+fn silent_peer_is_detected_by_heartbeat_timeout() {
+    let config = twitchy_config();
+    let (port, _inbound) = port_with_fake_peer(&config);
+    // The fake said Hello and then went silent: no heartbeats, no Bye.
+    let crashed = poll_crashed(&port, Duration::from_secs(5));
+    assert_eq!(crashed, vec![NodeId::new(1)], "silence past crash_timeout is a crash");
+    // Exactly-once reporting: the same peer never surfaces again.
+    thread::sleep(config.crash_timeout + Duration::from_millis(50));
+    assert!(port.take_crashed().is_empty());
+}
+
+#[test]
+fn goodbye_is_a_departure_not_a_crash() {
+    let config = twitchy_config();
+    let (port, mut inbound) = port_with_fake_peer(&config);
+    write_frame(&mut inbound, &Frame::Bye).expect("fake bye");
+    drop(inbound); // close the socket — with a Bye first, this is graceful
+    thread::sleep(config.crash_timeout * 3);
+    assert!(
+        port.take_crashed().is_empty(),
+        "a peer that says Bye must never be reported crashed"
+    );
+}
+
+#[test]
+fn abrupt_disconnect_without_bye_is_a_crash() {
+    let config = twitchy_config();
+    let (port, inbound) = port_with_fake_peer(&config);
+    drop(inbound); // EOF with no Bye: the link died
+    let crashed = poll_crashed(&port, Duration::from_secs(5));
+    assert_eq!(crashed, vec![NodeId::new(1)]);
+}

@@ -199,6 +199,17 @@ pub enum Note {
         /// Message kind of the fan-out.
         kind: &'static str,
     },
+    /// A peer was detected as crashed (a *deserter*, §2.2's fault
+    /// assumption relaxed by the wire transport's failure detector) and
+    /// excluded from the resolution: its outstanding ACK / abortion /
+    /// leave obligations were waived and its raised exceptions dropped
+    /// from `LE` so a live raiser wins the resolver election.
+    Deserted {
+        /// The surviving object that processed the desertion.
+        object: NodeId,
+        /// The crashed peer.
+        peer: NodeId,
+    },
     /// A top-level action failed (no containing action to signal to).
     ActionFailed {
         /// The object.

@@ -420,6 +420,24 @@ impl Scenario {
         self.handlers.iter().map(|(o, a, t)| (*o, *a, t))
     }
 
+    /// Decomposes the scenario into its owned script parts — action
+    /// structure, scripted timeline, handler-table bindings — so
+    /// another runtime (the threaded engine, `caex-wire`'s per-process
+    /// harness) can execute the same script. Engine-specific settings
+    /// (network config, delivery limit, leave mode, acceptance tests)
+    /// are dropped: they belong to the simulator, not the script.
+    #[must_use]
+    #[allow(clippy::type_complexity)]
+    pub fn into_script(
+        self,
+    ) -> (
+        Arc<ActionRegistry>,
+        Vec<(SimTime, NodeId, Event)>,
+        Vec<(NodeId, ActionId, HandlerTable)>,
+    ) {
+        (self.registry, self.steps, self.handlers)
+    }
+
     /// Executes the scenario to quiescence and reports.
     ///
     /// # Panics

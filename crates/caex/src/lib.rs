@@ -71,6 +71,7 @@ pub mod arche;
 pub mod central;
 pub mod codec;
 pub mod cr;
+pub mod drive;
 pub mod explore;
 pub mod obs;
 pub mod program;

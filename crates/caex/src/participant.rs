@@ -106,6 +106,9 @@ pub struct Participant {
     leave_requested: HashSet<ActionId>,
     /// Distributed leave: peers' `LeaveReady` announcements per action.
     leave_ready: HashMap<ActionId, BTreeSet<NodeId>>,
+    /// Peers reported crashed by the transport's failure detector;
+    /// permanently excluded from every peer set (see [`Self::on_deserter`]).
+    deserters: HashSet<NodeId>,
 }
 
 impl fmt::Debug for Participant {
@@ -142,6 +145,7 @@ impl Participant {
             leave_mode: LeaveMode::default(),
             leave_requested: HashSet::new(),
             leave_ready: HashMap::new(),
+            deserters: HashSet::new(),
         }
     }
 
@@ -248,10 +252,80 @@ impl Participant {
     }
 
     fn peers(&self, action: ActionId) -> Vec<NodeId> {
-        self.registry
+        let mut peers = self
+            .registry
             .scope(action)
             .expect("peers of undeclared action")
-            .peers_of(self.id)
+            .peers_of(self.id);
+        peers.retain(|p| !self.deserters.contains(p));
+        peers
+    }
+
+    /// The peers reported so far via [`Self::on_deserter`].
+    #[must_use]
+    pub fn deserters(&self) -> Vec<NodeId> {
+        let mut d: Vec<NodeId> = self.deserters.iter().copied().collect();
+        d.sort_unstable();
+        d
+    }
+
+    /// Excludes a crashed peer (a *deserter*) from the protocol.
+    ///
+    /// The §4.2 algorithm assumes participants do not crash; a real
+    /// transport relaxes that with a heartbeat failure detector and
+    /// reports timed-out peers here. The deserter is removed from every
+    /// future peer set and all of its outstanding obligations are
+    /// waived so resolution cannot block on it:
+    ///
+    /// - its pending ACK for our own broadcast is forgiven,
+    /// - its `LO` entry (an abortion we were waiting to complete) is
+    ///   dropped,
+    /// - its raised exceptions are removed from `LE`, so the resolver
+    ///   election re-runs over *live* raisers only (a dead max-raiser
+    ///   can never commit),
+    /// - a pending distributed leave no longer waits for it.
+    ///
+    /// If the removal leaves a suspended object with an empty `LE` (the
+    /// only raiser deserted before any abortion traffic), the orphaned
+    /// resolution context is discarded and the object resumes normal
+    /// computation. Calling this again for the same peer is a no-op.
+    pub fn on_deserter(&mut self, peer: NodeId) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if peer == self.id || !self.deserters.insert(peer) {
+            return fx;
+        }
+        fx.push(Effect::Note(Note::Deserted {
+            object: self.id,
+            peer,
+        }));
+        if let Some(res) = &mut self.res {
+            res.pending_acks.remove(&peer);
+            res.lo.remove(&peer);
+            res.le.retain(|(raiser, _)| *raiser != peer);
+            res.deferred_acks.retain(|to| *to != peer);
+            if res.state == PState::Ready {
+                // A raiser parked in R was outranked — possibly by the
+                // deserter. Return to X so the ready predicate re-runs
+                // the election over the surviving raisers.
+                res.state = PState::Exceptional;
+            }
+            if res.le.is_empty()
+                && res.lo.is_empty()
+                && res.pending_acks.is_empty()
+                && res.state != PState::Exceptional
+                && !res.aborting
+            {
+                // Orphaned: every known raiser deserted, nothing else
+                // is in flight, and we raised nothing ourselves — no
+                // commit will ever arrive.
+                self.res = None;
+            }
+        }
+        self.check_ready(&mut fx);
+        for action in self.leave_requested.clone() {
+            self.try_distributed_leave(action, &mut fx);
+        }
+        fx
     }
 
     /// Main entry point: consume one event, emit the resulting effects.
@@ -1406,5 +1480,84 @@ mod tests {
     fn zero_resolver_group_rejected() {
         let (mut p, _a) = single_action(2);
         p.set_resolver_group(0);
+    }
+
+    #[test]
+    fn deserter_ack_is_forgiven_and_resolution_completes() {
+        let (mut p, a) = single_action(3);
+        p.handle(Event::Raise(Exception::new(ExceptionId::new(1))));
+        p.handle(Event::Msg(Msg::Ack {
+            from: NodeId::new(1),
+            action: a,
+        }));
+        // O2 crashed before ACKing: without desertion the raiser would
+        // wait forever.
+        assert_eq!(p.state(), Some(PState::Exceptional));
+        let fx = p.on_deserter(NodeId::new(2));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Note(Note::Deserted { peer, .. }) if *peer == NodeId::new(2))));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Note(Note::ResolutionCommitted { .. }))));
+        // The commit fan-out excludes the deserter.
+        let sent = sends(&fx);
+        assert!(sent
+            .iter()
+            .all(|(to, _)| **to != NodeId::new(2)));
+    }
+
+    #[test]
+    fn deserting_max_raiser_re_elects_a_live_resolver() {
+        let (mut p, a) = single_action(3);
+        p.handle(Event::Raise(Exception::new(ExceptionId::new(1))));
+        p.handle(Event::Msg(Msg::Exception {
+            action: a,
+            from: NodeId::new(2),
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        p.handle(Event::Msg(Msg::Ack {
+            from: NodeId::new(1),
+            action: a,
+        }));
+        p.handle(Event::Msg(Msg::Ack {
+            from: NodeId::new(2),
+            action: a,
+        }));
+        // O2 outranks O0, so O0 parked in R waiting for O2's commit.
+        assert_eq!(p.state(), Some(PState::Ready));
+        // O2 dies without committing: O0 must win the re-election.
+        // (R is left behind by dropping O2 from LE; the ready predicate
+        // re-runs over the live raisers.)
+        let fx = p.on_deserter(NodeId::new(2));
+        assert!(
+            fx.iter()
+                .any(|e| matches!(e, Effect::Note(Note::ResolutionCommitted { resolver, .. }) if *resolver == NodeId::new(0))),
+            "surviving raiser must take over resolution: {fx:?}"
+        );
+    }
+
+    #[test]
+    fn suspended_object_drops_orphaned_resolution_on_desertion() {
+        let (mut p, a) = single_action(3);
+        p.handle(Event::Msg(Msg::Exception {
+            action: a,
+            from: NodeId::new(2),
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        assert_eq!(p.state(), Some(PState::Suspended));
+        // The only raiser deserts: no commit can ever arrive.
+        p.on_deserter(NodeId::new(2));
+        assert!(p.is_normal());
+    }
+
+    #[test]
+    fn duplicate_desertion_is_inert() {
+        let (mut p, _a) = single_action(3);
+        let first = p.on_deserter(NodeId::new(2));
+        assert_eq!(first.len(), 1);
+        let again = p.on_deserter(NodeId::new(2));
+        assert!(again.is_empty());
+        assert_eq!(p.deserters(), vec![NodeId::new(2)]);
     }
 }

@@ -13,12 +13,12 @@
 //! paper's §4.5 points at group membership services for the real
 //! thing); the simulator engine remains the measurement instrument.
 
+use crate::drive::drive_node;
 use crate::{Effect, Event, LeaveMode, NestedStrategy, Note, Participant};
 use caex_action::{ActionId, ActionRegistry, HandlerTable};
-use caex_net::{NetStats, NodeId, RecvTimeoutError, SimTime, ThreadNet};
+use caex_net::{NetStats, NodeId, SimTime, ThreadNet};
 use caex_tree::Exception;
 use parking_lot::Mutex;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -108,29 +108,6 @@ fn handle_observed(
         &mut BufObs(events),
     );
     fx
-}
-
-struct TimedEvent {
-    due: Instant,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for TimedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
-    }
-}
-impl Eq for TimedEvent {}
-impl PartialOrd for TimedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (other.due, other.seq).cmp(&(self.due, self.seq))
-    }
 }
 
 /// Builder/driver for a threaded execution.
@@ -259,6 +236,26 @@ impl ThreadRunner {
         self
     }
 
+    /// The action structure this runner executes over.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<ActionRegistry> {
+        &self.registry
+    }
+
+    /// The scripted steps, in scheduling order — the same shape as
+    /// [`crate::Scenario::scripted`], so static analyses (the
+    /// `caex-lint` replay battery) can check a threaded script without
+    /// running it.
+    pub fn scripted(&self) -> impl Iterator<Item = (SimTime, NodeId, &Event)> {
+        self.steps.iter().map(|(t, o, e)| (*t, *o, e))
+    }
+
+    /// The installed handler tables, mirroring
+    /// [`crate::Scenario::handler_tables`].
+    pub fn handler_tables(&self) -> impl Iterator<Item = (NodeId, ActionId, &HandlerTable)> {
+        self.handlers.iter().map(|(o, a, t)| (*o, *a, t))
+    }
+
     /// Spawns one thread per object, runs to (idle-detected)
     /// quiescence, and joins.
     ///
@@ -316,69 +313,30 @@ impl ThreadRunner {
             participants[object.index() as usize].set_handlers(action, table);
         }
 
-        let mut queues: Vec<BinaryHeap<TimedEvent>> =
-            (0..num_nodes).map(|_| BinaryHeap::new()).collect();
-        for (seq, (time, object, event)) in self.steps.into_iter().enumerate() {
-            queues[object.index() as usize].push(TimedEvent {
-                due: start + Duration::from_micros(time.as_micros()),
-                seq: seq as u64,
-                event,
-            });
+        let mut steps_per_node: Vec<Vec<(SimTime, Event)>> =
+            (0..num_nodes).map(|_| Vec::new()).collect();
+        for (time, object, event) in self.steps {
+            steps_per_node[object.index() as usize].push((time, event));
         }
 
         let idle_timeout = self.idle_timeout;
         let mut joins = Vec::new();
-        for (port, (mut participant, mut queue)) in
-            ports.into_iter().zip(participants.into_iter().zip(queues))
+        for (port, (mut participant, steps)) in ports
+            .into_iter()
+            .zip(participants.into_iter().zip(steps_per_node))
         {
             let notes = Arc::clone(&notes);
             let sink = Arc::clone(&sink);
             joins.push(thread::spawn(move || {
-                let mut seq = u64::MAX / 2;
-                let mut last_activity = Instant::now();
-                loop {
-                    // Fire due local events first.
-                    let now = Instant::now();
-                    let mut effects = Vec::new();
-                    while queue.peek().is_some_and(|t| t.due <= now) {
-                        let t = queue.pop().expect("peeked");
-                        effects.extend(handle_observed(&mut participant, t.event, &sink, start));
-                        last_activity = Instant::now();
-                    }
-                    // Then wait briefly for a message.
-                    let wait = queue
-                        .peek()
-                        .map(|t| t.due.saturating_duration_since(Instant::now()))
-                        .unwrap_or(Duration::from_millis(10))
-                        .min(Duration::from_millis(10));
-                    match port.recv_timeout(wait) {
-                        Ok((_, event)) => {
-                            effects.extend(handle_observed(&mut participant, event, &sink, start));
-                            last_activity = Instant::now();
-                        }
-                        Err(RecvTimeoutError::Timeout) => {}
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    }
-                    for effect in effects.drain(..) {
-                        match effect {
-                            Effect::Send { to, msg } => {
-                                port.send(to, Event::Msg(msg));
-                            }
-                            Effect::After { delay, event } => {
-                                seq += 1;
-                                queue.push(TimedEvent {
-                                    due: Instant::now() + Duration::from_micros(delay.as_micros()),
-                                    seq,
-                                    event,
-                                });
-                            }
-                            Effect::Note(note) => notes.lock().push(note),
-                        }
-                    }
-                    if queue.is_empty() && last_activity.elapsed() > idle_timeout {
-                        break;
-                    }
-                }
+                drive_node(
+                    &port,
+                    &mut participant,
+                    steps,
+                    start,
+                    idle_timeout,
+                    |p, ev| handle_observed(p, ev, &sink, start),
+                    |note| notes.lock().push(note),
+                );
             }));
         }
         for j in joins {

@@ -9,21 +9,34 @@
 # 3. the tables binary regenerates TABLES.md and BENCH_PR2.json,
 #    validating the bench document (laws + watchdog) before writing it;
 # 4. the checked-in BENCH_PR2.json is pinned against a live
-#    regeneration, so a stale document fails the build.
+#    regeneration, so a stale document fails the build;
+# 5. the wire frame codec survives its fuzz-style property battery;
+# 6. a real multi-process smoke run: one OS process per participant
+#    over loopback TCP, held to the §4.4 count and the §4.5 watchdog,
+#    plus a crash run that must surface the victim as a deserter.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-2 [1/4]: caex-lint over every built-in workload =="
+echo "== tier-2 [1/6]: caex-lint over every built-in workload =="
 cargo run -q -p caex-lint --bin caex-lint
 
-echo "== tier-2 [2/4]: obs watchdog + §4.4 laws over every built-in workload =="
+echo "== tier-2 [2/6]: obs watchdog + §4.4 laws over every built-in workload =="
 cargo test -q --test observability
 
-echo "== tier-2 [3/4]: regenerate TABLES.md and validated BENCH_PR2.json =="
+echo "== tier-2 [3/6]: regenerate TABLES.md and validated BENCH_PR2.json =="
 cargo run -q -p caex-bench --bin tables -- --out TABLES.md --bench-json BENCH_PR2.json \
     > /dev/null
 
-echo "== tier-2 [4/4]: BENCH_PR2.json matches the checked-in pin =="
+echo "== tier-2 [4/6]: BENCH_PR2.json matches the checked-in pin =="
 cargo test -q -p caex-bench --test bench_pr2
+
+echo "== tier-2 [5/6]: wire frame codec fuzz battery =="
+cargo test -q -p caex-wire --test frame_props
+
+echo "== tier-2 [6/6]: multi-process §4.2 resolution over real sockets =="
+cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator --scenario example1
+cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator --scenario example2
+cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator --scenario example1 \
+    --crash 3 --crash-mode exit
 
 echo "tier-2 OK"

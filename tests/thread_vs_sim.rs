@@ -150,3 +150,43 @@ fn threaded_happy_path_is_message_free() {
     assert_eq!(report.stats.sent_total(), 0);
     assert!(report.handled_exceptions(action).is_empty());
 }
+
+/// The thread engine populates the full per-kind breakdown: every sent
+/// message is either delivered or accounted as a drop (inboxes are
+/// drained at idle exit), so the conservation law the sim path already
+/// satisfied holds on threads too.
+#[test]
+fn threaded_stats_conserve_messages_per_kind() {
+    let (registry, action) = setup(4);
+    let report = ThreadRunner::new(registry)
+        .enter_all_at(SimTime::ZERO, action)
+        .raise_at(
+            SimTime::from_millis(1),
+            NodeId::new(1),
+            Exception::new(ExceptionId::new(3)),
+        )
+        .raise_at(
+            SimTime::from_millis(1),
+            NodeId::new(3),
+            Exception::new(ExceptionId::new(4)),
+        )
+        .run();
+    let stats = &report.stats;
+    assert!(stats.sent_total() > 0);
+    assert_eq!(
+        stats.sent_total(),
+        stats.delivered_total() + stats.dropped_total(),
+        "thread engine must account every sent message: {stats}"
+    );
+    for (kind, sent) in stats.sent_by_kind() {
+        assert_eq!(
+            sent,
+            stats.delivered_of_kind(kind) + stats.dropped_of_kind(kind),
+            "per-kind conservation violated for {kind}"
+        );
+        assert!(
+            stats.delivered_of_kind(kind) > 0,
+            "per-kind delivered counter not populated for {kind}"
+        );
+    }
+}

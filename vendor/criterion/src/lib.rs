@@ -90,6 +90,12 @@ impl BenchmarkId {
             label: format!("{}/{}", function_name.into(), parameter),
         }
     }
+
+    /// `from_parameter(32)` renders as just `32`; the group name alone
+    /// identifies the function.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
 }
 
 /// Timing handle passed to each benchmark closure.
