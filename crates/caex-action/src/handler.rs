@@ -34,6 +34,18 @@ pub enum AbortionOutcome {
 type Handler = Box<dyn FnMut(&Exception) -> HandlerOutcome + Send>;
 type AbortionHandler = Box<dyn FnMut() -> AbortionOutcome + Send>;
 
+/// How a handler was installed: declaratively (pure data — cheap to
+/// copy and introspect) or as an opaque user closure.
+enum Installed {
+    Declared(HandlerOutcome),
+    Opaque(Handler),
+}
+
+enum InstalledAbortion {
+    Declared(AbortionOutcome),
+    Opaque(AbortionHandler),
+}
+
 /// One participant's handlers for one CA action.
 ///
 /// The paper's central structural assumption (§3.3) is that **every
@@ -71,8 +83,8 @@ type AbortionHandler = Box<dyn FnMut() -> AbortionOutcome + Send>;
 /// ```
 pub struct HandlerTable {
     tree: Arc<ExceptionTree>,
-    handlers: HashMap<ExceptionId, (Handler, SimTime)>,
-    abortion: Option<(AbortionHandler, SimTime)>,
+    handlers: HashMap<ExceptionId, (Installed, SimTime)>,
+    abortion: Option<(InstalledAbortion, SimTime)>,
 }
 
 impl fmt::Debug for HandlerTable {
@@ -100,14 +112,15 @@ impl HandlerTable {
 
     /// Creates a table with a zero-cost `Recovered` handler for every
     /// exception in the tree and a zero-cost clean abortion handler —
-    /// a valid baseline to override selectively.
+    /// a valid baseline to override selectively. The baseline is fully
+    /// declarative (see [`is_declarative`](Self::is_declarative)).
     #[must_use]
     pub fn recover_all(tree: Arc<ExceptionTree>) -> Self {
         let mut table = HandlerTable::new(tree);
         for id in table.tree.clone().iter() {
-            table.on(id, SimTime::ZERO, |_| HandlerOutcome::Recovered);
+            table.on_outcome(id, SimTime::ZERO, HandlerOutcome::Recovered);
         }
-        table.on_abort(SimTime::ZERO, || AbortionOutcome::Aborted);
+        table.on_abort_outcome(SimTime::ZERO, AbortionOutcome::Aborted);
         table
     }
 
@@ -123,7 +136,24 @@ impl HandlerTable {
     where
         F: FnMut(&Exception) -> HandlerOutcome + Send + 'static,
     {
-        self.handlers.insert(exception, (Box::new(handler), cost));
+        // An arbitrary closure may be stateful or input-dependent; its
+        // behavior cannot be stated as data.
+        self.handlers
+            .insert(exception, (Installed::Opaque(Box::new(handler)), cost));
+    }
+
+    /// Registers (or replaces) the handler for `exception` as a fixed,
+    /// stated outcome rather than an opaque closure.
+    ///
+    /// Declaratively installed handlers behave identically to closures
+    /// at run time, but their behavior stays introspectable
+    /// ([`declared_outcome`](Self::declared_outcome)) and the table
+    /// copyable ([`clone_declarative`](Self::clone_declarative)) — which
+    /// is what allows the static model checker to explore a scenario's
+    /// handler responses without executing user code.
+    pub fn on_outcome(&mut self, exception: ExceptionId, cost: SimTime, outcome: HandlerOutcome) {
+        self.handlers
+            .insert(exception, (Installed::Declared(outcome), cost));
     }
 
     /// Registers a handler by the exception's declared *name* — the
@@ -168,7 +198,78 @@ impl HandlerTable {
     where
         F: FnMut() -> AbortionOutcome + Send + 'static,
     {
-        self.abortion = Some((Box::new(handler), cost));
+        self.abortion = Some((InstalledAbortion::Opaque(Box::new(handler)), cost));
+    }
+
+    /// Registers (or replaces) the abortion handler as a fixed, stated
+    /// outcome — the declarative counterpart of
+    /// [`on_abort`](Self::on_abort), see
+    /// [`on_outcome`](Self::on_outcome).
+    pub fn on_abort_outcome(&mut self, cost: SimTime, outcome: AbortionOutcome) {
+        self.abortion = Some((InstalledAbortion::Declared(outcome), cost));
+    }
+
+    /// The stated outcome for `exception`, if its handler was installed
+    /// declaratively; `None` for opaque closures and missing handlers.
+    #[must_use]
+    pub fn declared_outcome(&self, exception: ExceptionId) -> Option<&HandlerOutcome> {
+        match self.handlers.get(&exception) {
+            Some((Installed::Declared(outcome), _)) => Some(outcome),
+            _ => None,
+        }
+    }
+
+    /// The stated abortion outcome, if the abortion handler was
+    /// installed declaratively.
+    #[must_use]
+    pub fn declared_abort_outcome(&self) -> Option<&AbortionOutcome> {
+        match &self.abortion {
+            Some((InstalledAbortion::Declared(outcome), _)) => Some(outcome),
+            _ => None,
+        }
+    }
+
+    /// `true` when every registered handler (and the abortion handler,
+    /// if any) was installed declaratively, so the table's complete
+    /// behavior is stated as data.
+    #[must_use]
+    pub fn is_declarative(&self) -> bool {
+        self.handlers
+            .values()
+            .all(|(installed, _)| matches!(installed, Installed::Declared(_)))
+            && !matches!(&self.abortion, Some((InstalledAbortion::Opaque(_), _)))
+    }
+
+    /// Builds an independent copy of a fully declarative table.
+    ///
+    /// Handler tables may hold boxed closures and are deliberately not
+    /// `Clone`; a declarative table's behavior is pure data, so a
+    /// faithful copy *can* be materialized — without allocating any
+    /// closures, which keeps the model checker's state forks cheap.
+    /// Returns `None` when any handler is opaque.
+    #[must_use]
+    pub fn clone_declarative(&self) -> Option<HandlerTable> {
+        let mut handlers = HashMap::with_capacity(self.handlers.len());
+        for (&id, (installed, cost)) in &self.handlers {
+            match installed {
+                Installed::Declared(outcome) => {
+                    handlers.insert(id, (Installed::Declared(outcome.clone()), *cost));
+                }
+                Installed::Opaque(_) => return None,
+            }
+        }
+        let abortion = match &self.abortion {
+            None => None,
+            Some((InstalledAbortion::Declared(outcome), cost)) => {
+                Some((InstalledAbortion::Declared(outcome.clone()), *cost))
+            }
+            Some((InstalledAbortion::Opaque(_), _)) => return None,
+        };
+        Some(HandlerTable {
+            tree: Arc::clone(&self.tree),
+            handlers,
+            abortion,
+        })
     }
 
     /// `true` if a specific handler is registered for `exception`.
@@ -214,7 +315,11 @@ impl HandlerTable {
             .handlers
             .get_mut(&occurrence.id())
             .unwrap_or_else(|| panic!("no handler for exception {}", occurrence.id()));
-        (handler(occurrence), *cost)
+        let outcome = match handler {
+            Installed::Declared(outcome) => outcome.clone(),
+            Installed::Opaque(closure) => closure(occurrence),
+        };
+        (outcome, *cost)
     }
 
     /// Invokes the abortion handler, returning its outcome and cost.
@@ -222,7 +327,8 @@ impl HandlerTable {
     /// free.
     pub fn invoke_abortion(&mut self) -> (AbortionOutcome, SimTime) {
         match &mut self.abortion {
-            Some((handler, cost)) => (handler(), *cost),
+            Some((InstalledAbortion::Declared(outcome), cost)) => (outcome.clone(), *cost),
+            Some((InstalledAbortion::Opaque(closure), cost)) => (closure(), *cost),
             None => (AbortionOutcome::Aborted, SimTime::ZERO),
         }
     }
@@ -321,5 +427,63 @@ mod tests {
         let table = HandlerTable::recover_all(Arc::new(chain_tree(2)));
         let shown = format!("{table:?}");
         assert!(shown.contains("handlers"));
+    }
+
+    #[test]
+    fn recover_all_is_fully_declarative() {
+        let table = HandlerTable::recover_all(Arc::new(chain_tree(3)));
+        assert!(table.is_declarative());
+        for id in table.tree().clone().iter() {
+            assert_eq!(
+                table.declared_outcome(id),
+                Some(&HandlerOutcome::Recovered)
+            );
+        }
+        assert_eq!(
+            table.declared_abort_outcome(),
+            Some(&AbortionOutcome::Aborted)
+        );
+    }
+
+    #[test]
+    fn opaque_closures_forfeit_declarativeness() {
+        let tree = Arc::new(chain_tree(2));
+        let e1 = ExceptionId::new(1);
+        let mut table = HandlerTable::recover_all(Arc::clone(&tree));
+        table.on(e1, SimTime::ZERO, |_| HandlerOutcome::Recovered);
+        assert!(!table.is_declarative());
+        assert!(table.declared_outcome(e1).is_none());
+        assert!(table.clone_declarative().is_none());
+        // Re-declaring restores it.
+        table.on_outcome(e1, SimTime::ZERO, HandlerOutcome::Recovered);
+        assert!(table.is_declarative());
+        let mut opaque_abort = HandlerTable::recover_all(tree);
+        opaque_abort.on_abort(SimTime::ZERO, || AbortionOutcome::Aborted);
+        assert!(!opaque_abort.is_declarative());
+    }
+
+    #[test]
+    fn declarative_clone_replays_outcomes_and_costs() {
+        let tree = Arc::new(chain_tree(3));
+        let e1 = ExceptionId::new(1);
+        let e3 = ExceptionId::new(3);
+        let mut table = HandlerTable::recover_all(Arc::clone(&tree));
+        table.on_outcome(
+            e1,
+            SimTime::from_micros(9),
+            HandlerOutcome::Signal(Exception::new(e3)),
+        );
+        table.on_abort_outcome(
+            SimTime::from_micros(4),
+            AbortionOutcome::Signal(Exception::new(e1)),
+        );
+        let mut copy = table.clone_declarative().unwrap();
+        assert!(copy.validate_complete().is_ok());
+        let (outcome, cost) = copy.invoke(&Exception::new(e1));
+        assert_eq!(outcome, HandlerOutcome::Signal(Exception::new(e3)));
+        assert_eq!(cost, SimTime::from_micros(9));
+        let (abort, abort_cost) = copy.invoke_abortion();
+        assert_eq!(abort, AbortionOutcome::Signal(Exception::new(e1)));
+        assert_eq!(abort_cost, SimTime::from_micros(4));
     }
 }

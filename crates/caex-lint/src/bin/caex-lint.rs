@@ -5,6 +5,7 @@
 //! cargo run -p caex-lint --bin caex-lint            # lint the built-ins
 //! cargo run -p caex-lint --bin caex-lint -- --list  # list all lint codes
 //! cargo run -p caex-lint --bin caex-lint -- --broken  # demo on a broken registry
+//! cargo run --release -p caex-lint -- check --model  # model-check the built-ins
 //! ```
 //!
 //! Flags:
@@ -14,13 +15,21 @@
 //! - `--allow CODE` / `--warn CODE` / `--deny CODE` — per-lint level
 //!   overrides (stable `CAEXnnn` codes or kebab-case names);
 //! - `--broken` — lint a deliberately broken declaration set instead of
-//!   the built-ins (demonstrates the deny lints; exits nonzero).
+//!   the built-ins (demonstrates the deny lints; exits nonzero);
+//! - `check --model` — after the static pass, model-check the built-in
+//!   scenarios exhaustively (`CAEX015`–`CAEX018`), sweep resolver
+//!   crashes through Examples 1 and 2, cross-check every verdict
+//!   against the dynamic seed sweep, and run the `CAEX019`
+//!   Campbell–Randell domino analysis. Exits nonzero on any violation,
+//!   unconfirmed counterexample, or checker/simulator disagreement.
+//!   Run it in release: the exhaustive sweeps are compute-bound.
 
+use caex::explore::{explore, Expect};
 use caex::workloads;
 use caex_action::{ActionId, ActionScope, HandlerTable};
-use caex_lint::{LintCode, LintConfig, LintReport, Linter};
+use caex_lint::{LintCode, LintConfig, LintReport, Linter, ModelLimits, ModelOptions};
 use caex_net::{NetConfig, NodeId, SimTime};
-use caex_tree::ExceptionId;
+use caex_tree::{chain_tree, ExceptionId, ReducedTree};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -28,12 +37,16 @@ fn main() -> ExitCode {
     let mut config = LintConfig::new();
     let mut list = false;
     let mut broken = false;
+    let mut model = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            // `check` is the (optional) subcommand word: `check --model`.
+            "check" => {}
             "--list" => list = true,
             "--broken" => broken = true,
+            "--model" => model = true,
             "--deny-warnings" => config = config.deny_warnings(),
             "--allow" | "--warn" | "--deny" => {
                 let Some(value) = args.next() else {
@@ -54,7 +67,7 @@ fn main() -> ExitCode {
                 println!(
                     "caex-lint: static protocol analysis over the built-in workloads\n\
                      \n\
-                     usage: caex-lint [--list] [--broken] [--deny-warnings]\n\
+                     usage: caex-lint [check] [--model] [--list] [--broken] [--deny-warnings]\n\
                      \x20                [--allow CODE] [--warn CODE] [--deny CODE]..."
                 );
                 return ExitCode::SUCCESS;
@@ -91,11 +104,155 @@ fn main() -> ExitCode {
         print!("{}", report.render());
         failed |= report.has_denials();
     }
+    if model {
+        failed |= !model_check_builtins(&linter);
+    }
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// The `check --model` battery: exhaustive model checking of the
+/// small built-in scenarios, resolver-crash sweeps through the paper's
+/// Examples 1 and 2, a dynamic cross-check of every verdict, and the
+/// Campbell–Randell domino analysis. Returns `true` when everything
+/// agrees and nothing fired.
+fn model_check_builtins(linter: &Linter) -> bool {
+    let cfg = NetConfig::default;
+    // (name, crash_sweep, scenario builder). The builder is seedable so
+    // the same family feeds both the checker and the dynamic sweep.
+    type Build = Box<dyn Fn(u64) -> caex::Scenario>;
+    let families: Vec<(&str, bool, Build)> = vec![
+        (
+            "case1(3)",
+            false,
+            Box::new(|seed| workloads::case1(3, NetConfig::default().with_seed(seed)).scenario),
+        ),
+        (
+            "case2(3)",
+            false,
+            Box::new(|seed| workloads::case2(3, NetConfig::default().with_seed(seed)).scenario),
+        ),
+        (
+            "fig3",
+            false,
+            Box::new(|seed| workloads::fig3(NetConfig::default().with_seed(seed)).scenario),
+        ),
+        (
+            "example1",
+            true,
+            Box::new(|seed| workloads::example1(NetConfig::default().with_seed(seed)).0.scenario),
+        ),
+        (
+            "example2",
+            true,
+            Box::new(|seed| workloads::example2(NetConfig::default().with_seed(seed)).0.scenario),
+        ),
+    ];
+
+    let mut ok = true;
+    for (name, sweep, build) in families {
+        let options = ModelOptions {
+            crash_sweep: sweep,
+            // Example 2's reduced state space is ~1.1M states; give the
+            // battery comfortable headroom so every family is exhaustive.
+            limits: ModelLimits {
+                max_states: 2_000_000,
+                max_trace: 4_096,
+            },
+        };
+        let started = std::time::Instant::now();
+        let (report, model) = linter.model_check(&build(0), &options);
+        let elapsed = started.elapsed();
+        println!(
+            "== model:{name}: {} states, {} transitions, {} crash points, {:?}{}",
+            model.stats.states,
+            model.stats.transitions,
+            model.crash_points,
+            elapsed,
+            if model.complete { "" } else { " (BOUNDED)" },
+        );
+        if let Some(reason) = &model.skipped {
+            println!("   SKIPPED: {reason}");
+            ok = false;
+            continue;
+        }
+        print!("{}", report.render());
+        if !model.violations.is_empty() {
+            ok = false;
+        }
+        if model.violations.iter().any(|v| !v.replay_confirmed) {
+            println!("   UNCONFIRMED counterexample: checker nondeterminism");
+            ok = false;
+        }
+        if !model.complete {
+            println!("   state budget exhausted before exhaustion: raise ModelLimits");
+            ok = false;
+        }
+        // Cross-check against the dynamic engine: a checker-clean
+        // family must be clean under the seed sweep too (the checker
+        // explores a superset of the simulator's schedules).
+        let sweep_outcome = explore(0..16, Expect::Clean, &build);
+        if model.is_clean() && !sweep_outcome.is_ok() {
+            println!(
+                "   DISAGREEMENT: checker-clean but the dynamic sweep violated \
+                 invariants: {:?}",
+                sweep_outcome.violations
+            );
+            ok = false;
+        }
+        println!(
+            "   dynamic cross-check: {} seeds, {}",
+            sweep_outcome.runs,
+            if sweep_outcome.is_ok() { "agree" } else { "violations (see above)" }
+        );
+    }
+
+    // CAEX019: the §3.3 domino must fire (and escalate) on interleaved
+    // reduced trees over a chain, and stay quiet with full handlers.
+    let tree = chain_tree(8);
+    let interleaved = caex::cr::interleaved_parties(&tree, 8, 2);
+    // Raised by party 0 (which handles it): party 1 cannot, climbs,
+    // and the climb ping-pongs all the way down to the root.
+    let raise = [(NodeId::new(0), ExceptionId::new(8))];
+    let domino = linter.lint_cr(&tree, &interleaved, &raise);
+    println!("== model:cr-domino (interleaved chain of 8, 2 parties)");
+    print!("{}", domino.render());
+    if !domino.fired(LintCode::CrDominoDepth) {
+        println!("   MISSING: the interleaved worst case must fire CAEX019");
+        ok = false;
+    }
+    let full = vec![ReducedTree::full(&tree); 2];
+    let quiet = linter.lint_cr(&tree, &full, &raise);
+    if !quiet.is_clean() {
+        println!("   FALSE POSITIVE: full handler sets must not domino");
+        print!("{}", quiet.render());
+        ok = false;
+    }
+    // Cross-check the static prediction against the executed CR
+    // baseline: the domino the lint predicts is the one cr::run counts.
+    let report = caex::cr::run(
+        2,
+        Arc::new(chain_tree(8)),
+        caex::cr::interleaved_parties(&chain_tree(8), 8, 2),
+        &raise,
+        cfg(),
+    );
+    if report.committed != ExceptionId::ROOT || report.raised_total < 8 {
+        println!(
+            "   DISAGREEMENT: CAEX019 predicts a full domino but cr::run raised {} \
+             and committed {}",
+            report.raised_total, report.committed
+        );
+        ok = false;
+    }
+    println!(
+        "   dynamic cross-check: cr::run raised {} classes, committed {} — agree",
+        report.raised_total, report.committed
+    );
+    ok
 }
 
 /// Lints every built-in workload family's scenario.

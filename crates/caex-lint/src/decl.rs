@@ -118,9 +118,27 @@ where
             }
             None => tree.iter().collect(),
         };
+        // Fix-it: the concrete handler rows that close every gap in
+        // this table, attached to each totality finding.
+        let missing: Vec<_> = declared.iter().filter(|&&e| !table.handles(e)).collect();
+        let rows: Vec<String> = missing
+            .iter()
+            .map(|&&exc| {
+                format!(
+                    "table.on_outcome(ExceptionId::new({}), SimTime::ZERO, \
+                     HandlerOutcome::Recovered); // {}",
+                    exc.index(),
+                    tree.name(exc).unwrap_or("?")
+                )
+            })
+            .collect();
         for exc in declared {
             if !table.handles(exc) {
-                sink.emit(
+                let mut help = vec![format!(
+                    "add the missing row(s) to {object}'s table for {action}:"
+                )];
+                help.extend(rows.iter().cloned());
+                sink.emit_with_help(
                     LintCode::HandlerTotality,
                     &subject,
                     format!(
@@ -128,6 +146,7 @@ where
                          every participant to handle every declared exception",
                         tree.name(exc).unwrap_or("?")
                     ),
+                    help,
                 );
             }
         }

@@ -55,11 +55,32 @@ pub enum LintCode {
     /// `CAEX014` — a declared participant with no program at all; it
     /// is entered with the action but contributes nothing.
     UnenteredParticipant,
+    /// `CAEX015` — the model checker found a reachable interleaving
+    /// ending in a state where some participant is stuck mid-resolution
+    /// (deadlock-freedom violated).
+    ModelDeadlock,
+    /// `CAEX016` — the model checker found a reachable interleaving in
+    /// which an exception was raised but no resolution ever commits
+    /// (resolution termination violated).
+    ModelUnresolved,
+    /// `CAEX017` — a reachable resolution commits an exception that is
+    /// not the least common ancestor of the raised set, or participants
+    /// disagree on the committed class (cross-checked against the
+    /// `ExceptionTree::resolve` oracle).
+    ModelWrongResolution,
+    /// `CAEX018` — crashing the resolver at some step of resolution
+    /// leaves a reachable interleaving in which the survivors never
+    /// finish (resolver-crash survivability violated).
+    ModelCrashVulnerable,
+    /// `CAEX019` — under the Campbell–Randell baseline's interleaved
+    /// reduced trees, a single raise can domino through re-raises at
+    /// third-party objects; reports the worst-case domino depth.
+    CrDominoDepth,
 }
 
 impl LintCode {
     /// All codes, in code order.
-    pub const ALL: [LintCode; 14] = [
+    pub const ALL: [LintCode; 19] = [
         LintCode::NonCoveringPair,
         LintCode::UnreachableClass,
         LintCode::DuplicateRaisable,
@@ -74,6 +95,11 @@ impl LintCode {
         LintCode::EnterImbalance,
         LintCode::NonParticipantStep,
         LintCode::UnenteredParticipant,
+        LintCode::ModelDeadlock,
+        LintCode::ModelUnresolved,
+        LintCode::ModelWrongResolution,
+        LintCode::ModelCrashVulnerable,
+        LintCode::CrDominoDepth,
     ];
 
     /// The stable `CAEXnnn` code string.
@@ -94,6 +120,11 @@ impl LintCode {
             LintCode::EnterImbalance => "CAEX012",
             LintCode::NonParticipantStep => "CAEX013",
             LintCode::UnenteredParticipant => "CAEX014",
+            LintCode::ModelDeadlock => "CAEX015",
+            LintCode::ModelUnresolved => "CAEX016",
+            LintCode::ModelWrongResolution => "CAEX017",
+            LintCode::ModelCrashVulnerable => "CAEX018",
+            LintCode::CrDominoDepth => "CAEX019",
         }
     }
 
@@ -115,6 +146,11 @@ impl LintCode {
             LintCode::EnterImbalance => "enter-imbalance",
             LintCode::NonParticipantStep => "non-participant-step",
             LintCode::UnenteredParticipant => "unentered-participant",
+            LintCode::ModelDeadlock => "model-deadlock",
+            LintCode::ModelUnresolved => "model-unresolved",
+            LintCode::ModelWrongResolution => "model-wrong-resolution",
+            LintCode::ModelCrashVulnerable => "model-crash-vulnerable",
+            LintCode::CrDominoDepth => "cr-domino-depth",
         }
     }
 
@@ -130,12 +166,22 @@ impl LintCode {
             | LintCode::UndeclaredRaise
             | LintCode::NeverCompletes
             | LintCode::EnterImbalance
-            | LintCode::NonParticipantStep => Severity::Deny,
+            | LintCode::NonParticipantStep
+            | LintCode::ModelDeadlock
+            | LintCode::ModelUnresolved
+            | LintCode::ModelWrongResolution
+            | LintCode::ModelCrashVulnerable => Severity::Deny,
             LintCode::UnreachableClass
             | LintCode::DegenerateChain
             | LintCode::ExcessiveDepth
             | LintCode::MissingAbortionHandler
-            | LintCode::UnenteredParticipant => Severity::Warn,
+            | LintCode::UnenteredParticipant
+            // Advisory by default: the baseline is provided for
+            // comparison, so a bad reduced-tree split should not fail
+            // builds of programs that run the main engine. Escalated to
+            // deny by the analysis itself when the domino reaches the
+            // whole interleaving (see `model::lint_cr_domino`).
+            | LintCode::CrDominoDepth => Severity::Warn,
         }
     }
 
@@ -231,6 +277,18 @@ impl LintConfig {
     /// away. Later overrides win over earlier ones.
     #[must_use]
     pub fn severity_of(&self, code: LintCode) -> Option<Severity> {
+        self.severity_from(code, code.default_severity())
+    }
+
+    /// Like [`severity_of`](Self::severity_of) but with the lint's
+    /// baseline severity raised to `floor` — used by analyses that
+    /// escalate a normally-advisory finding when it crosses a
+    /// worst-case threshold. Explicit per-code overrides still win.
+    pub(crate) fn severity_at_least(&self, code: LintCode, floor: Severity) -> Option<Severity> {
+        self.severity_from(code, code.default_severity().max(floor))
+    }
+
+    fn severity_from(&self, code: LintCode, default: Severity) -> Option<Severity> {
         let level = self
             .overrides
             .iter()
@@ -241,7 +299,7 @@ impl LintConfig {
             Some(LintLevel::Allow) => return None,
             Some(LintLevel::Warn) => Severity::Warn,
             Some(LintLevel::Deny) => Severity::Deny,
-            None => code.default_severity(),
+            None => default,
         };
         if self.deny_warnings && severity == Severity::Warn {
             Some(Severity::Deny)
@@ -262,6 +320,10 @@ pub struct Diagnostic {
     pub subject: String,
     /// Human-readable explanation.
     pub message: String,
+    /// Fix-it guidance: concrete repair steps or the counterexample
+    /// trace behind the finding, rendered as indented `help:` spans
+    /// below the diagnostic line. Empty for most lints.
+    pub help: Vec<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -273,7 +335,11 @@ impl fmt::Display for Diagnostic {
             self.code.code(),
             self.subject,
             self.message
-        )
+        )?;
+        for line in &self.help {
+            write!(f, "\n  help: {line}")?;
+        }
+        Ok(())
     }
 }
 
@@ -377,12 +443,48 @@ impl<'a> Sink<'a> {
 
     /// Fires `code` unless the configuration allows it away.
     pub(crate) fn emit(&mut self, code: LintCode, subject: impl Into<String>, message: impl Into<String>) {
+        self.emit_with_help(code, subject, message, Vec::new());
+    }
+
+    /// Fires `code` with attached `help:` spans (fix-it suggestions or
+    /// a counterexample trace).
+    pub(crate) fn emit_with_help(
+        &mut self,
+        code: LintCode,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+        help: Vec<String>,
+    ) {
         if let Some(severity) = self.config.severity_of(code) {
             self.report.diagnostics.push(Diagnostic {
                 code,
                 severity,
                 subject: subject.into(),
                 message: message.into(),
+                help,
+            });
+        }
+    }
+
+    /// Fires `code` with its baseline severity raised to `floor`
+    /// (explicit configuration overrides still win) — the severity
+    /// tuning used when an advisory lint crosses a worst-case
+    /// threshold.
+    pub(crate) fn emit_escalated(
+        &mut self,
+        code: LintCode,
+        floor: Severity,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+        help: Vec<String>,
+    ) {
+        if let Some(severity) = self.config.severity_at_least(code, floor) {
+            self.report.diagnostics.push(Diagnostic {
+                code,
+                severity,
+                subject: subject.into(),
+                message: message.into(),
+                help,
             });
         }
     }
@@ -405,6 +507,61 @@ mod tests {
         assert_eq!(LintCode::parse("CAEX999"), None);
         assert_eq!(LintCode::NonCoveringPair.code(), "CAEX001");
         assert_eq!(LintCode::UnenteredParticipant.code(), "CAEX014");
+        assert_eq!(LintCode::CrDominoDepth.code(), "CAEX019");
+        assert_eq!(LintCode::ALL.len(), 19);
+    }
+
+    #[test]
+    fn help_spans_render_indented() {
+        let config = LintConfig::new();
+        let mut sink = Sink::new(&config);
+        sink.emit_with_help(
+            LintCode::NonCoveringPair,
+            "tree",
+            "e1 and e2 resolve to the root",
+            vec!["insert a grouping class".into(), "then re-lint".into()],
+        );
+        let text = sink.finish().render();
+        assert!(text.contains("error[CAEX001]"));
+        assert!(text.contains("\n  help: insert a grouping class\n"));
+        assert!(text.contains("\n  help: then re-lint\n"));
+    }
+
+    #[test]
+    fn escalation_raises_the_floor_but_respects_overrides() {
+        let config = LintConfig::new();
+        let mut sink = Sink::new(&config);
+        sink.emit_escalated(
+            LintCode::CrDominoDepth,
+            Severity::Deny,
+            "cr",
+            "domino spans every class",
+            Vec::new(),
+        );
+        let report = sink.finish();
+        assert!(report.has_denials());
+        // An explicit warn override wins over the escalation...
+        let config = LintConfig::new().warn(LintCode::CrDominoDepth);
+        let mut sink = Sink::new(&config);
+        sink.emit_escalated(
+            LintCode::CrDominoDepth,
+            Severity::Deny,
+            "cr",
+            "x",
+            Vec::new(),
+        );
+        assert!(!sink.finish().has_denials());
+        // ...and allow suppresses it entirely.
+        let config = LintConfig::new().allow(LintCode::CrDominoDepth);
+        let mut sink = Sink::new(&config);
+        sink.emit_escalated(
+            LintCode::CrDominoDepth,
+            Severity::Deny,
+            "cr",
+            "x",
+            Vec::new(),
+        );
+        assert!(sink.finish().is_clean());
     }
 
     #[test]

@@ -46,18 +46,20 @@
 mod decl;
 mod diag;
 pub mod explore;
+pub mod model;
 mod program;
 mod scenario;
 mod tree;
 
 pub use diag::{Diagnostic, LintCode, LintConfig, LintLevel, LintReport, Severity};
+pub use model::{ModelLimits, ModelOptions, ModelReport, ModelStats, ModelViolation};
 pub use tree::{CHAIN_THRESHOLD, MAX_DEPTH};
 
 use caex::program::ActionProgram;
 use caex::Scenario;
 use caex_action::{ActionId, ActionRegistry, ActionScope, HandlerTable};
 use caex_net::NodeId;
-use caex_tree::{ExceptionId, ExceptionTree};
+use caex_tree::{ExceptionId, ExceptionTree, ReducedTree};
 
 /// The linter: a [`LintConfig`] plus one entry point per analysis
 /// family.
@@ -147,6 +149,42 @@ impl Linter {
         let mut report = sink.finish();
         report.dedup();
         report
+    }
+
+    /// Bounded explicit-state model checking (`CAEX015`–`CAEX018`)
+    /// over a [`Scenario`]: every message interleaving within the
+    /// budgets is enumerated, safety is checked on each commit against
+    /// the [`ExceptionTree::resolve`] oracle, quiescent states must
+    /// leave every object normal, and (with
+    /// [`ModelOptions::crash_sweep`]) the elected resolver is crashed
+    /// after every step of the canonical run. Violations come back
+    /// both as diagnostics (with the counterexample trace rendered as
+    /// `help:` spans) and structurally in the [`ModelReport`].
+    #[must_use]
+    pub fn model_check(
+        &self,
+        scenario: &Scenario,
+        options: &ModelOptions,
+    ) -> (LintReport, ModelReport) {
+        let mut sink = diag::Sink::new(&self.config);
+        let model = model::check_scenario_into(&mut sink, scenario, options);
+        (sink.finish(), model)
+    }
+
+    /// Static worst-case analysis of a Campbell–Randell configuration
+    /// (`CAEX019`): predicts the §3.3 domino over interleaved reduced
+    /// trees by a fixpoint over `closest_handled_ancestor`, escalating
+    /// to deny severity when the domino destroys all diagnosis.
+    #[must_use]
+    pub fn lint_cr(
+        &self,
+        tree: &ExceptionTree,
+        reduced: &[ReducedTree],
+        initial: &[(NodeId, ExceptionId)],
+    ) -> LintReport {
+        let mut sink = diag::Sink::new(&self.config);
+        model::lint_cr_domino_into(&mut sink, tree, reduced, initial);
+        sink.finish()
     }
 
     /// The full battery over a threaded

@@ -12,7 +12,7 @@
 
 use crate::diag::{LintCode, Sink};
 use caex::thread_engine::ThreadRunner;
-use caex::{Event, Scenario};
+use caex::{Event, NestedStrategy, Scenario};
 use caex_action::{ActionId, ActionRegistry, HandlerTable};
 use caex_net::{NodeId, SimTime};
 use caex_tree::ExceptionId;
@@ -25,6 +25,15 @@ pub(crate) trait ScriptSource {
     fn registry(&self) -> &ActionRegistry;
     fn scripted(&self) -> Box<dyn Iterator<Item = (SimTime, NodeId, &Event)> + '_>;
     fn handler_tables(&self) -> Box<dyn Iterator<Item = (NodeId, ActionId, &HandlerTable)> + '_>;
+    /// Declared `nested_remaining` run times; engines without the
+    /// declaration surface none.
+    fn nested_remaining(&self) -> Vec<(NodeId, ActionId, Option<SimTime>)> {
+        Vec::new()
+    }
+    /// The nested-action strategy the script runs under.
+    fn strategy(&self) -> NestedStrategy {
+        NestedStrategy::default()
+    }
 }
 
 impl ScriptSource for Scenario {
@@ -36,6 +45,12 @@ impl ScriptSource for Scenario {
     }
     fn handler_tables(&self) -> Box<dyn Iterator<Item = (NodeId, ActionId, &HandlerTable)> + '_> {
         Box::new(Scenario::handler_tables(self))
+    }
+    fn nested_remaining(&self) -> Vec<(NodeId, ActionId, Option<SimTime>)> {
+        Scenario::nested_remaining_declared(self).collect()
+    }
+    fn strategy(&self) -> NestedStrategy {
+        Scenario::strategy(self)
     }
 }
 
@@ -221,6 +236,59 @@ pub(crate) fn lint_script_into(sink: &mut Sink<'_>, scenario: &dyn ScriptSource)
                 format!(
                     "scripted raises {a} and {b} only meet at the universal exception: \
                      if they collide, resolution loses all diagnosis"
+                ),
+            );
+        }
+    }
+
+    // nested_remaining declarations: the Wait-strategy inputs get the
+    // same static scrutiny as handler bindings. A declaration for an
+    // undeclared action or a stranger is CAEX013 (it can never be
+    // consulted); for a top-level action it is CAEX007 (only nested
+    // actions are caught by an outer resolution); and a `None`
+    // (never-completes) declaration under the Wait strategy is CAEX011
+    // — the Fig. 1(a) configuration where the enclosing resolution
+    // waits forever.
+    let strategy = scenario.strategy();
+    for (object, action, remaining) in scenario.nested_remaining() {
+        let Ok(scope) = registry.scope(action) else {
+            sink.emit(
+                LintCode::NonParticipantStep,
+                format!("{action}/{object}"),
+                format!("nested_remaining declared for undeclared action {action}"),
+            );
+            continue;
+        };
+        let subject = format!("{action} ({})/{object}", scope.name());
+        if !scope.is_participant(object) {
+            sink.emit(
+                LintCode::NonParticipantStep,
+                &subject,
+                format!(
+                    "nested_remaining declared for {object}, which does not participate \
+                     in {action}"
+                ),
+            );
+        }
+        if scope.parent().is_none() {
+            sink.emit(
+                LintCode::ScopeContainment,
+                &subject,
+                format!(
+                    "nested_remaining declared for top-level action {action}: only \
+                     nested actions are caught by an enclosing resolution, so the \
+                     declaration can never be consulted"
+                ),
+            );
+        }
+        if remaining.is_none() && strategy == NestedStrategy::Wait {
+            sink.emit(
+                LintCode::NeverCompletes,
+                &subject,
+                format!(
+                    "{action} is declared to never complete at {object} while the \
+                     scenario waits for nested actions instead of aborting them: an \
+                     enclosing resolution that catches it waits forever (Fig. 1a)"
                 ),
             );
         }

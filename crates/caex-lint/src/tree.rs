@@ -2,7 +2,7 @@
 //! optional raisable set (`CAEX001`–`CAEX005`).
 
 use crate::diag::{LintCode, Sink};
-use caex_tree::{ExceptionId, ExceptionTree};
+use caex_tree::{ExceptionId, ExceptionTree, TreeEdit};
 
 /// A chain tree at least this long fires `CAEX004`.
 pub const CHAIN_THRESHOLD: usize = 4;
@@ -38,10 +38,13 @@ pub(crate) fn lint_tree_into(
             }
         }
 
-        // CAEX001: pairs resolving to the universal exception.
+        // CAEX001: pairs resolving to the universal exception. Every
+        // pair carries the same fix-it: one inserted grouping class
+        // removes them all, so compute it once and attach it to each.
+        let fix = TreeEdit::group_non_covering(tree, raisables).map(|edit| fixit_help(tree, &edit));
         for (a, b) in tree.non_covering_pairs(raisables) {
             let (na, nb) = (name_of(tree, a), name_of(tree, b));
-            sink.emit(
+            sink.emit_with_help(
                 LintCode::NonCoveringPair,
                 subject,
                 format!(
@@ -49,6 +52,7 @@ pub(crate) fn lint_tree_into(
                      exception: a concurrent raise of both resolves to the root, \
                      losing all diagnosis"
                 ),
+                fix.clone().unwrap_or_default(),
             );
         }
 
@@ -96,4 +100,26 @@ pub(crate) fn lint_tree_into(
 
 fn name_of(tree: &ExceptionTree, id: ExceptionId) -> String {
     tree.name(id).map_or_else(|_| "?".to_owned(), str::to_owned)
+}
+
+/// Renders the CAEX001 fix-it as `help:` spans: the edit in prose plus
+/// the `TreeBuilder` calls that realize it. Applying the edit is
+/// guaranteed to clear every non-covering pair it was computed from
+/// (see `TreeEdit::group_non_covering`).
+pub(crate) fn fixit_help(tree: &ExceptionTree, edit: &TreeEdit) -> Vec<String> {
+    let grouped: Vec<String> = edit
+        .grouped
+        .iter()
+        .map(|&id| format!("\"{}\"", name_of(tree, id)))
+        .collect();
+    vec![
+        format!("{edit}"),
+        format!(
+            "equivalently: let g = b.child_of_root(\"{}\")?; declare {} as children of g \
+             instead of the root",
+            edit.name,
+            grouped.join(", ")
+        ),
+        "after the edit the pair resolves to the new class, which keeps the diagnosis".into(),
+    ]
 }

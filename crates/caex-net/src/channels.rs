@@ -1,0 +1,165 @@
+//! Pure FIFO channel state, extracted from the simulator's delivery
+//! machinery.
+//!
+//! [`SimNet`](crate::SimNet) *enforces* per-ordered-pair FIFO delivery
+//! dynamically (latency jitter is clamped per channel so a later send
+//! never overtakes an earlier one). [`ChannelState`] is the same
+//! contract as a first-class value: the queue contents of every
+//! `(from, to)` channel, with no clock, latency model or fault plan
+//! attached. A transition system built on it — the `caex-lint` model
+//! checker — explores *which* channel delivers next instead of letting
+//! a latency sample decide, so one network abstraction underlies both
+//! the simulator's single schedule and the checker's exhaustive set of
+//! schedules.
+
+use crate::NodeId;
+use std::collections::{BTreeMap, VecDeque};
+
+/// The in-flight messages of a fully connected FIFO network, as pure
+/// data.
+///
+/// Channels are keyed by the ordered pair `(from, to)`; within a
+/// channel, messages deliver in send order (the §4.2 assumption:
+/// "reliable FIFO message passing between objects"). The structure is
+/// `Clone`/`Eq`/`Hash` when the payload is, so checker states that
+/// embed it can be canonicalized and deduplicated — iteration order is
+/// deterministic by construction.
+///
+/// # Examples
+///
+/// ```
+/// use caex_net::{ChannelState, NodeId};
+///
+/// let mut net: ChannelState<&'static str> = ChannelState::new();
+/// let (a, b) = (NodeId::new(0), NodeId::new(1));
+/// net.send(a, b, "ping");
+/// net.send(a, b, "pong");
+/// assert_eq!(net.pop(a, b), Some("ping"));
+/// assert_eq!(net.pop(a, b), Some("pong"));
+/// assert_eq!(net.pop(a, b), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ChannelState<M> {
+    queues: BTreeMap<(NodeId, NodeId), VecDeque<M>>,
+}
+
+impl<M> ChannelState<M> {
+    /// Creates an empty network: every channel empty.
+    #[must_use]
+    pub fn new() -> Self {
+        ChannelState {
+            queues: BTreeMap::new(),
+        }
+    }
+
+    /// Appends `msg` to the back of the `(from, to)` channel.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.queues.entry((from, to)).or_default().push_back(msg);
+    }
+
+    /// Removes and returns the front of the `(from, to)` channel —
+    /// the only message that channel may deliver next under FIFO.
+    pub fn pop(&mut self, from: NodeId, to: NodeId) -> Option<M> {
+        let queue = self.queues.get_mut(&(from, to))?;
+        let msg = queue.pop_front();
+        if queue.is_empty() {
+            self.queues.remove(&(from, to));
+        }
+        msg
+    }
+
+    /// The front of the `(from, to)` channel without removing it.
+    #[must_use]
+    pub fn front(&self, from: NodeId, to: NodeId) -> Option<&M> {
+        self.queues.get(&(from, to)).and_then(VecDeque::front)
+    }
+
+    /// The ordered pairs whose channel holds at least one message, in
+    /// deterministic `(from, to)` order — the deliverable transitions
+    /// of the current state.
+    #[must_use]
+    pub fn nonempty_channels(&self) -> Vec<(NodeId, NodeId)> {
+        self.queues.keys().copied().collect()
+    }
+
+    /// Total number of in-flight messages across all channels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// `true` when no message is in flight anywhere.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// Drops every channel from or to `node`, returning how many
+    /// messages were discarded — a crash: in-flight traffic involving
+    /// the node is lost, everything else is untouched.
+    pub fn drop_node(&mut self, node: NodeId) -> usize {
+        let mut dropped = 0;
+        self.queues.retain(|&(from, to), queue| {
+            if from == node || to == node {
+                dropped += queue.len();
+                false
+            } else {
+                true
+            }
+        });
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_channel_fifo_and_independence() {
+        let mut net: ChannelState<u32> = ChannelState::new();
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        net.send(a, b, 1);
+        net.send(c, b, 99);
+        net.send(a, b, 2);
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.nonempty_channels(), vec![(a, b), (c, b)]);
+        // Channels drain independently; each in send order.
+        assert_eq!(net.pop(c, b), Some(99));
+        assert_eq!(net.pop(a, b), Some(1));
+        assert_eq!(net.front(a, b), Some(&2));
+        assert_eq!(net.pop(a, b), Some(2));
+        assert!(net.is_empty());
+    }
+
+    #[test]
+    fn equal_contents_hash_equal_regardless_of_history() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        let mut x: ChannelState<u32> = ChannelState::new();
+        x.send(a, b, 7);
+        let mut y: ChannelState<u32> = ChannelState::new();
+        y.send(c, b, 5);
+        y.send(a, b, 7);
+        y.pop(c, b);
+        assert_eq!(x, y);
+        let digest = |s: &ChannelState<u32>| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&x), digest(&y));
+    }
+
+    #[test]
+    fn drop_node_loses_only_its_traffic() {
+        let mut net: ChannelState<u32> = ChannelState::new();
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        net.send(a, b, 1);
+        net.send(b, c, 2);
+        net.send(c, a, 3);
+        assert_eq!(net.drop_node(b), 2);
+        assert_eq!(net.nonempty_channels(), vec![(c, a)]);
+    }
+}

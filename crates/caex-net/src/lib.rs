@@ -32,6 +32,7 @@
 //! ```
 
 
+mod channels;
 mod fault;
 mod latency;
 mod node;
@@ -42,6 +43,7 @@ mod thread_net;
 mod time;
 mod trace;
 
+pub use channels::ChannelState;
 pub use fault::{FaultEvent, FaultPlan, Partition};
 pub use latency::LatencyModel;
 pub use node::NodeId;

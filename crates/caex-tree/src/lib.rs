@@ -39,6 +39,7 @@
 
 pub mod parse;
 
+mod edit;
 mod error;
 mod exception;
 mod generate;
@@ -47,6 +48,7 @@ mod reduced;
 mod resolve;
 mod tree;
 
+pub use edit::TreeEdit;
 pub use error::TreeError;
 pub use exception::{Exception, ExceptionBuilder, Severity};
 pub use generate::{aircraft_tree, balanced_tree, chain_tree, interleaved_reduced_trees};

@@ -403,6 +403,71 @@ impl ExceptionTree {
                 .unwrap_or(true)
         })
     }
+
+    /// Returns a copy of this tree with one new class named `name`
+    /// inserted between the root and the given `children`, which must
+    /// currently be direct children of the root. Existing ids keep
+    /// their meaning; the new class takes the next free id.
+    ///
+    /// This is the minimal structural edit that gives a set of
+    /// root-level subtrees a common ancestor below the root — the
+    /// repair suggested by the static analyser when concurrent raises
+    /// would otherwise resolve to the uninformative universal
+    /// exception (see [`ExceptionTree::non_covering_pairs`]).
+    ///
+    /// # Errors
+    ///
+    /// - [`TreeError::DuplicateName`] if `name` is already declared;
+    /// - [`TreeError::UnknownId`] if a listed child is not in the tree,
+    ///   is the root itself, or is not a direct child of the root.
+    pub fn with_inserted_parent(
+        &self,
+        name: impl Into<String>,
+        children: &[ExceptionId],
+    ) -> Result<ExceptionTree, TreeError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(TreeError::DuplicateName(name));
+        }
+        for &c in children {
+            let idx = self.check(c)?;
+            if idx == 0 || self.parent[idx] != 0 {
+                return Err(TreeError::UnknownId(c));
+            }
+        }
+        let new = self.len() as u32;
+        let mut parent = self.parent.clone();
+        parent.push(0);
+        for &c in children {
+            parent[c.index() as usize] = new;
+        }
+        // Reparenting breaks the parents-precede-children invariant
+        // the builder relies on, so recompute depths breadth-first.
+        let n = parent.len();
+        let mut child_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, &p) in parent.iter().enumerate().skip(1) {
+            child_lists[p as usize].push(i as u32);
+        }
+        let mut depth = vec![0u32; n];
+        let mut queue = std::collections::VecDeque::from([0u32]);
+        while let Some(node) = queue.pop_front() {
+            for &c in &child_lists[node as usize] {
+                depth[c as usize] = depth[node as usize] + 1;
+                queue.push_back(c);
+            }
+        }
+        let mut names = self.names.clone();
+        names.push(name.clone());
+        let mut by_name = self.by_name.clone();
+        by_name.insert(name, new);
+        Ok(ExceptionTree {
+            parent,
+            depth,
+            names,
+            children: child_lists,
+            by_name,
+        })
+    }
 }
 
 impl fmt::Display for ExceptionTree {

@@ -420,6 +420,44 @@ impl Scenario {
         self.handlers.iter().map(|(o, a, t)| (*o, *a, t))
     }
 
+    /// The declared [`nested_remaining`](Self::nested_remaining) run
+    /// times as `(object, action, remaining)` triples, in declaration
+    /// order. Exposed for static analysis of the `Wait` strategy's
+    /// deadlock conditions (Fig. 1a).
+    pub fn nested_remaining_declared(
+        &self,
+    ) -> impl Iterator<Item = (NodeId, ActionId, Option<SimTime>)> + '_ {
+        self.nested_remaining.iter().copied()
+    }
+
+    /// The nested-action strategy participants will run under.
+    #[must_use]
+    pub fn strategy(&self) -> NestedStrategy {
+        self.strategy
+    }
+
+    /// The leave-coordination mode participants will run under.
+    #[must_use]
+    pub fn leave_mode(&self) -> LeaveMode {
+        self.leave_mode
+    }
+
+    /// The resolver-group size `k` participants will run under.
+    #[must_use]
+    pub fn resolver_group_size(&self) -> u32 {
+        self.resolver_group
+    }
+
+    /// The actions carrying exit-line acceptance tests, in installation
+    /// order. The tests themselves are opaque closures; analyses that
+    /// cannot evaluate them (the model checker) use this to detect
+    /// their presence and bow out rather than silently mis-model the
+    /// exit line.
+    #[must_use]
+    pub fn acceptance_actions(&self) -> Vec<ActionId> {
+        self.acceptance.iter().map(|(a, _)| *a).collect()
+    }
+
     /// Decomposes the scenario into its owned script parts — action
     /// structure, scripted timeline, handler-table bindings — so
     /// another runtime (the threaded engine, `caex-wire`'s per-process

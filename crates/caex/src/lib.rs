@@ -88,4 +88,4 @@ pub use effect::{Effect, LeaveMode, NestedStrategy, Note};
 pub use engine::{HandlerStart, ResolutionRecord, RunReport, Scenario};
 pub use message::{Event, Msg};
 pub use obs::ObsBridge;
-pub use participant::{PState, Participant};
+pub use participant::{PState, Participant, Silence};

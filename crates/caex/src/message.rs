@@ -20,7 +20,7 @@ use std::fmt;
 ///   Exception or NestedCompleted to it earlier";
 /// - [`Msg::Commit`] — "sent by a chosen object to all participating
 ///   objects after it completes resolution of all exceptions".
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Msg {
     /// `Exception(A, Oi, E)`.
     Exception {
@@ -131,7 +131,7 @@ impl fmt::Display for Msg {
 
 /// Everything a participant can be handed: a protocol message or a local
 /// event (scenario step or internally scheduled continuation).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Event {
     /// A protocol message from another participant.
     Msg(Msg),

@@ -15,7 +15,7 @@
 use crate::{Effect, Event, LeaveMode, Msg, NestedStrategy, Note};
 use caex_action::{AbortionOutcome, ActionId, ActionRegistry, HandlerOutcome, HandlerTable};
 use caex_net::{NodeId, SimTime};
-use caex_tree::Exception;
+use caex_tree::{Exception, ExceptionId};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
@@ -34,7 +34,7 @@ pub enum PState {
 }
 
 /// One in-progress resolution at this participant.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Resolution {
     /// The action the resolution runs in (the paper's `A`).
     action: ActionId,
@@ -69,6 +69,22 @@ impl Resolution {
     }
 }
 
+/// How robustly invisible a message delivery would be — see
+/// [`Participant::delivery_silence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Silence {
+    /// Silent against every co-enabled transition: the premise is
+    /// monotone (stale sets only grow, the ready guard is re-evaluated
+    /// on the merged state) and nothing is sent.
+    Always,
+    /// Silent only while nothing else is poised to act on this node:
+    /// the premise reads the node's disposition (active action, parked
+    /// resolution), which a co-enabled local continuation, leave
+    /// grant, scripted event, or a delivery of a `Commit` or another
+    /// action's message could flip first.
+    WhenNodeIdle,
+}
+
 /// A participating object of one or more (nested) CA actions, executing
 /// the §4.2 algorithm. See the crate documentation for the protocol
 /// overview and the field comments for the paper's data structures.
@@ -81,7 +97,10 @@ pub struct Participant {
     entered: Vec<ActionId>,
     aborted: HashSet<ActionId>,
     completed: HashSet<ActionId>,
-    resolved: HashSet<ActionId>,
+    /// Actions whose resolution committed here, with the committed
+    /// exception — kept so a crash-orphaned peer that probes after the
+    /// resolver deserted can be answered with the outcome.
+    resolved: HashMap<ActionId, Exception>,
     /// Messages for actions this object has not yet entered (belated
     /// participation, §3.3 problem 4).
     buffered: HashMap<ActionId, Vec<Msg>>,
@@ -109,6 +128,10 @@ pub struct Participant {
     /// Peers reported crashed by the transport's failure detector;
     /// permanently excluded from every peer set (see [`Self::on_deserter`]).
     deserters: HashSet<NodeId>,
+    /// Actions whose committed resolution was re-broadcast once in
+    /// answer to a crash-orphaned peer's probe; at most one announce
+    /// per action keeps the recovery traffic bounded.
+    recovery_announced: HashSet<ActionId>,
 }
 
 impl fmt::Debug for Participant {
@@ -134,7 +157,7 @@ impl Participant {
             entered: Vec::new(),
             aborted: HashSet::new(),
             completed: HashSet::new(),
-            resolved: HashSet::new(),
+            resolved: HashMap::new(),
             buffered: HashMap::new(),
             deferred_completes: HashSet::new(),
             res: None,
@@ -146,6 +169,7 @@ impl Participant {
             leave_requested: HashSet::new(),
             leave_ready: HashMap::new(),
             deserters: HashSet::new(),
+            recovery_announced: HashSet::new(),
         }
     }
 
@@ -269,6 +293,253 @@ impl Participant {
         d
     }
 
+    /// Feeds a canonical digest of this participant's protocol-visible
+    /// state — `SA`, `LE`, `LO`, pending acknowledgements, buffered
+    /// belated messages, abortion progress, leave bookkeeping and
+    /// deserters — into `h`.
+    ///
+    /// Unordered containers are sorted first, so two participants in
+    /// the same protocol state always digest identically regardless of
+    /// the insertion history that produced it. The model checker in
+    /// `caex-lint` uses this for state canonicalization when
+    /// enumerating message interleavings; run-constant configuration
+    /// (strategy, resolver group, handler tables) is deliberately
+    /// excluded.
+    pub fn protocol_digest<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        fn sorted<T: Copy + Ord>(set: &HashSet<T>) -> Vec<T> {
+            let mut v: Vec<T> = set.iter().copied().collect();
+            v.sort_unstable();
+            v
+        }
+        self.id.hash(h);
+        self.entered.hash(h);
+        sorted(&self.aborted).hash(h);
+        sorted(&self.completed).hash(h);
+        let mut resolved: Vec<(ActionId, ExceptionId)> =
+            self.resolved.iter().map(|(a, e)| (*a, e.id())).collect();
+        resolved.sort_unstable();
+        resolved.hash(h);
+        sorted(&self.recovery_announced).hash(h);
+        sorted(&self.deferred_completes).hash(h);
+        let mut buffered: Vec<(ActionId, &Vec<Msg>)> = self.buffered.iter().map(|(a, m)| (*a, m)).collect();
+        buffered.sort_unstable_by_key(|(a, _)| *a);
+        buffered.hash(h);
+        match &self.res {
+            None => 0u8.hash(h),
+            Some(r) => {
+                1u8.hash(h);
+                r.action.hash(h);
+                (match r.state {
+                    PState::Exceptional => 1u8,
+                    PState::Suspended => 2,
+                    PState::Ready => 3,
+                })
+                .hash(h);
+                // `LE` and the deferred-ACK list are hashed as
+                // *multisets*: reception order never changes future
+                // behaviour (election and resolution sort or fold over
+                // them), so two interleavings that delivered the same
+                // messages in different orders canonicalize to one
+                // state. This is what makes exhaustive interleaving
+                // enumeration over broadcast storms tractable.
+                let mut le: Vec<&(NodeId, Exception)> = r.le.iter().collect();
+                le.sort_unstable_by_key(|(raiser, e)| (*raiser, e.id()));
+                le.hash(h);
+                r.lo.hash(h);
+                r.pending_acks.hash(h);
+                r.aborting.hash(h);
+                let mut deferred = r.deferred_acks.clone();
+                deferred.sort_unstable();
+                deferred.hash(h);
+            }
+        }
+        self.abort_epoch.hash(h);
+        sorted(&self.leave_requested).hash(h);
+        let mut leave_ready: Vec<(ActionId, &BTreeSet<NodeId>)> =
+            self.leave_ready.iter().map(|(a, s)| (*a, s)).collect();
+        leave_ready.sort_unstable_by_key(|(a, _)| *a);
+        leave_ready.hash(h);
+        sorted(&self.deserters).hash(h);
+    }
+
+    /// A deep copy of the full protocol state, for checker state-space
+    /// exploration. Returns `None` when any handler table holds opaque
+    /// closures (the model checker skips such scenarios up front, so
+    /// its worlds always clone).
+    #[must_use]
+    pub fn clone_declarative(&self) -> Option<Participant> {
+        let mut handlers = HashMap::with_capacity(self.handlers.len());
+        for (&action, table) in &self.handlers {
+            handlers.insert(action, table.clone_declarative()?);
+        }
+        Some(Participant {
+            id: self.id,
+            registry: Arc::clone(&self.registry),
+            handlers,
+            entered: self.entered.clone(),
+            aborted: self.aborted.clone(),
+            completed: self.completed.clone(),
+            resolved: self.resolved.clone(),
+            buffered: self.buffered.clone(),
+            deferred_completes: self.deferred_completes.clone(),
+            res: self.res.clone(),
+            strategy: self.strategy,
+            nested_remaining: self.nested_remaining.clone(),
+            abort_epoch: self.abort_epoch,
+            resolver_group: self.resolver_group,
+            leave_mode: self.leave_mode,
+            leave_requested: self.leave_requested.clone(),
+            leave_ready: self.leave_ready.clone(),
+            deserters: self.deserters.clone(),
+            recovery_announced: self.recovery_announced.clone(),
+        })
+    }
+
+    /// Whether delivering `msg` here provably has no protocol-visible
+    /// effect beyond consuming the message (and possibly replying an
+    /// order-independent ACK): stale cleanup that cannot trigger the
+    /// crash-recovery `Commit` rebroadcast, an ACK whose removal from
+    /// `pending_acks` cannot complete the §4.2 ready predicate, a
+    /// duplicate raise, or resolution traffic to a *parked* resolution
+    /// that can never (re-)enter the election.
+    ///
+    /// Model-checking support: such a delivery commutes with the
+    /// co-enabled transitions its [`Silence`] level names, so the
+    /// checker in `caex-lint` applies it immediately instead of
+    /// branching over its interleavings (a τ-confluence reduction).
+    /// The predicate is deliberately conservative: anything it cannot
+    /// prove silent counts as visible. Two load-bearing exclusions: an
+    /// *aborting* resolution later re-extends `pending_acks` in
+    /// [`Event::AbortionDone`], so ACK removals do not commute across
+    /// it; and a message for an unentered action is buffered, where
+    /// arrival order decides the replay order at entry.
+    #[must_use]
+    pub fn delivery_silence(&self, msg: &Msg) -> Option<Silence> {
+        let action = msg.action();
+        if self.resolved.contains_key(&action) {
+            // Stale post-commit traffic — silent unless it is about to
+            // trigger the recovery rebroadcast in `on_msg`. The
+            // staleness premise is monotone: `resolved` never shrinks
+            // and `recovery_announced` only gains members.
+            let announces = !self.deserters.is_empty()
+                && !self.recovery_announced.contains(&action)
+                && matches!(
+                    msg,
+                    Msg::Exception { .. } | Msg::HaveNested { .. } | Msg::NestedCompleted { .. }
+                );
+            return (!announces).then_some(Silence::Always);
+        }
+        if self.aborted.contains(&action) || self.completed.contains(&action) {
+            // Cleaned up with a note, nothing else; an aborted or
+            // completed action can never be re-entered (`on_enter`
+            // skips belated entries), so the premise is monotone.
+            return Some(Silence::Always);
+        }
+        if !self.entered.contains(&action) {
+            return None; // buffered: arrival order is replay order
+        }
+        if let Some(res) = &self.res {
+            if res.action != action
+                && !self
+                    .registry
+                    .is_nested_within(res.action, action)
+                    .unwrap_or(true)
+            {
+                // Stale note for an eliminated nested action — but only
+                // while the eliminating outer resolution is still in
+                // place: a co-enabled `Commit` would clear it and turn
+                // this into live traffic.
+                return Some(Silence::WhenNodeIdle);
+            }
+        }
+        if let Msg::Ack { from, .. } = msg {
+            let silent = match &self.res {
+                None => true,                              // dropped
+                Some(res) if res.action != action => true, // ignored
+                Some(res) => {
+                    !res.aborting
+                        && !(res.state == PState::Exceptional
+                            && res.lo.values().all(|&done| done)
+                            && res.pending_acks.iter().all(|p| p == from))
+                }
+            };
+            // Robust: the ready guard is re-evaluated after every
+            // mutation, so both orders of this removal and any
+            // co-enabled step judge the guard on the merged state.
+            return silent.then_some(Silence::Always);
+        }
+        // A duplicate (raiser, class) exception — a crash-recovery
+        // probe retransmission — changes nothing and sends no ACK,
+        // provided it cannot first trigger the §4.2 abortion
+        // announcement (active action already at the resolution level).
+        if let Msg::Exception { from, exc, .. } = msg {
+            if let Some(res) = &self.res {
+                if res.action == action
+                    && self.active_action() == Some(action)
+                    && res.le.iter().any(|(r, e)| r == from && e.id() == exc.id())
+                {
+                    return Some(Silence::WhenNodeIdle);
+                }
+            }
+        }
+        // Two further classes, both premised on `res` staying in place
+        // (the checker's node-idle guard bails on any co-enabled step
+        // that could clear or replace it):
+        //
+        // **Parked.** A parked resolution can never (re-)enter the
+        // election: `check_ready` demands the `Exceptional` state, and
+        // nothing leads back there — a raise needs `res == None`, an
+        // abortion signal needs `aborting`, and `trigger_abortion`
+        // replaces the context wholesale. So once this object is
+        // Suspended with its abortion done, or Ready after losing the
+        // election, incoming resolution traffic only mutates
+        // `LE`/`LO`/`pending_acks` bookkeeping that no election will
+        // ever read, and any ACK it replies with has an
+        // order-independent payload.
+        //
+        // **Aborting.** While the abortion handlers run, an incoming
+        // `Exception` or `NestedCompleted` only merges into
+        // `LE`/`LO` (canonical sets) and queues a deferred ACK.
+        // Against the pending `AbortionDone` continuation both orders
+        // converge: delivered before, the ACK drains right after the
+        // `NestedCompleted` broadcast; delivered after, it is sent
+        // directly — either way the reply channel reads
+        // `[NestedCompleted, Ack]` and the ready guard is judged on
+        // the merged state (`pending_acks` was just re-extended with
+        // the full peer set, so no commit can fire in between). ACKs
+        // themselves stay visible here: their removal does not commute
+        // across that re-extension.
+        //
+        // `HaveNested` joins either class only when no declared action
+        // nests within `action`: its buffered-message cleanup is
+        // order-sensitive against late arrivals for those nested
+        // actions.
+        if let Some(res) = &self.res {
+            if res.action == action && self.active_action() == Some(action) {
+                let parked = !res.aborting && res.state != PState::Exceptional;
+                let silent = match msg {
+                    Msg::Exception { .. } | Msg::NestedCompleted { .. } => {
+                        parked || res.aborting
+                    }
+                    Msg::HaveNested { .. } => {
+                        (parked || res.aborting)
+                            && self.registry.iter().all(|(b, _)| {
+                                b == action
+                                    || !self
+                                        .registry
+                                        .is_nested_within(b, action)
+                                        .unwrap_or(true)
+                            })
+                    }
+                    Msg::Ack { .. } | Msg::Commit { .. } | Msg::LeaveReady { .. } => false,
+                };
+                return silent.then_some(Silence::WhenNodeIdle);
+            }
+        }
+        None
+    }
+
     /// Excludes a crashed peer (a *deserter*) from the protocol.
     ///
     /// The §4.2 algorithm assumes participants do not crash; a real
@@ -322,6 +593,38 @@ impl Participant {
             }
         }
         self.check_ready(&mut fx);
+        // Still blocked mid-resolution after the cleanup and a possible
+        // re-election? The deserter may have been the resolver, crashed
+        // after informing only part of the action — the survivors that
+        // got its commit are normal again and will never send another
+        // word. Retransmit one known exception to each peer as a probe:
+        // a peer still resolving treats it as duplicate traffic (LE and
+        // ACK handling are idempotent), a peer that already committed
+        // answers with the resolution and this object converges. One
+        // entry suffices — any resolution traffic for the action
+        // triggers the answer.
+        if let Some(res) = &self.res {
+            if !res.aborting {
+                // Canonical choice (min raiser) so behaviour does not
+                // depend on `LE` reception order.
+                if let Some((raiser, exc)) =
+                    res.le.iter().min_by_key(|(raiser, e)| (*raiser, e.id()))
+                {
+                    let action = res.action;
+                    let (raiser, exc) = (*raiser, exc.clone());
+                    for to in self.peers(action) {
+                        fx.push(Effect::Send {
+                            to,
+                            msg: Msg::Exception {
+                                action,
+                                from: raiser,
+                                exc: exc.clone(),
+                            },
+                        });
+                    }
+                }
+            }
+        }
         for action in self.leave_requested.clone() {
             self.try_distributed_leave(action, &mut fx);
         }
@@ -545,12 +848,44 @@ impl Participant {
 
     fn on_msg(&mut self, msg: Msg, fx: &mut Vec<Effect>) {
         let action = msg.action();
-        if self.aborted.contains(&action)
-            || self.completed.contains(&action)
-            || self.resolved.contains(&action)
-        {
-            // Messages of an eliminated nested resolution (or of an
-            // already-resolved one) are cleaned up, §3.3 problem 4.
+        if let Some(exc) = self.resolved.get(&action).cloned() {
+            // The resolution here already committed. A peer still
+            // sending resolution traffic for it missed the commit —
+            // typically because the resolver crashed after informing
+            // only part of the action. Once the failure detector has
+            // reported a deserter, re-broadcast the committed exception
+            // so every orphan converges instead of blocking forever
+            // (the message's `from` names the original raiser, not the
+            // possibly different retransmitting peer, so only a
+            // broadcast is guaranteed to reach whoever is blocked);
+            // without any desertion the traffic is merely late and is
+            // cleaned up silently (§3.3 problem 4).
+            if !self.deserters.is_empty()
+                && matches!(
+                    msg,
+                    Msg::Exception { .. } | Msg::HaveNested { .. } | Msg::NestedCompleted { .. }
+                )
+                && self.recovery_announced.insert(action)
+            {
+                for to in self.peers(action) {
+                    fx.push(Effect::Send {
+                        to,
+                        msg: Msg::Commit {
+                            action,
+                            exc: exc.clone(),
+                        },
+                    });
+                }
+            }
+            fx.push(Effect::Note(Note::StaleMessage {
+                object: self.id,
+                msg,
+            }));
+            return;
+        }
+        if self.aborted.contains(&action) || self.completed.contains(&action) {
+            // Messages of an eliminated nested resolution are cleaned
+            // up, §3.3 problem 4.
             fx.push(Effect::Note(Note::StaleMessage {
                 object: self.id,
                 msg,
@@ -587,17 +922,25 @@ impl Participant {
         match msg {
             Msg::Exception { from, exc, .. } => {
                 let res = self.ensure_res(action);
-                res.le.push((from, exc));
-                if res.aborting {
-                    res.deferred_acks.push(from);
-                } else {
-                    fx.push(Effect::Send {
-                        to: from,
-                        msg: Msg::Ack {
-                            from: self.id,
-                            action,
-                        },
-                    });
+                // Idempotent: a crash-recovery probe retransmits known
+                // exceptions, so the same (raiser, class) may arrive
+                // more than once. A duplicate changes nothing and is
+                // not re-acknowledged: channels are reliable, so the
+                // first delivery's ACK (to the same raiser) already
+                // covers this object in `pending_acks`.
+                if !res.le.iter().any(|(r, e)| *r == from && e.id() == exc.id()) {
+                    res.le.push((from, exc));
+                    if res.aborting {
+                        res.deferred_acks.push(from);
+                    } else {
+                        fx.push(Effect::Send {
+                            to: from,
+                            msg: Msg::Ack {
+                                from: self.id,
+                                action,
+                            },
+                        });
+                    }
                 }
             }
             Msg::HaveNested { from, .. } => {
@@ -626,7 +969,9 @@ impl Participant {
                 let res = self.ensure_res(action);
                 res.lo.insert(from, true);
                 if let Some(exc) = exc {
-                    res.le.push((from, exc));
+                    if !res.le.iter().any(|(r, e)| *r == from && e.id() == exc.id()) {
+                        res.le.push((from, exc));
+                    }
                 }
                 if res.aborting {
                     res.deferred_acks.push(from);
@@ -907,7 +1252,7 @@ impl Participant {
             return;
         }
         self.res = None;
-        self.resolved.insert(action);
+        self.resolved.insert(action, exc.clone());
         let (outcome, cost) = self.handler_table(action).invoke(&exc);
         let signal = match outcome {
             HandlerOutcome::Recovered => None,

@@ -307,10 +307,13 @@ pub fn example2(config: NetConfig) -> (Workload, ExampleIds) {
         .expect("valid");
 
     // O2's abortion handler for A2 signals E3 (the paper's premise).
+    // Declared as data so the model checker can explore the signal
+    // without executing a closure.
     let mut o2_a2 = HandlerTable::recover_all(Arc::clone(&tree));
-    o2_a2.on_abort(SimTime::from_micros(5), move || {
-        AbortionOutcome::Signal(Exception::new(e3).with_origin("O2 abortion handler of A2"))
-    });
+    o2_a2.on_abort_outcome(
+        SimTime::from_micros(5),
+        AbortionOutcome::Signal(Exception::new(e3).with_origin("O2 abortion handler of A2")),
+    );
 
     let scenario = Scenario::new(Arc::new(registry))
         .with_config(config)

@@ -13,30 +13,39 @@
 # 5. the wire frame codec survives its fuzz-style property battery;
 # 6. a real multi-process smoke run: one OS process per participant
 #    over loopback TCP, held to the §4.4 count and the §4.5 watchdog,
-#    plus a crash run that must surface the victim as a deserter.
+#    plus a crash run that must surface the victim as a deserter;
+# 7. the model checker exhaustively verifies every small built-in
+#    family (CAEX015-CAEX018), sweeps resolver crashes through the
+#    paper's Examples 1 and 2, cross-checks each verdict against the
+#    dynamic seed sweep, and pins the CAEX019 domino analysis against
+#    an executed Campbell-Randell baseline; exits nonzero on any
+#    violation, unconfirmed counterexample, or disagreement.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-2 [1/6]: caex-lint over every built-in workload =="
+echo "== tier-2 [1/7]: caex-lint over every built-in workload =="
 cargo run -q -p caex-lint --bin caex-lint
 
-echo "== tier-2 [2/6]: obs watchdog + §4.4 laws over every built-in workload =="
+echo "== tier-2 [2/7]: obs watchdog + §4.4 laws over every built-in workload =="
 cargo test -q --test observability
 
-echo "== tier-2 [3/6]: regenerate TABLES.md and validated BENCH_PR2.json =="
+echo "== tier-2 [3/7]: regenerate TABLES.md and validated BENCH_PR2.json =="
 cargo run -q -p caex-bench --bin tables -- --out TABLES.md --bench-json BENCH_PR2.json \
     > /dev/null
 
-echo "== tier-2 [4/6]: BENCH_PR2.json matches the checked-in pin =="
+echo "== tier-2 [4/7]: BENCH_PR2.json matches the checked-in pin =="
 cargo test -q -p caex-bench --test bench_pr2
 
-echo "== tier-2 [5/6]: wire frame codec fuzz battery =="
+echo "== tier-2 [5/7]: wire frame codec fuzz battery =="
 cargo test -q -p caex-wire --test frame_props
 
-echo "== tier-2 [6/6]: multi-process §4.2 resolution over real sockets =="
+echo "== tier-2 [6/7]: multi-process §4.2 resolution over real sockets =="
 cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator --scenario example1
 cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator --scenario example2
 cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator --scenario example1 \
     --crash 3 --crash-mode exit
+
+echo "== tier-2 [7/7]: exhaustive model checking of the built-in scenarios =="
+cargo run -q --release -p caex-lint --bin caex-lint -- check --model
 
 echo "tier-2 OK"

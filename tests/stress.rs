@@ -201,3 +201,36 @@ fn wide_exception_trees_resolve_at_scale() {
     assert!(r.resolved.id().is_root());
     assert_eq!(r.raised.len(), 64);
 }
+
+/// The combined static-then-dynamic pipeline at stress scale: the
+/// linter vets each family first, the seed sweep then runs every
+/// schedule, and any lint-clean family that still breaks an invariant
+/// is reported as a cross-check violation — a gap in the static
+/// analysis itself.
+#[test]
+fn lint_then_explore_agrees_at_scale() {
+    use caex_lint::explore::lint_then_explore;
+    use caex_lint::LintConfig;
+
+    let families: [(&str, fn(u64) -> Scenario); 3] = [
+        ("case1(8)", |seed| {
+            workloads::case1(8, NetConfig::default().with_seed(seed)).scenario
+        }),
+        ("case2(6)", |seed| {
+            workloads::case2(6, NetConfig::default().with_seed(seed)).scenario
+        }),
+        ("general(12,4,3)", |seed| {
+            workloads::general(12, 4, 3, NetConfig::default().with_seed(seed)).scenario
+        }),
+    ];
+    for (name, build) in families {
+        let linted = lint_then_explore(0..16, Expect::Clean, LintConfig::new(), build);
+        assert!(
+            linted.is_ok(),
+            "{name}: lint or exploration failed: {:?} / {:?}",
+            linted.lint,
+            linted.exploration.violations
+        );
+        assert_eq!(linted.exploration.runs, 16, "{name}");
+    }
+}
