@@ -7,6 +7,11 @@
 //! (metrics registry + invariant watchdog over every built-in
 //! workload), validates it, and writes `BENCH_PR2.json`-format output;
 //! the process exits nonzero if a §4.4 law or watchdog invariant fails.
+//!
+//! `--causal-json <path>` runs the E20 causal-analysis suite
+//! (happens-before DAGs and critical-path attribution over the worked
+//! examples and baselines) and writes `BENCH_PR7.json`-format output,
+//! exiting nonzero if a DAG or phase-sum invariant fails.
 
 use caex_bench::{
     render_table, table_abort_depth, table_case1, table_case2, table_case3,
@@ -368,6 +373,24 @@ fn main() {
                 }
                 Err(why) => {
                     eprintln!("bench json validation FAILED: {why}");
+                    std::process::exit(1);
+                }
+            }
+        } else if arg == "--causal-json" {
+            let path = args.next().expect("--causal-json requires a path");
+            let rows = caex_bench::causal_bench::bench_pr7();
+            let doc = caex_bench::causal_bench::bench_pr7_json(&rows);
+            match caex_bench::causal_bench::validate_bench_pr7(&doc) {
+                Ok(count) => {
+                    let mut text = doc.to_string();
+                    text.push('\n');
+                    std::fs::write(&path, text).expect("failed to write causal json");
+                    eprintln!(
+                        "causal json ({count} workloads, DAG + phase-sum invariants ok) written to {path}"
+                    );
+                }
+                Err(why) => {
+                    eprintln!("causal json validation FAILED: {why}");
                     std::process::exit(1);
                 }
             }

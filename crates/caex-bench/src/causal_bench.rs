@@ -1,0 +1,303 @@
+//! E20 — the causal-analysis benchmark behind `BENCH_PR7.json`.
+//!
+//! Runs a deterministic suite of workloads (the §4.3 worked examples
+//! on the simulator, the centralized baseline, and the CR domino
+//! workload), records the full `caex-obs` event stream, builds the
+//! happens-before DAG, and reports per workload the DAG shape
+//! (events, edges, acyclicity, orphan diagnostics), every resolution
+//! round's critical path with its per-phase latency attribution, and
+//! the latency percentiles across rounds. Everything runs in virtual
+//! time, so the JSON is byte-deterministic and pinned by
+//! `tests/bench_pr7.rs`.
+
+use caex::{central, cr, workloads};
+use caex_net::{NetConfig, NodeId, SimTime};
+use caex_obs::causal::{CausalGraph, CriticalPath};
+use caex_obs::{JsonValue, LatencySummary, ObsEvent, Recorder};
+use caex_tree::{chain_tree, interleaved_reduced_trees, ExceptionId};
+use std::sync::Arc;
+
+/// One resolution round's critical-path summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRow {
+    /// The `(action, round)` span label, e.g. `A1#r1`.
+    pub span: String,
+    /// End-to-end latency of the round, microseconds.
+    pub total_us: u64,
+    /// Per-phase latency, `(label, µs)` in [`caex_obs::Phase::ALL`]
+    /// order; sums to `total_us` by the telescoping construction.
+    pub phases: Vec<(&'static str, u64)>,
+}
+
+/// One workload's causal-analysis row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalBenchRow {
+    /// Workload name.
+    pub workload: String,
+    /// Events recorded.
+    pub events: u64,
+    /// Happens-before edges (program order + matched messages).
+    pub edges: u64,
+    /// Whether the DAG is acyclic (must be).
+    pub acyclic: bool,
+    /// Receives with no matching send (must be 0).
+    pub unmatched_receives: u64,
+    /// Sends whose receive never appeared (must be 0 on clean runs).
+    pub unmatched_sends: u64,
+    /// One row per resolution round, in span order.
+    pub spans: Vec<SpanRow>,
+    /// Latency percentiles across the rounds.
+    pub latency: Option<LatencySummary>,
+}
+
+fn analyze(name: &str, events: &[ObsEvent]) -> CausalBenchRow {
+    let graph = CausalGraph::build(events);
+    let paths = graph.critical_paths();
+    row_from(name, &graph, &paths)
+}
+
+fn row_from(name: &str, graph: &CausalGraph, paths: &[CriticalPath]) -> CausalBenchRow {
+    let spans = paths
+        .iter()
+        .map(|p| SpanRow {
+            span: p.span.to_string(),
+            total_us: p.total_us(),
+            phases: p
+                .phase_totals()
+                .into_iter()
+                .map(|(ph, us)| (ph.label(), us))
+                .collect(),
+        })
+        .collect();
+    let latencies: Vec<u64> = paths.iter().map(CriticalPath::total_us).collect();
+    CausalBenchRow {
+        workload: name.to_owned(),
+        events: graph.events().len() as u64,
+        edges: graph.edge_count() as u64,
+        acyclic: graph.is_acyclic(),
+        unmatched_receives: graph.unmatched_receives().len() as u64,
+        unmatched_sends: graph.unmatched_sends().len() as u64,
+        spans,
+        latency: LatencySummary::of(&latencies),
+    }
+}
+
+/// Runs the suite and collects one row per workload: both §4.3 worked
+/// examples on the simulator, the centralized-coordinator baseline on
+/// an exception storm, and the CR domino workload.
+#[must_use]
+pub fn bench_pr7() -> Vec<CausalBenchRow> {
+    let mut rows = Vec::new();
+    type Example = fn(NetConfig) -> (workloads::Workload, workloads::ExampleIds);
+    for (name, make) in [
+        ("example1", workloads::example1 as Example),
+        ("example2", workloads::example2 as Example),
+    ] {
+        let (workload, _ids) = make(NetConfig::default());
+        let mut recorder = Recorder::new();
+        let _ = workload.scenario.run_observed(&mut recorder);
+        rows.push(analyze(name, &recorder.events));
+    }
+
+    // Centralized baseline: N = 6, every non-coordinator raises.
+    let n = 6;
+    let tree = Arc::new(chain_tree(n));
+    let raises: Vec<_> = (1..n)
+        .map(|i| (NodeId::new(i), ExceptionId::new(i)))
+        .collect();
+    let mut recorder = Recorder::new();
+    let _ = central::run_observed(
+        n,
+        tree,
+        NodeId::new(0),
+        &raises,
+        SimTime::from_millis(1),
+        NetConfig::default(),
+        &mut recorder,
+    );
+    rows.push(analyze("central(6)", &recorder.events));
+
+    // CR domino workload: chain of 8, two interleaved parties.
+    let len = 8;
+    let tree = Arc::new(chain_tree(len));
+    let (odd, even) = interleaved_reduced_trees(&tree, len);
+    let mut recorder = Recorder::new();
+    let _ = cr::run_observed(
+        2,
+        tree,
+        vec![odd, even],
+        &[(NodeId::new(1), ExceptionId::new(len))],
+        NetConfig::default(),
+        &mut recorder,
+    );
+    rows.push(analyze("cr-domino(8)", &recorder.events));
+    rows
+}
+
+/// Serializes rows as the `BENCH_PR7.json` document.
+#[must_use]
+pub fn bench_pr7_json(rows: &[CausalBenchRow]) -> JsonValue {
+    let workloads = rows
+        .iter()
+        .map(|r| {
+            let spans = r
+                .spans
+                .iter()
+                .map(|s| {
+                    let phases = s
+                        .phases
+                        .iter()
+                        .map(|(label, us)| ((*label).to_owned(), JsonValue::num(*us)))
+                        .collect();
+                    JsonValue::Obj(vec![
+                        ("span".into(), JsonValue::Str(s.span.clone())),
+                        ("total_us".into(), JsonValue::num(s.total_us)),
+                        ("phases".into(), JsonValue::Obj(phases)),
+                    ])
+                })
+                .collect();
+            JsonValue::Obj(vec![
+                ("workload".into(), JsonValue::Str(r.workload.clone())),
+                ("events".into(), JsonValue::num(r.events)),
+                ("edges".into(), JsonValue::num(r.edges)),
+                ("acyclic".into(), JsonValue::Bool(r.acyclic)),
+                (
+                    "unmatched_receives".into(),
+                    JsonValue::num(r.unmatched_receives),
+                ),
+                ("unmatched_sends".into(), JsonValue::num(r.unmatched_sends)),
+                ("critical_paths".into(), JsonValue::Arr(spans)),
+                (
+                    "latency".into(),
+                    r.latency.as_ref().map_or(JsonValue::Null, LatencySummary::to_json),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        ("bench".into(), JsonValue::Str("BENCH_PR7".into())),
+        ("workloads".into(), JsonValue::Arr(workloads)),
+    ])
+}
+
+/// Validates a `BENCH_PR7.json` document: every workload's DAG must be
+/// acyclic with every receive matched to a send, must carry at least
+/// one critical path, and every critical path's phase durations must
+/// sum exactly to its end-to-end latency.
+///
+/// # Errors
+///
+/// Returns the first violated property as a human-readable message.
+pub fn validate_bench_pr7(doc: &JsonValue) -> Result<usize, String> {
+    let rows = doc
+        .get("workloads")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing workloads array")?;
+    if rows.is_empty() {
+        return Err("empty workloads array".into());
+    }
+    for row in rows {
+        let name = row
+            .get("workload")
+            .and_then(JsonValue::as_str)
+            .ok_or("row without workload name")?;
+        if row.get("acyclic").and_then(JsonValue::as_bool) != Some(true) {
+            return Err(format!("{name}: happens-before graph has a cycle"));
+        }
+        if row.get("unmatched_receives").and_then(JsonValue::as_u64) != Some(0) {
+            return Err(format!("{name}: receive without a matching send"));
+        }
+        if row.get("unmatched_sends").and_then(JsonValue::as_u64) != Some(0) {
+            return Err(format!("{name}: send whose receive never appeared"));
+        }
+        let paths = row
+            .get("critical_paths")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("{name}: missing critical_paths"))?;
+        if paths.is_empty() {
+            return Err(format!("{name}: no resolution round analyzed"));
+        }
+        for path in paths {
+            let span = path.get("span").and_then(JsonValue::as_str).unwrap_or("?");
+            let total = path
+                .get("total_us")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("{name}/{span}: missing total_us"))?;
+            let phases = path
+                .get("phases")
+                .and_then(JsonValue::as_object)
+                .ok_or_else(|| format!("{name}/{span}: missing phases"))?;
+            let sum: u64 = phases
+                .iter()
+                .filter_map(|(_, v)| v.as_u64())
+                .sum();
+            if sum != total {
+                return Err(format!(
+                    "{name}/{span}: phases sum to {sum}, total is {total}"
+                ));
+            }
+        }
+        if row.get("latency").map(|l| matches!(l, JsonValue::Null)) != Some(false) {
+            return Err(format!("{name}: missing latency summary"));
+        }
+    }
+    Ok(rows.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_rows_cover_the_suite_and_validate() {
+        let rows = bench_pr7();
+        assert_eq!(rows.len(), 4);
+        let doc = bench_pr7_json(&rows);
+        assert_eq!(validate_bench_pr7(&doc), Ok(4));
+    }
+
+    #[test]
+    fn rows_are_deterministic() {
+        let a = bench_pr7_json(&bench_pr7()).to_string();
+        let b = bench_pr7_json(&bench_pr7()).to_string();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation_rejects_cyclic_graphs() {
+        let doc = JsonValue::Obj(vec![(
+            "workloads".into(),
+            JsonValue::Arr(vec![JsonValue::Obj(vec![
+                ("workload".into(), JsonValue::Str("example1".into())),
+                ("acyclic".into(), JsonValue::Bool(false)),
+            ])]),
+        )]);
+        assert!(validate_bench_pr7(&doc).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_phase_sum_mismatch() {
+        let doc = JsonValue::Obj(vec![(
+            "workloads".into(),
+            JsonValue::Arr(vec![JsonValue::Obj(vec![
+                ("workload".into(), JsonValue::Str("w".into())),
+                ("acyclic".into(), JsonValue::Bool(true)),
+                ("unmatched_receives".into(), JsonValue::num(0)),
+                ("unmatched_sends".into(), JsonValue::num(0)),
+                (
+                    "critical_paths".into(),
+                    JsonValue::Arr(vec![JsonValue::Obj(vec![
+                        ("span".into(), JsonValue::Str("A1#r1".into())),
+                        ("total_us".into(), JsonValue::num(100)),
+                        (
+                            "phases".into(),
+                            JsonValue::Obj(vec![("election".into(), JsonValue::num(40))]),
+                        ),
+                    ])]),
+                ),
+            ])]),
+        )]);
+        let err = validate_bench_pr7(&doc).unwrap_err();
+        assert!(err.contains("phases sum"), "{err}");
+    }
+}

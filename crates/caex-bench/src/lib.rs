@@ -11,6 +11,7 @@
 //! the criterion benches time them; unit tests pin the shapes.
 
 
+pub mod causal_bench;
 pub mod obs_bench;
 
 use caex::thread_engine::ThreadRunner;

@@ -1,0 +1,29 @@
+//! Pins the checked-in `BENCH_PR7.json` to a live regeneration: the
+//! causal-analysis suite is virtual-time-deterministic, so the
+//! critical-path and latency numbers at the repository root must match
+//! what the code produces today.
+
+use caex_bench::causal_bench::{bench_pr7, bench_pr7_json, validate_bench_pr7};
+use caex_obs::JsonValue;
+
+fn checked_in() -> JsonValue {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_PR7.json exists at the repo root");
+    caex_obs::json::parse(&text).expect("BENCH_PR7.json parses")
+}
+
+#[test]
+fn checked_in_causal_json_validates() {
+    assert_eq!(validate_bench_pr7(&checked_in()), Ok(4));
+}
+
+#[test]
+fn checked_in_causal_json_matches_live_regeneration() {
+    let live = bench_pr7_json(&bench_pr7());
+    assert_eq!(
+        checked_in(),
+        live,
+        "BENCH_PR7.json is stale — regenerate with \
+         `cargo run -p caex-bench --bin tables -- --causal-json BENCH_PR7.json`"
+    );
+}

@@ -137,6 +137,17 @@ pub enum ObsKind {
         /// The destination object.
         to: NodeId,
     },
+    /// The object received (and is about to process) a protocol
+    /// message. Paired with the sender's [`ObsKind::MessageSent`] by
+    /// causal analysis: the k-th receive of a `(from, to, kind)`
+    /// triple matches the k-th send, which is exact under the §4.2
+    /// FIFO-channel assumption.
+    MessageReceived {
+        /// The wire kind (`"exception"`, `"ack"`, `"commit"`, …).
+        kind: &'static str,
+        /// The sending object.
+        from: NodeId,
+    },
     /// The action failed at this object (failure signalled out of the
     /// outermost context).
     ActionFailed {
@@ -162,6 +173,7 @@ impl ObsKind {
             ObsKind::HandlerStart { .. } => "handler_start",
             ObsKind::HandlerEnd { .. } => "handler_end",
             ObsKind::MessageSent { .. } => "message_sent",
+            ObsKind::MessageReceived { .. } => "message_received",
             ObsKind::ActionFailed { .. } => "action_failed",
         }
     }

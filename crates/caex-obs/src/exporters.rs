@@ -64,6 +64,10 @@ pub fn event_to_json(event: &ObsEvent) -> JsonValue {
             fields.push(("msg".to_owned(), JsonValue::str(*kind)));
             fields.push(("to".to_owned(), JsonValue::str(to.to_string())));
         }
+        ObsKind::MessageReceived { kind, from } => {
+            fields.push(("msg".to_owned(), JsonValue::str(*kind)));
+            fields.push(("from".to_owned(), JsonValue::str(from.to_string())));
+        }
         ObsKind::ActionEnter
         | ObsKind::ActionLeave
         | ObsKind::ResolutionStart
@@ -81,11 +85,27 @@ fn parse_exception(s: &str) -> Option<ExceptionId> {
 }
 
 /// Interns a wire-kind label back to the `&'static str` the typed
-/// event carries (`ObsKind::MessageSent` uses statics as counter keys).
+/// event carries (`ObsKind::MessageSent` uses statics as counter
+/// keys). Covers the §4.2 protocol kinds plus the baseline engines'
+/// (`central`, `cr`) wire kinds, so any engine's recorded stream
+/// round-trips.
 fn intern_msg_kind(s: &str) -> Option<&'static str> {
-    ["exception", "have_nested", "nested_completed", "ack", "commit", "leave_ready"]
-        .into_iter()
-        .find(|k| *k == s)
+    [
+        "exception",
+        "have_nested",
+        "nested_completed",
+        "ack",
+        "commit",
+        "leave_ready",
+        "central_report",
+        "central_commit",
+        "cr_exception",
+        "cr_ack",
+        "cr_proposal",
+        "cr_commit",
+    ]
+    .into_iter()
+    .find(|k| *k == s)
 }
 
 /// Parses the flat JSON object produced by [`event_to_json`] back into
@@ -162,6 +182,15 @@ pub fn event_from_json(doc: &JsonValue) -> Result<ObsEvent, String> {
                 to: parse_object(str_field("to")?).ok_or_else(|| "bad `to`".to_owned())?,
             }
         }
+        "message_received" => {
+            let msg = str_field("msg")?;
+            ObsKind::MessageReceived {
+                kind: intern_msg_kind(msg)
+                    .ok_or_else(|| format!("unknown message kind `{msg}`"))?,
+                from: parse_object(str_field("from")?)
+                    .ok_or_else(|| "bad `from`".to_owned())?,
+            }
+        }
         "action_failed" => ObsKind::ActionFailed { exception: exc_field("exception")? },
         other => return Err(format!("unknown event kind `{other}`")),
     };
@@ -228,15 +257,24 @@ struct OpenSpan {
 /// Spans (`ActionEnter`/`ActionLeave`, `AbortionStart`/`AbortionEnd`,
 /// `HandlerStart`/`HandlerEnd`) become `B`/`E` pairs on one track per
 /// participant (`tid` = object index); point events (raises, elections,
-/// commits, state transitions, failures) become instants (`ph:"i"`).
-/// `on_run_end` closes any still-open spans so the document always has
-/// balanced pairs, and emits `M` metadata naming each track after its
-/// participant. The result loads in Perfetto / `chrome://tracing`.
+/// commits, state transitions, failures) become instants (`ph:"i"`);
+/// message send→receive causality becomes flow-event pairs (`ph:"s"`
+/// on the sender's track, `ph:"f"` on the receiver's) so Perfetto
+/// draws the arrows. `on_run_end` closes any still-open spans so the
+/// document always has balanced pairs, and emits `M` metadata naming
+/// each track after its participant. The result loads in Perfetto /
+/// `chrome://tracing`.
 #[derive(Debug, Default)]
 pub struct ChromeTraceExporter {
     events: Vec<JsonValue>,
     open: BTreeMap<u64, Vec<OpenSpan>>, // tid -> span stack
     tracks: BTreeSet<u64>,
+    // (from, to, kind, k) -> flow id; the k-th send and k-th receive of
+    // one ordered channel share an id (exact under FIFO channels).
+    flows: BTreeMap<(u64, u64, String, u64), u64>,
+    next_flow_id: u64,
+    sends_seen: BTreeMap<(u64, u64, String), u64>,
+    recvs_seen: BTreeMap<(u64, u64, String), u64>,
     finished: bool,
 }
 
@@ -267,6 +305,37 @@ impl ChromeTraceExporter {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Allocates (or looks up) the flow id shared by the k-th send and
+    /// the k-th receive over the `(from, to, kind)` channel.
+    fn flow_id(&mut self, from: u64, to: u64, kind: &str, k: u64) -> u64 {
+        let key = (from, to, kind.to_owned(), k);
+        if let Some(&id) = self.flows.get(&key) {
+            return id;
+        }
+        self.next_flow_id += 1;
+        let id = self.next_flow_id;
+        self.flows.insert(key, id);
+        id
+    }
+
+    /// Emits one flow event (`ph` = `"s"` or `"f"`) on `tid`'s track.
+    fn flow_record(&mut self, ph: &str, kind: &str, id: u64, ts: u64, tid: u64) {
+        let mut fields = vec![
+            ("name".to_owned(), JsonValue::str(format!("msg {kind}"))),
+            ("cat".to_owned(), JsonValue::str("message")),
+            ("ph".to_owned(), JsonValue::str(ph)),
+            ("id".to_owned(), JsonValue::num(id)),
+            ("ts".to_owned(), JsonValue::num(ts)),
+            ("pid".to_owned(), JsonValue::num(PID)),
+            ("tid".to_owned(), JsonValue::num(tid)),
+        ];
+        if ph == "f" {
+            // Bind the arrow head to the enclosing slice.
+            fields.push(("bp".to_owned(), JsonValue::str("e")));
+        }
+        self.events.push(JsonValue::Obj(fields));
     }
 
     fn begin(&mut self, tid: u64, ts: u64, name: String, cat: &str) {
@@ -401,7 +470,30 @@ impl Observer for ChromeTraceExporter {
                     tid,
                 ));
             }
-            ObsKind::MessageSent { .. } => {} // too noisy for the trace view
+            ObsKind::MessageSent { kind, to } => {
+                // Spans for sends would drown the view; a flow arrow
+                // carries the causality instead.
+                let to = u64::from(to.index());
+                let k = self
+                    .sends_seen
+                    .entry((tid, to, (*kind).to_owned()))
+                    .or_insert(0);
+                let nth = *k;
+                *k += 1;
+                let id = self.flow_id(tid, to, kind, nth);
+                self.flow_record("s", kind, id, ts, tid);
+            }
+            ObsKind::MessageReceived { kind, from } => {
+                let from = u64::from(from.index());
+                let k = self
+                    .recvs_seen
+                    .entry((from, tid, (*kind).to_owned()))
+                    .or_insert(0);
+                let nth = *k;
+                *k += 1;
+                let id = self.flow_id(from, tid, kind, nth);
+                self.flow_record("f", kind, id, ts, tid);
+            }
         }
     }
 
@@ -491,6 +583,53 @@ pub fn check_balanced(doc: &JsonValue) -> Result<usize, String> {
     for (tid, stack) in &stacks {
         if let Some((name, _)) = stack.last() {
             return Err(format!("track {tid}: B `{name}` never closed"));
+        }
+    }
+    Ok(pairs)
+}
+
+/// Checks that the document's flow events form balanced send/receive
+/// pairs: every `ph:"f"` must share its `id` with exactly one earlier
+/// `ph:"s"`, and no id may be used twice in either role. Returns the
+/// number of complete pairs. Flow starts without a finish are legal
+/// (the message may have been dropped or the victim crashed) and are
+/// not counted.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn check_flow_pairs(doc: &JsonValue) -> Result<usize, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing traceEvents array".to_owned())?;
+    let mut started: BTreeMap<u64, bool> = BTreeMap::new(); // id -> finished
+    let mut pairs = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(JsonValue::as_str).unwrap_or("");
+        if ph != "s" && ph != "f" {
+            continue;
+        }
+        let id = ev
+            .get("id")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("flow event `{ph}` without id"))?;
+        match ph {
+            "s" => {
+                if started.insert(id, false).is_some() {
+                    return Err(format!("flow id {id} started twice"));
+                }
+            }
+            _ => match started.get_mut(&id) {
+                None => return Err(format!("flow id {id} finishes before it starts")),
+                Some(done) if *done => {
+                    return Err(format!("flow id {id} finished twice"));
+                }
+                Some(done) => {
+                    *done = true;
+                    pairs += 1;
+                }
+            },
         }
     }
     Ok(pairs)
@@ -601,6 +740,7 @@ mod tests {
             ObsKind::HandlerStart { exception: ExceptionId::new(4) },
             ObsKind::HandlerEnd { signalled: true },
             ObsKind::MessageSent { kind: "nested_completed", to: NodeId::new(1) },
+            ObsKind::MessageReceived { kind: "exception", from: NodeId::new(3) },
             ObsKind::ActionFailed { exception: ExceptionId::new(5) },
         ];
         for kind in kinds {
@@ -625,10 +765,59 @@ mod tests {
             r#"{"at_us":1,"object":"O0","action":0,"round":0,"kind":"warp"}"#,
             r#"{"at_us":1,"object":"X9","action":0,"round":0,"kind":"action_enter"}"#,
             r#"{"at_us":1,"object":"O0","action":0,"round":0,"kind":"message_sent","msg":"gossip","to":"O1"}"#,
+            r#"{"at_us":1,"object":"O0","action":0,"round":0,"kind":"message_received","msg":"exception","from":"?"}"#,
         ] {
             let doc = json::parse(bad).expect("valid json");
             assert!(event_from_json(&doc).is_err(), "accepted {bad}");
         }
+    }
+
+    #[test]
+    fn flow_events_pair_sends_with_receives() {
+        let mut trace = ChromeTraceExporter::new();
+        trace.on_event(&ev(0, 0, ObsKind::ActionEnter));
+        trace.on_event(&ev(0, 1, ObsKind::ActionEnter));
+        // Two sends over the same channel, received in FIFO order.
+        for t in [1, 2] {
+            trace.on_event(&ev(
+                t,
+                0,
+                ObsKind::MessageSent { kind: "exception", to: NodeId::new(1) },
+            ));
+        }
+        for t in [3, 4] {
+            trace.on_event(&ev(
+                t,
+                1,
+                ObsKind::MessageReceived { kind: "exception", from: NodeId::new(0) },
+            ));
+        }
+        trace.on_event(&ev(
+            5,
+            1,
+            ObsKind::MessageSent { kind: "ack", to: NodeId::new(0) },
+        ));
+        trace.on_run_end(SimTime::from_micros(9));
+
+        let doc = json::parse(&trace.to_json()).expect("valid trace json");
+        // Both exception flows pair up; the unanswered ack send stays
+        // a lone start, which is legal.
+        assert_eq!(check_flow_pairs(&doc), Ok(2));
+        // Flow events must not break span balance either.
+        assert!(check_balanced(&doc).is_ok());
+        assert!(trace.to_json().contains("\"ph\":\"s\""));
+        assert!(trace.to_json().contains("\"bp\":\"e\""));
+    }
+
+    #[test]
+    fn check_flow_pairs_rejects_orphan_finish() {
+        let doc = json::parse(
+            r#"{"traceEvents":[
+                {"name":"msg ack","ph":"f","id":7,"ts":2,"pid":1,"tid":0,"bp":"e"}
+            ]}"#,
+        )
+        .expect("valid json");
+        assert!(check_flow_pairs(&doc).is_err());
     }
 
     #[test]

@@ -24,21 +24,33 @@
 //! - [`Watchdog`] — an invariant observer that flags state-machine
 //!   violations (illegal `N`/`X`/`S`/`R` edges, commits landing during
 //!   an abortion, ACK overflow beyond `N−1` per broadcast, unbalanced
-//!   spans, duplicate commits) as the events stream past.
+//!   spans, duplicate commits) as the events stream past;
+//! - [`causal`] — happens-before DAG construction over any recorded
+//!   stream (program order + FIFO-matched send→receive edges),
+//!   critical-path extraction with per-phase latency attribution that
+//!   sums exactly to end-to-end latency, percentile summaries, and
+//!   clock-skew stitching of multi-process streams;
+//! - [`FlameBuilder`] — folded-stack flame graphs (`O1;A1;handle e2
+//!   42`) of per-object dwell, keyed by resolution round, consumable
+//!   by `flamegraph.pl`/speedscope unchanged.
 //!
 //! The layer is additive: engines keep their `TraceLog` and report
 //! structs untouched and gain `run_observed` variants that thread an
 //! `&mut dyn Observer` through the same code path.
 
+pub mod causal;
 pub mod event;
 pub mod exporters;
+pub mod flame;
 pub mod json;
 pub mod metrics;
 pub mod stream;
 pub mod watchdog;
 
+pub use causal::{CausalGraph, CriticalPath, LatencySummary, PathSegment, Phase};
 pub use event::{CorrelationId, ObsEvent, ObsKind, ObsState, Observer, Recorder, Tee};
 pub use exporters::{ChromeTraceExporter, JsonlExporter};
+pub use flame::FlameBuilder;
 pub use stream::{EventCollector, TcpExporter};
 pub use json::JsonValue;
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ResolutionMetrics};

@@ -273,20 +273,25 @@ impl MetricsRegistry {
         self.state_since.entry(object).or_insert((ObsState::N, at));
     }
 
-    /// Renders the Prometheus text exposition format.
+    /// Renders the Prometheus text exposition format. Label values are
+    /// escaped per the exposition-format rules (`\` → `\\`, `"` →
+    /// `\"`, newline → `\n`).
     #[must_use]
     pub fn prometheus(&self) -> String {
         let mut out = String::new();
         out.push_str("# TYPE caex_events_total counter\n");
         for (kind, count) in &self.events_total {
+            let kind = escape_label_value(kind);
             let _ = writeln!(out, "caex_events_total{{kind=\"{kind}\"}} {count}");
         }
         out.push_str("# TYPE caex_messages_total counter\n");
         for (kind, count) in &self.messages_total {
+            let kind = escape_label_value(kind);
             let _ = writeln!(out, "caex_messages_total{{kind=\"{kind}\"}} {count}");
         }
         out.push_str("# TYPE caex_state_dwell_us counter\n");
         for (state, us) in &self.dwell_us {
+            let state = escape_label_value(state);
             let _ = writeln!(out, "caex_state_dwell_us{{state=\"{state}\"}} {us}");
         }
         for (name, hist) in [
@@ -310,7 +315,9 @@ impl MetricsRegistry {
             let _ = writeln!(
                 out,
                 "caex_resolution_messages{{action=\"{}\",round=\"{}\"}} {}",
-                r.action, r.round, r.messages
+                escape_label_value(&r.action.to_string()),
+                r.round,
+                r.messages
             );
         }
         out
@@ -423,9 +430,13 @@ impl Observer for MetricsRegistry {
                     self.handler_durations.observe(us);
                 }
             }
+            // Receives mirror sends one-to-one under reliable FIFO
+            // channels; counting them against the §4.4 law would
+            // double every message.
             ObsKind::ActionLeave
             | ObsKind::ResolverElected { .. }
             | ObsKind::AbortionEnd
+            | ObsKind::MessageReceived { .. }
             | ObsKind::ActionFailed { .. } => {}
         }
     }
@@ -518,6 +529,21 @@ pub struct MetricsSnapshot {
     pub resolution_latency_wall: HistogramSnapshot,
     /// Handler duration histogram (sim µs).
     pub handler_durations: HistogramSnapshot,
+}
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote and newline must be backslash-escaped.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 fn pairs_to_json(pairs: &[(String, u64)]) -> JsonValue {
@@ -819,6 +845,32 @@ mod tests {
         assert!(text.contains("caex_events_total{kind=\"action_enter\"} 1"));
         assert!(text.contains("# TYPE caex_resolution_latency_us histogram"));
         assert!(text.contains("caex_resolution_latency_us_bucket{le=\"+Inf\"} 0"));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let mut reg = MetricsRegistry::new();
+        // A hostile wire kind: quotes, a backslash and a newline must
+        // all be escaped, or the exposition format breaks.
+        reg.on_event(&ev(
+            0,
+            0,
+            0,
+            ObsKind::MessageSent { kind: "bad\"kind\\x\nline", to: NodeId::new(1) },
+        ));
+        reg.on_run_end(SimTime::from_micros(1));
+        let text = reg.prometheus();
+        assert!(
+            text.contains(r#"caex_messages_total{kind="bad\"kind\\x\nline"} 1"#),
+            "{text}"
+        );
+        // No raw newline may survive inside a label value.
+        for line in text.lines() {
+            assert!(
+                !line.contains("bad\"kind"),
+                "unescaped quote leaked: {line}"
+            );
+        }
     }
 
     #[test]

@@ -324,9 +324,12 @@ impl Observer for Watchdog {
                     }
                 }
             }
+            // Receives carry no protocol obligations of their own; the
+            // matching-send invariant is causal analysis' job.
             ObsKind::Raise { .. }
             | ObsKind::ResolutionStart
             | ObsKind::ResolverElected { .. }
+            | ObsKind::MessageReceived { .. }
             | ObsKind::ActionFailed { .. } => {}
         }
     }

@@ -5,6 +5,10 @@
 //! # whole run, one command (spawns one child process per node):
 //! caex-wire --role coordinator --scenario example1
 //!
+//! # same, also writing the skew-stitched merged trace for
+//! # `caex-report`:
+//! caex-wire --role coordinator --scenario example2 --obs-out ex2.jsonl
+//!
 //! # random (n, p, q) grid, each cell a fresh multi-process mesh:
 //! caex-wire --role coordinator --grid 4 --seed 7
 //!
@@ -125,6 +129,9 @@ fn coordinator_options(args: &Args, scenario: String) -> Result<CoordinatorOptio
     }
     if let Some(no_obs) = args.get("no-obs") {
         opts.obs = !matches!(no_obs, "true" | "1" | "yes");
+    }
+    if let Some(path) = args.get("obs-out") {
+        opts.obs_out = Some(PathBuf::from(path));
     }
     if let Some(victim) = args.parse_as::<u32>("crash")? {
         let mode = args.parse_as("crash-mode")?.unwrap_or(CrashMode::Exit);

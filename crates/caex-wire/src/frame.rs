@@ -12,9 +12,18 @@
 //! kind 1 Hello      payload = id:u32
 //! kind 2 Heartbeat  payload empty
 //! kind 3 Ready      payload empty
-//! kind 4 Msg        payload = from:u32 ++ caex::codec::encode(msg)
+//! kind 4 Msg        payload = from:u32 ++ sent_us:u64 ++ caex::codec::encode(msg)
 //! kind 5 Bye        payload empty
 //! ```
+//!
+//! Version 2 extends the `Msg` payload with `sent_us`, the sender's
+//! local clock (microseconds since its run epoch) at the moment the
+//! frame was queued. Receivers use it to estimate per-peer clock skew
+//! (as `min` over observed `recv_local − sent_us` one-way delays), so
+//! traces recorded on different machines can be stitched into one
+//! causally-consistent timeline. Version 1 frames are rejected: the
+//! mesh is always started as one fleet, so mixed versions indicate an
+//! operator error, not a compatibility case worth masking.
 //!
 //! `crc` is the CRC-32 (IEEE 802.3) of the payload bytes, so a torn or
 //! bit-flipped frame is rejected instead of decoded into a wrong —
@@ -30,7 +39,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 /// The frame-format version this build speaks.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 
 /// Upper bound on a frame payload. The largest legitimate payload is a
 /// protocol message with two maximal (`u16`-capped) strings — well
@@ -59,6 +68,10 @@ pub enum Frame {
     Msg {
         /// The sending node.
         from: NodeId,
+        /// Sender-local send time, microseconds since its run epoch.
+        /// Used for clock-skew estimation when stitching traces; the
+        /// protocol itself never reads it.
+        sent_us: u64,
         /// The message, framed via [`caex::codec`].
         msg: Msg,
     },
@@ -166,10 +179,11 @@ fn payload_of(frame: &Frame) -> (u8, Vec<u8>) {
         Frame::Hello { id } => (K_HELLO, id.index().to_le_bytes().to_vec()),
         Frame::Heartbeat => (K_HEARTBEAT, Vec::new()),
         Frame::Ready => (K_READY, Vec::new()),
-        Frame::Msg { from, msg } => {
+        Frame::Msg { from, sent_us, msg } => {
             let body = codec::encode(msg);
-            let mut payload = Vec::with_capacity(4 + body.len());
+            let mut payload = Vec::with_capacity(12 + body.len());
             payload.extend_from_slice(&from.index().to_le_bytes());
+            payload.extend_from_slice(&sent_us.to_le_bytes());
             payload.extend_from_slice(&body);
             (K_MSG, payload)
         }
@@ -219,13 +233,15 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
             })
         }
         K_MSG => {
-            if payload.len() < 4 {
-                return Err(FrameError::Malformed("msg frame shorter than its from field"));
+            if payload.len() < 12 {
+                return Err(FrameError::Malformed("msg frame shorter than its from+sent_us fields"));
             }
             let from = node(&payload[..4])?;
-            let msg = codec::decode(&bytes::Bytes::copy_from_slice(&payload[4..]))
+            let sent_us =
+                u64::from_le_bytes(payload[4..12].try_into().expect("8 bytes"));
+            let msg = codec::decode(&bytes::Bytes::copy_from_slice(&payload[12..]))
                 .map_err(FrameError::Codec)?;
-            Ok(Frame::Msg { from, msg })
+            Ok(Frame::Msg { from, sent_us, msg })
         }
         other => Err(FrameError::BadKind(other)),
     }
@@ -289,7 +305,7 @@ mod tests {
             Frame::Hello { id: NodeId::new(3) },
             Frame::Heartbeat,
             Frame::Ready,
-            Frame::Msg { from: NodeId::new(1), msg },
+            Frame::Msg { from: NodeId::new(1), sent_us: 12_345, msg },
             Frame::Bye,
         ]
     }

@@ -31,9 +31,9 @@ use caex::drive::drive_node;
 use caex::{Event, LeaveMode, NestedStrategy, Note, ObsBridge, Participant};
 use caex_net::{NodeId, SimTime};
 use caex_obs::json::{self, JsonValue};
-use caex_obs::{ObsEvent, Observer, TcpExporter, Watchdog};
+use caex_obs::{causal, ObsEvent, Observer, TcpExporter, Watchdog};
 use caex_tree::ExceptionId;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -134,6 +134,10 @@ pub struct NodeReport {
     pub deserters: Vec<u32>,
     /// `(action, exception)` pairs whose handlers started here.
     pub handled: Vec<(u32, u32)>,
+    /// Per-peer clock-skew estimates `(peer, min(recv − sent) µs)` —
+    /// floor one-way delay plus the peer's clock offset relative to
+    /// this process (see `WirePort::skew_estimates`).
+    pub skew: Vec<(u32, i64)>,
 }
 
 impl NodeReport {
@@ -163,6 +167,21 @@ impl NodeReport {
                             JsonValue::Obj(vec![
                                 ("action".into(), JsonValue::num(u64::from(*a))),
                                 ("exc".into(), JsonValue::num(u64::from(*e))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "skew".into(),
+                JsonValue::Arr(
+                    self.skew
+                        .iter()
+                        .map(|(peer, us)| {
+                            #[allow(clippy::cast_precision_loss)] // µs offsets stay far below 2^53
+                            JsonValue::Obj(vec![
+                                ("peer".into(), JsonValue::num(u64::from(*peer))),
+                                ("us".into(), JsonValue::Num(*us as f64)),
                             ])
                         })
                         .collect(),
@@ -204,6 +223,27 @@ impl NodeReport {
                 Ok((num("action")?, num("exc")?))
             })
             .collect::<Result<Vec<_>, String>>()?;
+        // Absent in pre-v2 report lines; default to no estimates.
+        let skew = v
+            .get("skew")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|s| {
+                let peer = s
+                    .get("peer")
+                    .and_then(JsonValue::as_u64)
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or("bad skew entry `peer`")?;
+                #[allow(clippy::cast_possible_truncation)] // µs offsets fit i64 exactly
+                let us = s
+                    .get("us")
+                    .and_then(JsonValue::as_f64)
+                    .map(|f| f as i64)
+                    .ok_or("bad skew entry `us`")?;
+                Ok((peer, us))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
         Ok(NodeReport {
             id: u32::try_from(field("id")?).map_err(|_| "id out of range".to_owned())?,
             sent: field("sent")?,
@@ -213,6 +253,7 @@ impl NodeReport {
             desertions: field("desertions")?,
             deserters: list("deserters")?,
             handled,
+            skew,
         })
     }
 }
@@ -332,14 +373,29 @@ fn rendezvous_exchange(
 
 /// Applies `handle` under the observability bridge, mirroring the
 /// threaded engine's instrumentation (wall-clock micros since `start`
-/// become the event's `SimTime` and `wall_micros`).
+/// become the event's `SimTime` and `wall_micros`). Transport
+/// deliveries (`from` is `Some`) additionally emit the
+/// `MessageReceived` event causal analysis pairs with the sender's
+/// `MessageSent`.
 fn handle_observed(
     participant: &mut Participant,
     event: Event,
+    from: Option<caex_net::NodeId>,
     bridge: &mut ObsBridge,
     start: Instant,
     obs: &mut dyn Observer,
 ) -> Vec<caex::Effect> {
+    if let Some(from) = from {
+        let wall = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        bridge.on_receive(
+            participant.id(),
+            &event,
+            from,
+            SimTime::from_micros(wall),
+            Some(wall),
+            obs,
+        );
+    }
     let pre = bridge.pre(participant, &event);
     let fx = participant.handle(event);
     let wall = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -368,13 +424,17 @@ fn drive_wire_node(
     let steps = if suppress_steps { Vec::new() } else { scenario.steps_for(id) };
     let mut notes: Vec<Note> = Vec::new();
     let mut bridge = ObsBridge::new();
+    // Anchor the wire's send-time stamps to the same epoch as the
+    // observation clock, so peer skew estimates translate directly
+    // into per-stream timestamp corrections.
+    port.rebase_epoch(start);
     let summary = drive_node(
         port,
         &mut participant,
         steps,
         start,
         idle_timeout,
-        |p, ev| handle_observed(p, ev, &mut bridge, start, obs),
+        |p, ev, from| handle_observed(p, ev, from, &mut bridge, start, obs),
         |n| notes.push(n),
     );
     let end = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -397,6 +457,11 @@ fn drive_wire_node(
                 }
                 _ => None,
             })
+            .collect(),
+        skew: port
+            .skew_estimates()
+            .into_iter()
+            .map(|(peer, us)| (peer.index(), us))
             .collect(),
     }
 }
@@ -477,6 +542,9 @@ pub struct CoordinatorOptions {
     pub sock_dir: PathBuf,
     /// Stream and check observability events (disabled on crash runs).
     pub obs: bool,
+    /// Write the skew-stitched, merged observability stream as JSONL
+    /// here (requires `obs`; the file feeds `caex-report`).
+    pub obs_out: Option<PathBuf>,
     /// Crash this node mid-run, if set.
     pub crash: Option<NodeId>,
     /// How the victim crashes.
@@ -501,6 +569,7 @@ impl CoordinatorOptions {
             transport: Transport::Tcp,
             sock_dir: std::env::temp_dir(),
             obs: true,
+            obs_out: None,
             crash: None,
             crash_mode: CrashMode::Exit,
             crash_after: Duration::from_millis(150),
@@ -798,7 +867,32 @@ pub fn run_coordinator(opts: &CoordinatorOptions) -> Result<RunSummary, String> 
                 .join()
                 .expect("collector thread panicked")
                 .map_err(|e| format!("collecting obs streams: {e}"))?;
-            run_watchdog(streams, scenario.pq)
+            // Stitch the per-process streams onto node 0's timeline:
+            // solve pairwise skew estimates (reported by every node)
+            // into per-stream offsets, shift, then merge time-sorted.
+            let skews: BTreeMap<u32, BTreeMap<u32, i64>> = reports
+                .iter()
+                .map(|r| (r.id, r.skew.iter().copied().collect()))
+                .collect();
+            let offsets = causal::solve_offsets(&skews, 0);
+            let mut streams = streams;
+            for stream in &mut streams {
+                let Some(node) = stream.first().map(|e| e.object.index()) else {
+                    continue;
+                };
+                causal::shift_events(stream, offsets.get(&node).copied().unwrap_or(0));
+            }
+            let merged = causal::merge_streams(streams);
+            if let Some(path) = &opts.obs_out {
+                let mut out = String::with_capacity(merged.len() * 96);
+                for event in &merged {
+                    out.push_str(&caex_obs::exporters::event_to_json(event).to_string());
+                    out.push('\n');
+                }
+                std::fs::write(path, out)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            }
+            run_watchdog(vec![merged], scenario.pq)
         }
         None => Vec::new(),
     };

@@ -183,6 +183,13 @@ struct MeshState {
     departed: HashSet<NodeId>,
     dead: HashSet<NodeId>,
     reported: HashSet<NodeId>,
+    /// Per-peer minimum observed `recv_local_us − sent_us` over all
+    /// protocol frames: one-way delay plus clock offset. The minimum
+    /// is the tightest upper bound on the peer's clock being *behind*
+    /// ours, and the standard NTP-style skew estimator under the
+    /// assumption that at least one frame crossed near the floor
+    /// latency.
+    skew_min: HashMap<NodeId, i64>,
 }
 
 /// A bound-but-unconnected endpoint: the listener exists (so peers can
@@ -258,6 +265,7 @@ impl WireBound {
         let state = Arc::new(Mutex::new(MeshState::default()));
         let stats = Arc::new(Mutex::new(NetStats::default()));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let epoch = Arc::new(Mutex::new(Instant::now()));
         let (inbox_tx, inbox_rx) = channel::unbounded();
 
         // Inbound half: accept until shutdown, one reader per link.
@@ -266,6 +274,7 @@ impl WireBound {
             let state = Arc::clone(&state);
             let shutdown = Arc::clone(&shutdown);
             let inbox_tx: Sender<(NodeId, Event)> = inbox_tx.clone();
+            let epoch = Arc::clone(&epoch);
             let read_timeout = config.read_timeout;
             thread::spawn(move || {
                 while !shutdown.load(Ordering::Relaxed) {
@@ -274,7 +283,10 @@ impl WireBound {
                             stream.tune(read_timeout);
                             let state = Arc::clone(&state);
                             let inbox_tx = inbox_tx.clone();
-                            thread::spawn(move || reader_loop(stream, &state, &inbox_tx));
+                            let epoch = Arc::clone(&epoch);
+                            thread::spawn(move || {
+                                reader_loop(stream, &state, &inbox_tx, &epoch);
+                            });
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             thread::sleep(Duration::from_millis(5));
@@ -325,6 +337,7 @@ impl WireBound {
             state,
             stats,
             shutdown,
+            epoch,
         })
     }
 }
@@ -360,7 +373,12 @@ fn dial(addr: &WireAddr, config: &WireConfig, hello_as: NodeId) -> io::Result<Wi
 /// Inbound link: identify the peer from its Hello, then timestamp and
 /// dispatch every frame. A link ending without a Bye marks the peer
 /// dead; Bye marks it departed.
-fn reader_loop(mut stream: WireStream, state: &Mutex<MeshState>, inbox: &Sender<(NodeId, Event)>) {
+fn reader_loop(
+    mut stream: WireStream,
+    state: &Mutex<MeshState>,
+    inbox: &Sender<(NodeId, Event)>,
+    epoch: &Mutex<Instant>,
+) {
     let peer = match read_frame(&mut stream) {
         Ok(Frame::Hello { id }) => id,
         _ => return, // not a mesh peer; drop the connection
@@ -369,10 +387,23 @@ fn reader_loop(mut stream: WireStream, state: &Mutex<MeshState>, inbox: &Sender<
     loop {
         match read_frame(&mut stream) {
             Ok(frame) => {
+                let recv_us = i64::try_from(epoch.lock().elapsed().as_micros())
+                    .unwrap_or(i64::MAX);
                 let mut st = state.lock();
                 st.last_seen.insert(peer, Instant::now());
                 match frame {
-                    Frame::Msg { from, msg } => {
+                    Frame::Msg { from, sent_us, msg } => {
+                        // One skew sample per protocol frame: one-way
+                        // delay plus the sender's clock offset. Keep
+                        // the minimum; the floor-latency crossing is
+                        // the best offset bound available without
+                        // round-trip probing.
+                        let sample =
+                            recv_us.saturating_sub(i64::try_from(sent_us).unwrap_or(i64::MAX));
+                        st.skew_min
+                            .entry(from)
+                            .and_modify(|m| *m = (*m).min(sample))
+                            .or_insert(sample);
                         drop(st);
                         let _ = inbox.send((from, Event::Msg(msg)));
                     }
@@ -461,6 +492,11 @@ pub struct WirePort {
     state: Arc<Mutex<MeshState>>,
     stats: Arc<Mutex<NetStats>>,
     shutdown: Arc<AtomicBool>,
+    /// The clock zero that `sent_us` stamps and skew samples are
+    /// measured against. Set at mesh formation; re-anchored by
+    /// [`WirePort::rebase_epoch`] after the start barrier so every
+    /// process measures from (approximately) the same instant.
+    epoch: Arc<Mutex<Instant>>,
 }
 
 impl fmt::Debug for WirePort {
@@ -550,7 +586,8 @@ impl WirePort {
             self.stats.lock().record_drop(kind);
             return false;
         };
-        let ok = tx.send(Frame::Msg { from: self.id, msg }).is_ok();
+        let sent_us = u64::try_from(self.epoch.lock().elapsed().as_micros()).unwrap_or(u64::MAX);
+        let ok = tx.send(Frame::Msg { from: self.id, sent_us, msg }).is_ok();
         let mut stats = self.stats.lock();
         if ok {
             stats.record_send(kind);
@@ -559,6 +596,31 @@ impl WirePort {
             stats.record_drop(kind);
         }
         ok
+    }
+
+    /// Re-anchors the `sent_us` clock zero to `at` and discards the
+    /// skew samples collected so far. Call it right after
+    /// [`WirePort::barrier`] returns, with the same `Instant` the
+    /// harness uses as its observation epoch — then skew estimates
+    /// are directly the per-peer offset between observation clocks.
+    pub fn rebase_epoch(&self, at: Instant) {
+        *self.epoch.lock() = at;
+        self.state.lock().skew_min.clear();
+    }
+
+    /// Per-peer skew estimates: the minimum observed
+    /// `recv_local_us − sent_us` over every protocol frame received
+    /// from that peer since the last [`WirePort::rebase_epoch`].
+    /// The value is one-way floor delay plus the peer's clock offset
+    /// relative to this process; subtracting the symmetric estimate
+    /// (or assuming symmetric floor delay) isolates the offset.
+    /// Sorted by peer id; peers that never sent are absent.
+    #[must_use]
+    pub fn skew_estimates(&self) -> Vec<(NodeId, i64)> {
+        let st = self.state.lock();
+        let mut v: Vec<(NodeId, i64)> = st.skew_min.iter().map(|(p, s)| (*p, *s)).collect();
+        v.sort_unstable();
+        v
     }
 
     fn recv_event(&self, timeout: Duration) -> Result<(NodeId, Event), RecvTimeoutError> {

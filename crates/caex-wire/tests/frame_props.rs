@@ -76,8 +76,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         any::<u32>().prop_map(|id| Frame::Hello { id: NodeId::new(id) }),
         Just(Frame::Heartbeat),
         Just(Frame::Ready),
-        (any::<u32>(), arb_msg())
-            .prop_map(|(f, msg)| Frame::Msg { from: NodeId::new(f), msg }),
+        (any::<u32>(), any::<u64>(), arb_msg())
+            .prop_map(|(f, sent_us, msg)| Frame::Msg { from: NodeId::new(f), sent_us, msg }),
         Just(Frame::Bye),
     ]
 }
@@ -134,7 +134,7 @@ proptest! {
         pos_seed in any::<u64>(),
         flip in 1u8..=255,
     ) {
-        let frame = Frame::Msg { from: NodeId::new(9), msg };
+        let frame = Frame::Msg { from: NodeId::new(9), sent_us: 77, msg };
         let bytes = encode_frame(&frame);
         let payload_len = bytes.len() - 10;
         if payload_len == 0 {

@@ -178,8 +178,13 @@ pub fn run_observed(
                     net.send(d.to, coordinator, CMsg::Report { from: d.to, exc });
                 }
             }
-            CMsg::Report { exc, .. } => {
+            CMsg::Report { from, exc } => {
                 debug_assert_eq!(d.to, coordinator);
+                obs.on_event(&span_event(
+                    at,
+                    d.to,
+                    ObsKind::MessageReceived { kind: "central_report", from },
+                ));
                 collected.push(exc);
                 if !window_open {
                     window_open = true;
@@ -224,6 +229,11 @@ pub fn run_observed(
                 }
             }
             CMsg::Commit { .. } => {
+                obs.on_event(&span_event(
+                    at,
+                    d.to,
+                    ObsKind::MessageReceived { kind: "central_commit", from: coordinator },
+                ));
                 informed += 1;
             }
         }

@@ -224,6 +224,11 @@ pub fn run_observed(
                     obs.on_event(&span_event(
                         net.now(),
                         d.to,
+                        ObsKind::MessageReceived { kind: "cr_exception", from },
+                    ));
+                    obs.on_event(&span_event(
+                        net.now(),
+                        d.to,
                         ObsKind::MessageSent { kind: "cr_ack", to: from },
                     ));
                     net.send(d.to, from, CrMsg::Ack { from: d.to });
@@ -244,11 +249,35 @@ pub fn run_observed(
                         propose(&mut parts[idx], &tree, &mut net, obs);
                     }
                 }
-                CrMsg::Ack { .. } | CrMsg::Proposal { .. } => {
-                    // Proposals inform but carry no protocol obligation
-                    // in this model; acknowledgements complete a raise.
+                CrMsg::Ack { from } => {
+                    obs.on_event(&span_event(
+                        net.now(),
+                        d.to,
+                        ObsKind::MessageReceived { kind: "cr_ack", from },
+                    ));
+                    // Acknowledgements complete a raise; no further
+                    // obligation in this model.
+                }
+                CrMsg::Proposal { from, .. } => {
+                    obs.on_event(&span_event(
+                        net.now(),
+                        d.to,
+                        ObsKind::MessageReceived { kind: "cr_proposal", from },
+                    ));
+                    // Proposals inform but carry no protocol
+                    // obligation in this model.
                 }
                 CrMsg::Commit { exc } => {
+                    // The commit always originates at the idealised
+                    // resolver: the highest-numbered participant.
+                    obs.on_event(&span_event(
+                        net.now(),
+                        d.to,
+                        ObsKind::MessageReceived {
+                            kind: "cr_commit",
+                            from: NodeId::new(n - 1),
+                        },
+                    ));
                     parts[idx].committed = Some(exc);
                 }
             }

@@ -66,9 +66,12 @@ pub struct DriveSummary {
 /// offset from `start` (micros become wall-clock micros). `handle` is
 /// the event-application hook — the threaded engine passes a closure
 /// that wraps [`Participant::handle`] with the observability bridge;
-/// an un-instrumented caller passes `|p, ev| p.handle(ev)`. Every
-/// emitted [`Note`] (including those from desertion handling) is fed
-/// to `note`.
+/// an un-instrumented caller passes `|p, ev, _| p.handle(ev)`. Its
+/// third argument is the sending node for events received off the
+/// transport and `None` for locally timed events, so instrumented
+/// callers can emit receive-side causality events. Every emitted
+/// [`Note`] (including those from desertion handling) is fed to
+/// `note`.
 ///
 /// Termination is idle-based: the loop exits once the timer queue is
 /// empty and neither a message nor a local event has fired for
@@ -86,7 +89,7 @@ pub fn drive_node<P, H, N>(
 ) -> DriveSummary
 where
     P: FifoPort<Event>,
-    H: FnMut(&mut Participant, Event) -> Vec<Effect>,
+    H: FnMut(&mut Participant, Event, Option<caex_net::NodeId>) -> Vec<Effect>,
     N: FnMut(Note),
 {
     let mut queue: BinaryHeap<TimedEvent> = BinaryHeap::new();
@@ -106,7 +109,7 @@ where
         let mut effects = Vec::new();
         while queue.peek().is_some_and(|t| t.due <= now) {
             let t = queue.pop().expect("peeked");
-            effects.extend(handle(participant, t.event));
+            effects.extend(handle(participant, t.event, None));
             last_activity = Instant::now();
         }
         // Then wait briefly for a message.
@@ -116,8 +119,8 @@ where
             .unwrap_or(Duration::from_millis(10))
             .min(Duration::from_millis(10));
         match port.recv_timeout(wait) {
-            Ok((_, event)) => {
-                effects.extend(handle(participant, event));
+            Ok((from, event)) => {
+                effects.extend(handle(participant, event, Some(from)));
                 last_activity = Instant::now();
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -198,7 +201,7 @@ mod tests {
                     steps,
                     start,
                     Duration::from_millis(150),
-                    |p, ev| p.handle(ev),
+                    |p, ev, _| p.handle(ev),
                     |n| notes.push(n),
                 );
                 notes

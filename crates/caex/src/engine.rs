@@ -554,6 +554,9 @@ impl Scenario {
             let participant = participants
                 .get_mut(&object)
                 .expect("delivery to unknown object");
+            if let caex_net::DeliverySource::Remote(from) = delivery.source {
+                bridge.on_receive(object, &delivery.payload, from, at, None, obs);
+            }
             let pre = bridge.pre(participant, &delivery.payload);
             let effects = participant.handle(delivery.payload);
             bridge.post(&pre, participant, &effects, at, None, obs);

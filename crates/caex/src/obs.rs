@@ -56,6 +56,11 @@ pub struct PreSnapshot {
 struct RoundState {
     number: u32,
     open: bool,
+    /// `true` when the round was opened by incoming traffic rather
+    /// than a local `Raised` note — the per-process (`caex-wire`)
+    /// case, where the bridge of a non-raiser first learns of a
+    /// remote round from the wire itself.
+    silent: bool,
 }
 
 /// Translates `Participant::handle` calls into [`ObsEvent`]s.
@@ -85,6 +90,7 @@ impl ObsBridge {
         } else {
             round.number += 1;
             round.open = true;
+            round.silent = false;
             (round.number, true)
         }
     }
@@ -92,6 +98,60 @@ impl ObsBridge {
     fn close_round(&mut self, action: ActionId) {
         if let Some(round) = self.rounds.get_mut(&action) {
             round.open = false;
+        }
+    }
+
+    /// Emits the [`ObsKind::MessageReceived`] event for a protocol
+    /// message delivered to `object` from `from`, just before the
+    /// participant handles it. Local (non-message) events emit
+    /// nothing.
+    ///
+    /// Round synchronization: a globally bridged engine (simulator,
+    /// threads) has already opened the round at the raiser's `Raised`
+    /// note, so the receive simply joins it. A per-process bridge
+    /// (`caex-wire`) whose object never raised first learns of the
+    /// remote round from the incoming `Exception`/`HaveNested`/
+    /// `NestedCompleted` itself — the round is then opened *silently*
+    /// (no [`ObsKind::ResolutionStart`]; that event stays with the
+    /// raiser) so correlation ids line up across processes, and a
+    /// received `commit` closes a silently opened round again.
+    pub fn on_receive(
+        &mut self,
+        object: NodeId,
+        event: &Event,
+        from: NodeId,
+        at: SimTime,
+        wall: Option<u64>,
+        obs: &mut dyn Observer,
+    ) {
+        let Event::Msg(msg) = event else { return };
+        let action = msg.action();
+        let kind = msg.kind();
+        let round = {
+            let r = self.rounds.entry(action).or_default();
+            if !r.open
+                && r.number == 0
+                && matches!(kind, "exception" | "have_nested" | "nested_completed")
+            {
+                r.number = 1;
+                r.open = true;
+                r.silent = true;
+            }
+            r.number
+        };
+        obs.on_event(&ObsEvent {
+            at,
+            wall_micros: wall,
+            object,
+            span: CorrelationId { action, round },
+            kind: ObsKind::MessageReceived { kind, from },
+        });
+        if kind == "commit" {
+            if let Some(r) = self.rounds.get_mut(&action) {
+                if r.open && r.silent {
+                    r.open = false;
+                }
+            }
         }
     }
 

@@ -91,11 +91,23 @@ type ObsSink = Mutex<(crate::ObsBridge, Vec<caex_obs::ObsEvent>)>;
 fn handle_observed(
     participant: &mut Participant,
     event: Event,
+    from: Option<NodeId>,
     sink: &ObsSink,
     start: Instant,
 ) -> Vec<Effect> {
     let mut guard = sink.lock();
     let (bridge, events) = &mut *guard;
+    if let Some(from) = from {
+        let wall = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        bridge.on_receive(
+            participant.id(),
+            &event,
+            from,
+            SimTime::from_micros(wall),
+            Some(wall),
+            &mut BufObs(events),
+        );
+    }
     let pre = bridge.pre(participant, &event);
     let fx = participant.handle(event);
     let wall = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -334,7 +346,7 @@ impl ThreadRunner {
                     steps,
                     start,
                     idle_timeout,
-                    |p, ev| handle_observed(p, ev, &sink, start),
+                    |p, ev, from| handle_observed(p, ev, from, &sink, start),
                     |note| notes.lock().push(note),
                 );
             }));

@@ -1,0 +1,65 @@
+//! Critical-path latency attribution on Example 2 (§4.3, Fig. 4) —
+//! where does the resolution's end-to-end latency actually go?
+//!
+//! Runs the worked example twice: once on the default uniform network,
+//! and once with one slow participant (every link touching O4 carries
+//! 2 ms instead of 100 µs). The happens-before analysis pins the
+//! difference: on the slow run the critical path routes through O4's
+//! links and the raise-propagation/election phases absorb the extra
+//! milliseconds, while the fast run's phases stay balanced. This is
+//! the time-domain companion to the §4.4 message-count law: the law
+//! prices a resolution in messages, the critical path prices the same
+//! protocol in time and names the hop you would have to speed up.
+//!
+//! Run with: `cargo run --example critical_path`
+
+use caex::workloads;
+use caex_net::{LatencyModel, NetConfig, NodeId, SimTime};
+use caex_obs::causal::{render_table, CausalGraph};
+use caex_obs::Recorder;
+
+/// Runs Example 2 under `config` and returns its happens-before DAG.
+fn run(config: NetConfig) -> CausalGraph {
+    let (workload, _ids) = workloads::example2(config);
+    let mut recorder = Recorder::new();
+    let _ = workload.scenario.run_observed(&mut recorder);
+    CausalGraph::build(&recorder.events)
+}
+
+fn main() {
+    let fast = run(NetConfig::default());
+
+    // One slow participant: every directed link touching O4.
+    let slow_link = LatencyModel::Constant(SimTime::from_millis(2));
+    let mut config = NetConfig::default();
+    for other in 1..=3u32 {
+        config = config
+            .with_link_latency(NodeId::new(4), NodeId::new(other), slow_link)
+            .with_link_latency(NodeId::new(other), NodeId::new(4), slow_link);
+    }
+    let slow = run(config);
+
+    println!("Example 2, uniform 100 us links:\n");
+    println!("{}", render_table(&fast.critical_paths()));
+    println!("Example 2, O4 behind 2 ms links:\n");
+    println!("{}", render_table(&slow.critical_paths()));
+
+    let fast_outer = &fast.critical_paths()[0];
+    let slow_outer = &slow.critical_paths()[0];
+    println!(
+        "outer-round latency: {} us -> {} us (+{} us, all attributable to O4's links)",
+        fast_outer.total_us(),
+        slow_outer.total_us(),
+        slow_outer.total_us() - fast_outer.total_us()
+    );
+    let via_o4 = slow_outer
+        .segments
+        .iter()
+        .filter(|s| s.via_message && s.object == NodeId::new(4))
+        .count();
+    println!("critical-path message hops landing at O4: {via_o4}");
+    assert!(
+        slow_outer.total_us() >= fast_outer.total_us() + 1_900,
+        "the slow participant must dominate the critical path"
+    );
+}

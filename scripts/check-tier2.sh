@@ -19,33 +19,56 @@
 #    paper's Examples 1 and 2, cross-checks each verdict against the
 #    dynamic seed sweep, and pins the CAEX019 domino analysis against
 #    an executed Campbell-Randell baseline; exits nonzero on any
-#    violation, unconfirmed counterexample, or disagreement.
+#    violation, unconfirmed counterexample, or disagreement;
+# 8. the causal analysis end-to-end: BENCH_PR7.json is pinned against a
+#    live regeneration, caex-report's critical-path table on a recorded
+#    sim Example 2 matches the pinned numbers, and a real multi-process
+#    wire run's skew-stitched trace passes the happens-before `--check`
+#    invariants (acyclic, every receive matched, phase sums exact).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-2 [1/7]: caex-lint over every built-in workload =="
+echo "== tier-2 [1/8]: caex-lint over every built-in workload =="
 cargo run -q -p caex-lint --bin caex-lint
 
-echo "== tier-2 [2/7]: obs watchdog + §4.4 laws over every built-in workload =="
+echo "== tier-2 [2/8]: obs watchdog + §4.4 laws over every built-in workload =="
 cargo test -q --test observability
 
-echo "== tier-2 [3/7]: regenerate TABLES.md and validated BENCH_PR2.json =="
+echo "== tier-2 [3/8]: regenerate TABLES.md and validated BENCH_PR2.json =="
 cargo run -q -p caex-bench --bin tables -- --out TABLES.md --bench-json BENCH_PR2.json \
     > /dev/null
 
-echo "== tier-2 [4/7]: BENCH_PR2.json matches the checked-in pin =="
+echo "== tier-2 [4/8]: BENCH_PR2.json matches the checked-in pin =="
 cargo test -q -p caex-bench --test bench_pr2
 
-echo "== tier-2 [5/7]: wire frame codec fuzz battery =="
+echo "== tier-2 [5/8]: wire frame codec fuzz battery =="
 cargo test -q -p caex-wire --test frame_props
 
-echo "== tier-2 [6/7]: multi-process §4.2 resolution over real sockets =="
+echo "== tier-2 [6/8]: multi-process §4.2 resolution over real sockets =="
 cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator --scenario example1
 cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator --scenario example2
 cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator --scenario example1 \
     --crash 3 --crash-mode exit
 
-echo "== tier-2 [7/7]: exhaustive model checking of the built-in scenarios =="
+echo "== tier-2 [7/8]: exhaustive model checking of the built-in scenarios =="
 cargo run -q --release -p caex-lint --bin caex-lint -- check --model
+
+echo "== tier-2 [8/8]: causal analysis — BENCH_PR7 pin, caex-report, wire trace =="
+cargo test -q -p caex-bench --test bench_pr7
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+cargo run -q -p caex-bench --bin caex-report -- record \
+    --workload example2 --out "$TRACE_DIR/ex2-sim.jsonl"
+cargo run -q -p caex-bench --bin caex-report -- analyze \
+    --in "$TRACE_DIR/ex2-sim.jsonl" --check --table > "$TRACE_DIR/ex2-sim.table"
+grep -q "A0#r1             405                205                100" \
+    "$TRACE_DIR/ex2-sim.table" \
+    || { echo "sim Example 2 critical path drifted from the pin:"; \
+         cat "$TRACE_DIR/ex2-sim.table"; exit 1; }
+cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator \
+    --scenario example2 --obs-out "$TRACE_DIR/ex2-wire.jsonl" > /dev/null
+cargo run -q -p caex-bench --bin caex-report -- analyze \
+    --in "$TRACE_DIR/ex2-wire.jsonl" --check --folded "$TRACE_DIR/ex2-wire.folded"
+test -s "$TRACE_DIR/ex2-wire.folded" || { echo "empty folded output"; exit 1; }
 
 echo "tier-2 OK"

@@ -130,7 +130,9 @@ fn example1_golden_span_snapshot() {
         .filter(|e| {
             !matches!(
                 e.kind,
-                ObsKind::MessageSent { .. } | ObsKind::StateTransition { .. }
+                ObsKind::MessageSent { .. }
+                    | ObsKind::MessageReceived { .. }
+                    | ObsKind::StateTransition { .. }
             )
         })
         .map(golden_line)
@@ -203,7 +205,8 @@ fn example2_golden_metrics_snapshot_roundtrips() {
     let json = snapshot.to_json();
     let golden = concat!(
         r#"{"events_total":{"abortion_end":3,"abortion_start":3,"action_enter":8,"#,
-        r#""action_leave":8,"handler_end":4,"handler_start":4,"message_sent":37,"#,
+        r#""action_leave":8,"handler_end":4,"handler_start":4,"message_received":37,"#,
+        r#""message_sent":37,"#,
         r#""raise":3,"resolution_commit":1,"resolution_start":2,"resolver_elected":1,"#,
         r#""state_transition":11},"messages_total":{"ack":12,"commit":3,"exception":4,"#,
         r#""have_nested":9,"nested_completed":9},"state_dwell_us":{"N":39998680,"R":200,"#,
