@@ -20,6 +20,7 @@ use std::time::Duration;
 fn rich_msg_frame() -> Frame {
     Frame::Msg {
         from: NodeId::new(7),
+        sent_us: 0,
         msg: Msg::Exception {
             action: ActionId::new(3),
             from: NodeId::new(7),

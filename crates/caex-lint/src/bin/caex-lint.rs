@@ -210,6 +210,44 @@ fn model_check_builtins(linter: &Linter) -> bool {
         );
     }
 
+    // The legacy configuration: Example 1 with resolver failover
+    // switched off is the paper's literal §4.2 machine. The crash
+    // sweep must *find* CAEX018 here — the vulnerability is the reason
+    // failover exists, so a quiet sweep would mean the checker lost
+    // its teeth, not that the legacy machine became safe.
+    {
+        let options = ModelOptions {
+            crash_sweep: true,
+            limits: ModelLimits {
+                max_states: 2_000_000,
+                max_trace: 4_096,
+            },
+        };
+        let scenario = workloads::example1(NetConfig::default())
+            .0
+            .scenario
+            .with_failover(false);
+        let started = std::time::Instant::now();
+        let (_report, model) = linter.model_check(&scenario, &options);
+        println!(
+            "== model:example1(failover off): {} states, {} transitions, {} crash points, {:?}",
+            model.stats.states,
+            model.stats.transitions,
+            model.crash_points,
+            started.elapsed(),
+        );
+        let fired = model
+            .violations
+            .iter()
+            .any(|v| v.code == LintCode::ModelCrashVulnerable);
+        if fired {
+            println!("   CAEX018 fired as expected: the legacy machine is crash-vulnerable");
+        } else {
+            println!("   MISSING CAEX018: the failover-off sweep came back quiet");
+            ok = false;
+        }
+    }
+
     // CAEX019: the §3.3 domino must fire (and escalate) on interleaved
     // reduced trees over a chain, and stay quiet with full handlers.
     let tree = chain_tree(8);

@@ -228,6 +228,7 @@ struct Spec {
     strategy: caex::NestedStrategy,
     leave_mode: LeaveMode,
     resolver_group: u32,
+    failover: bool,
     num_nodes: u32,
     handlers: Vec<(NodeId, ActionId, HandlerTable)>,
     nested_remaining: Vec<(NodeId, ActionId, Option<SimTime>)>,
@@ -274,6 +275,7 @@ impl Spec {
             strategy: scenario.strategy(),
             leave_mode: scenario.leave_mode(),
             resolver_group: scenario.resolver_group_size(),
+            failover: scenario.failover(),
             num_nodes,
             handlers,
             nested_remaining: scenario.nested_remaining_declared().collect(),
@@ -327,6 +329,7 @@ impl<'s> World<'s> {
                 let mut p = Participant::new(id, Arc::clone(&spec.registry), spec.strategy);
                 p.set_resolver_group(spec.resolver_group);
                 p.set_leave_mode(spec.leave_mode);
+                p.set_failover(spec.failover);
                 (id, p)
             })
             .collect::<BTreeMap<_, _>>();
@@ -675,13 +678,22 @@ impl<'s> World<'s> {
                 ),
             )),
         }
-        if let Some(max) = raised.iter().map(|(o, _)| *o).max() {
+        // §4.2 election, failover-adjusted: a deserted raiser's
+        // exceptions stay in the resolved set (ghost entries) but its
+        // id no longer votes, so the committing resolver must be the
+        // max *live* raiser of the set.
+        if let Some(max) = raised
+            .iter()
+            .map(|(o, _)| *o)
+            .filter(|o| !self.crashed.contains(o))
+            .max()
+        {
             if max != resolver {
                 self.faults.push((
                     LintCode::ModelWrongResolution,
                     format!(
-                        "resolver {resolver} committed in {action} but the max raiser \
-                         of the resolved set is {max} (§4.2 election)"
+                        "resolver {resolver} committed in {action} but the max live \
+                         raiser of the resolved set is {max} (§4.2 election)"
                     ),
                 ));
             }
@@ -816,6 +828,7 @@ fn render_event(event: &Event) -> String {
         Event::LeaveGranted(a) => format!("LeaveGranted({a})"),
         Event::AbortionDone { action, .. } => format!("AbortionDone({action})"),
         Event::HandlerDone { action, .. } => format!("HandlerDone({action})"),
+        Event::DeserterSuspected { peer } => format!("DeserterSuspected({peer})"),
     }
 }
 

@@ -150,6 +150,34 @@ fn caex018_crash_sweep_proves_survivability() {
 }
 
 #[test]
+fn caex018_fires_when_failover_is_disabled() {
+    // The same scenario with the failover machinery switched off is
+    // the paper's literal §4.2 machine: a crash of the elected
+    // resolver mid-resolution leaves the survivor waiting on it
+    // forever. The sweep must rediscover that orphaned-survivor
+    // deadlock — it is the configuration that motivates resolver
+    // failover, and the contrast with
+    // `caex018_crash_sweep_proves_survivability` is the trust chain
+    // from CAEX018 to the failover design.
+    let scenario = two_node_scenario(&[(0, 1), (1, 2)]).with_failover(false);
+    let (lint, model) = Linter::new().model_check(&scenario, &ModelOptions::with_crash_sweep());
+    assert!(
+        lint.fired(LintCode::ModelCrashVulnerable),
+        "failover-off must be crash-vulnerable: {}",
+        lint.render()
+    );
+    let fired: Vec<_> = model
+        .violations
+        .iter()
+        .filter(|v| v.code == LintCode::ModelCrashVulnerable)
+        .collect();
+    assert!(!fired.is_empty());
+    for v in fired {
+        assert!(v.replay_confirmed, "counterexample must replay: {v:?}");
+    }
+}
+
+#[test]
 fn caex018_severity_metadata_is_deny() {
     assert_eq!(LintCode::ModelCrashVulnerable.code(), "CAEX018");
     assert_eq!(

@@ -25,6 +25,33 @@ pub enum FaultEvent {
     SourceCrashed,
     /// The message crossed an active partition boundary; dropped.
     Partitioned,
+    /// The message escaped the channel's FIFO clamp and overtook (or
+    /// fell behind) its predecessors within a bounded window.
+    Reordered,
+    /// Delivery landed inside the destination's clock-freeze window and
+    /// was deferred to the window's end.
+    ClockFrozen,
+    /// First delivery to a node after it came back from a
+    /// crash-with-restart down-window.
+    Restarted,
+}
+
+impl FaultEvent {
+    /// Stable lower-case label for per-kind fault accounting (see
+    /// [`NetStats::record_fault`](crate::NetStats::record_fault)).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultEvent::Dropped => "dropped",
+            FaultEvent::Duplicated => "duplicated",
+            FaultEvent::DestinationCrashed => "destination_crashed",
+            FaultEvent::SourceCrashed => "source_crashed",
+            FaultEvent::Partitioned => "partitioned",
+            FaultEvent::Reordered => "reordered",
+            FaultEvent::ClockFrozen => "clock_frozen",
+            FaultEvent::Restarted => "restarted",
+        }
+    }
 }
 
 /// Declarative fault plan applied by [`SimNet`](crate::SimNet).
@@ -46,6 +73,32 @@ pub struct FaultPlan {
     crashes: Vec<(NodeId, SimTime)>,
     partitions: Vec<Partition>,
     slowdowns: Vec<Slowdown>,
+    reorder_probability: f64,
+    reorder_window: SimTime,
+    freezes: Vec<Freeze>,
+    restarts: Vec<Restart>,
+}
+
+/// A per-node clock freeze: deliveries *to* the node that would land
+/// inside the window are deferred to its end, as if the process were
+/// SIGSTOP-ped and resumed — it then sees a burst of stale traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Freeze {
+    node: NodeId,
+    from: SimTime,
+    until: SimTime,
+}
+
+/// A crash-with-restart: the node is down (neither sending nor
+/// receiving; deliveries landing in the window are lost) during
+/// `[down_from, up_at)` and resumes afterwards with whatever state it
+/// had — the simulator's "zombie" returning after the failure detector
+/// already reported it dead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Restart {
+    node: NodeId,
+    down_from: SimTime,
+    up_at: SimTime,
 }
 
 /// A transient network degradation: latencies are multiplied while the
@@ -89,6 +142,10 @@ impl FaultPlan {
             crashes: Vec::new(),
             partitions: Vec::new(),
             slowdowns: Vec::new(),
+            reorder_probability: 0.0,
+            reorder_window: SimTime::ZERO,
+            freezes: Vec::new(),
+            restarts: Vec::new(),
         }
     }
 
@@ -196,6 +253,145 @@ impl FaultPlan {
             .map(|&(_, t)| t)
     }
 
+    /// Iterates every scheduled crash-stop failure as `(node, at)`.
+    /// Engines use this to drive their failure detector: each survivor
+    /// learns of the deserter some detection delay after `at`.
+    pub fn crashes(&self) -> impl Iterator<Item = (NodeId, SimTime)> + '_ {
+        self.crashes.iter().copied()
+    }
+
+    /// Enables bounded message reordering: each message escapes its
+    /// channel's FIFO clamp with probability `p` and is instead delayed
+    /// by up to `window` beyond its sampled latency. The §4.2 algorithm
+    /// assumes FIFO channels, so this fault exercises exactly the
+    /// assumption the paper makes (§2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use caex_net::{FaultPlan, SimTime};
+    ///
+    /// let plan = FaultPlan::none().with_reorder_window(0.3, SimTime::from_micros(500));
+    /// assert_eq!(plan.reorder_probability(), 0.3);
+    /// assert_eq!(plan.reorder_window(), SimTime::from_micros(500));
+    /// assert!(!plan.is_benign());
+    /// ```
+    #[must_use]
+    pub fn with_reorder_window(mut self, p: f64, window: SimTime) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.reorder_probability = p;
+        self.reorder_window = window;
+        self
+    }
+
+    /// Returns the probability that a message escapes FIFO ordering.
+    #[must_use]
+    pub fn reorder_probability(&self) -> f64 {
+        self.reorder_probability
+    }
+
+    /// Returns the bound on the extra delay a reordered message gains.
+    #[must_use]
+    pub fn reorder_window(&self) -> SimTime {
+        self.reorder_window
+    }
+
+    /// Freezes `node`'s clock during `[from, until)`: deliveries that
+    /// would land inside the window are deferred to `until`, modelling a
+    /// SIGSTOP-ped process that resumes and replays a burst of stale
+    /// traffic (the in-sim analogue of `--crash-mode stop`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use caex_net::{FaultPlan, NodeId, SimTime};
+    ///
+    /// let plan = FaultPlan::none().with_clock_freeze(
+    ///     NodeId::new(1),
+    ///     SimTime::from_micros(10),
+    ///     SimTime::from_micros(40),
+    /// );
+    /// let n = NodeId::new(1);
+    /// assert_eq!(
+    ///     plan.freeze_deferral(n, SimTime::from_micros(20)),
+    ///     Some(SimTime::from_micros(40))
+    /// );
+    /// assert_eq!(plan.freeze_deferral(n, SimTime::from_micros(40)), None);
+    /// assert_eq!(plan.freeze_deferral(NodeId::new(2), SimTime::from_micros(20)), None);
+    /// ```
+    #[must_use]
+    pub fn with_clock_freeze(mut self, node: NodeId, from: SimTime, until: SimTime) -> Self {
+        self.freezes.push(Freeze { node, from, until });
+        self
+    }
+
+    /// If a delivery to `node` at time `at` lands inside a clock-freeze
+    /// window, returns the time it is deferred to (the latest end over
+    /// all covering windows).
+    #[must_use]
+    pub fn freeze_deferral(&self, node: NodeId, at: SimTime) -> Option<SimTime> {
+        self.freezes
+            .iter()
+            .filter(|fr| fr.node == node && at >= fr.from && at < fr.until)
+            .map(|fr| fr.until)
+            .max()
+    }
+
+    /// Schedules a crash-with-restart: `node` is down during
+    /// `[down_from, up_at)` — it neither sends nor receives, and
+    /// deliveries landing in the window are lost — then resumes with
+    /// its pre-crash state. Survivors whose failure detector fired in
+    /// the meantime must fence the returning zombie's stale messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty (`up_at <= down_from`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use caex_net::{FaultPlan, NodeId, SimTime};
+    ///
+    /// let plan = FaultPlan::none().with_restart(
+    ///     NodeId::new(3),
+    ///     SimTime::from_millis(1),
+    ///     SimTime::from_millis(5),
+    /// );
+    /// let n = NodeId::new(3);
+    /// assert!(plan.is_down(n, SimTime::from_millis(2)));
+    /// assert!(!plan.is_down(n, SimTime::from_millis(5)));
+    /// assert!(!plan.is_down(n, SimTime::ZERO));
+    /// assert!(!plan.is_benign());
+    /// ```
+    #[must_use]
+    pub fn with_restart(mut self, node: NodeId, down_from: SimTime, up_at: SimTime) -> Self {
+        assert!(up_at > down_from, "restart window must be non-empty");
+        self.restarts.push(Restart {
+            node,
+            down_from,
+            up_at,
+        });
+        self
+    }
+
+    /// `true` if `node` is inside a crash-with-restart down-window at
+    /// time `at`.
+    #[must_use]
+    pub fn is_down(&self, node: NodeId, at: SimTime) -> bool {
+        self.restarts
+            .iter()
+            .any(|r| r.node == node && at >= r.down_from && at < r.up_at)
+    }
+
+    /// Iterates every crash-with-restart as `(node, down_from, up_at)`.
+    pub fn restarts(&self) -> impl Iterator<Item = (NodeId, SimTime, SimTime)> + '_ {
+        self.restarts.iter().map(|r| (r.node, r.down_from, r.up_at))
+    }
+
     /// `true` if the plan can never perturb an execution.
     #[must_use]
     pub fn is_benign(&self) -> bool {
@@ -204,6 +400,9 @@ impl FaultPlan {
             && self.crashes.is_empty()
             && self.partitions.is_empty()
             && self.slowdowns.is_empty()
+            && self.reorder_probability == 0.0
+            && self.freezes.is_empty()
+            && self.restarts.is_empty()
     }
 }
 
@@ -262,6 +461,84 @@ mod tests {
     #[should_panic(expected = "slowdown factor")]
     fn zero_slowdown_rejected() {
         let _ = FaultPlan::none().with_slowdown(0, SimTime::ZERO, SimTime::ZERO);
+    }
+
+    #[test]
+    fn reorder_window_sets_probability_and_bound() {
+        let plan = FaultPlan::none().with_reorder_window(0.5, SimTime::from_micros(250));
+        assert_eq!(plan.reorder_probability(), 0.5);
+        assert_eq!(plan.reorder_window(), SimTime::from_micros(250));
+        assert!(!plan.is_benign());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn reorder_rejects_bad_probability() {
+        let _ = FaultPlan::none().with_reorder_window(-0.1, SimTime::ZERO);
+    }
+
+    #[test]
+    fn clock_freeze_defers_to_latest_covering_window() {
+        let n = NodeId::new(4);
+        let plan = FaultPlan::none()
+            .with_clock_freeze(n, SimTime::from_micros(10), SimTime::from_micros(30))
+            .with_clock_freeze(n, SimTime::from_micros(20), SimTime::from_micros(50));
+        assert_eq!(
+            plan.freeze_deferral(n, SimTime::from_micros(15)),
+            Some(SimTime::from_micros(30))
+        );
+        // Overlap: the later window wins.
+        assert_eq!(
+            plan.freeze_deferral(n, SimTime::from_micros(25)),
+            Some(SimTime::from_micros(50))
+        );
+        assert_eq!(plan.freeze_deferral(n, SimTime::from_micros(50)), None);
+        assert_eq!(plan.freeze_deferral(NodeId::new(5), SimTime::from_micros(15)), None);
+        assert!(!plan.is_benign());
+    }
+
+    #[test]
+    fn restart_down_window_is_half_open() {
+        let n = NodeId::new(2);
+        let plan =
+            FaultPlan::none().with_restart(n, SimTime::from_micros(100), SimTime::from_micros(300));
+        assert!(!plan.is_down(n, SimTime::from_micros(99)));
+        assert!(plan.is_down(n, SimTime::from_micros(100)));
+        assert!(plan.is_down(n, SimTime::from_micros(299)));
+        assert!(!plan.is_down(n, SimTime::from_micros(300)));
+        assert_eq!(
+            plan.restarts().collect::<Vec<_>>(),
+            vec![(n, SimTime::from_micros(100), SimTime::from_micros(300))]
+        );
+        assert!(!plan.is_benign());
+    }
+
+    #[test]
+    #[should_panic(expected = "restart window must be non-empty")]
+    fn empty_restart_window_rejected() {
+        let _ = FaultPlan::none().with_restart(NodeId::new(0), SimTime::ZERO, SimTime::ZERO);
+    }
+
+    #[test]
+    fn crashes_iterator_exposes_schedule() {
+        let plan = FaultPlan::none()
+            .with_crash(NodeId::new(1), SimTime::from_micros(5))
+            .with_crash(NodeId::new(3), SimTime::from_micros(9));
+        assert_eq!(
+            plan.crashes().collect::<Vec<_>>(),
+            vec![
+                (NodeId::new(1), SimTime::from_micros(5)),
+                (NodeId::new(3), SimTime::from_micros(9)),
+            ]
+        );
+    }
+
+    #[test]
+    fn fault_event_labels_are_stable() {
+        assert_eq!(FaultEvent::Dropped.label(), "dropped");
+        assert_eq!(FaultEvent::Reordered.label(), "reordered");
+        assert_eq!(FaultEvent::ClockFrozen.label(), "clock_frozen");
+        assert_eq!(FaultEvent::Restarted.label(), "restarted");
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod time;
 mod trace;
 
 pub use channels::ChannelState;
-pub use fault::{FaultEvent, FaultPlan, Partition};
+pub use fault::{FaultEvent, FaultPlan, Freeze, Partition, Restart};
 pub use latency::LatencyModel;
 pub use node::NodeId;
 pub use port::FifoPort;

@@ -217,6 +217,9 @@ pub struct SimNet<M> {
     stats: NetStats,
     trace: TraceLog,
     delivered_count: u64,
+    /// Nodes whose return from a crash-with-restart down-window has
+    /// already been recorded (the `Restarted` fault fires once).
+    restart_logged: std::collections::HashSet<NodeId>,
 }
 
 impl<M> SimNet<M> {
@@ -235,6 +238,7 @@ impl<M> SimNet<M> {
             stats: NetStats::default(),
             trace: TraceLog::default(),
             delivered_count: 0,
+            restart_logged: std::collections::HashSet::new(),
         }
     }
 
@@ -255,13 +259,15 @@ impl<M> SimNet<M> {
         (0..self.num_nodes).map(NodeId::new)
     }
 
-    /// `true` once `node` has passed its scheduled crash time.
+    /// `true` once `node` has passed its scheduled crash time, or while
+    /// it is inside a crash-with-restart down-window.
     #[must_use]
     pub fn is_crashed(&self, node: NodeId) -> bool {
         self.config
             .faults
             .crashes_at(node)
             .is_some_and(|at| at <= self.now)
+            || self.config.faults.is_down(node, self.now)
     }
 
     /// `true` when no events remain in flight.
@@ -375,6 +381,7 @@ impl<M: Kinded + Clone> SimNet<M> {
         let kind = payload.kind();
 
         if self.is_crashed(from) {
+            self.stats.record_fault(FaultEvent::SourceCrashed.label());
             self.record(
                 self.now,
                 TraceEventKind::Fault(FaultEvent::SourceCrashed),
@@ -393,6 +400,7 @@ impl<M: Kinded + Clone> SimNet<M> {
         // when a partition begins still arrive (they left the sender).
         if self.config.faults.is_partitioned(from, to, self.now) {
             self.stats.record_drop(kind);
+            self.stats.record_fault(FaultEvent::Partitioned.label());
             self.record(
                 self.now,
                 TraceEventKind::Fault(FaultEvent::Partitioned),
@@ -407,6 +415,7 @@ impl<M: Kinded + Clone> SimNet<M> {
             && self.rng.gen_bool(self.config.faults.drop_probability())
         {
             self.stats.record_drop(kind);
+            self.stats.record_fault(FaultEvent::Dropped.label());
             self.record(
                 self.now,
                 TraceEventKind::Fault(FaultEvent::Dropped),
@@ -425,6 +434,7 @@ impl<M: Kinded + Clone> SimNet<M> {
         let wire_len = payload.wire_len();
         self.enqueue_remote(from, to, payload.clone(), kind, wire_len);
         if duplicate {
+            self.stats.record_fault(FaultEvent::Duplicated.label());
             self.record(
                 self.now,
                 TraceEventKind::Fault(FaultEvent::Duplicated),
@@ -461,7 +471,26 @@ impl<M: Kinded + Clone> SimNet<M> {
             let micros = (wire_len as u64 * 1_000).div_ceil(bandwidth);
             at += SimTime::from_micros(micros);
         }
-        if self.config.fifo {
+        // Bounded reordering: with probability p this message escapes
+        // the channel's FIFO clamp and gains up to `reorder_window` of
+        // extra delay — it may overtake later sends or fall behind
+        // earlier ones, violating exactly the §2.1 FIFO assumption.
+        let reordered = self.config.faults.reorder_probability() > 0.0
+            && self.rng.gen_bool(self.config.faults.reorder_probability());
+        if reordered {
+            let window = self.config.faults.reorder_window().as_micros();
+            if window > 0 {
+                at += SimTime::from_micros(self.rng.gen_range(0..=window));
+            }
+            self.stats.record_fault(FaultEvent::Reordered.label());
+            self.record(
+                self.now,
+                TraceEventKind::Fault(FaultEvent::Reordered),
+                from,
+                to,
+                kind,
+            );
+        } else if self.config.fifo {
             let channel = (from, to);
             let earliest = self
                 .channel_clock
@@ -472,6 +501,19 @@ impl<M: Kinded + Clone> SimNet<M> {
             // before an earlier one, whatever latency it drew.
             at = at.max(earliest);
             self.channel_clock.insert(channel, at);
+        }
+        // Clock freeze: a delivery landing inside the destination's
+        // freeze window waits until the process "resumes".
+        if let Some(resumed) = self.config.faults.freeze_deferral(to, at) {
+            self.stats.record_fault(FaultEvent::ClockFrozen.label());
+            self.record(
+                self.now,
+                TraceEventKind::Fault(FaultEvent::ClockFrozen),
+                from,
+                to,
+                kind,
+            );
+            at = resumed;
         }
         self.enqueue(at, to, DeliverySource::Remote(from), payload, kind);
     }
@@ -500,9 +542,30 @@ impl<M: Kinded + Clone> SimNet<M> {
         while let Some(ev) = self.queue.pop() {
             debug_assert!(ev.at >= self.now, "time went backwards");
             self.now = ev.at;
+            // First event a restarted node lives through: note that the
+            // "zombie" is back (its messages now test commit fencing).
+            if !self.is_crashed(ev.to)
+                && self
+                    .config
+                    .faults
+                    .restarts()
+                    .any(|(n, _, up)| n == ev.to && up <= ev.at)
+                && self.restart_logged.insert(ev.to)
+            {
+                self.stats.record_fault(FaultEvent::Restarted.label());
+                self.record(
+                    ev.at,
+                    TraceEventKind::Fault(FaultEvent::Restarted),
+                    ev.to,
+                    ev.to,
+                    ev.label,
+                );
+            }
             if let DeliverySource::Remote(from) = ev.source {
                 if self.is_crashed(ev.to) {
                     self.stats.record_drop(ev.label);
+                    self.stats
+                        .record_fault(FaultEvent::DestinationCrashed.label());
                     self.record(
                         ev.at,
                         TraceEventKind::Fault(FaultEvent::DestinationCrashed),
@@ -516,6 +579,8 @@ impl<M: Kinded + Clone> SimNet<M> {
                 self.record(ev.at, TraceEventKind::Delivered, from, ev.to, ev.label);
             } else {
                 if self.is_crashed(ev.to) {
+                    self.stats
+                        .record_fault(FaultEvent::DestinationCrashed.label());
                     self.record(
                         ev.at,
                         TraceEventKind::Fault(FaultEvent::DestinationCrashed),
@@ -880,5 +945,81 @@ mod tests {
         let d = n.next_delivery().unwrap();
         assert_eq!(d.to, NodeId::new(1));
         assert_eq!(d.source, DeliverySource::Remote(NodeId::new(1)));
+    }
+
+    #[test]
+    fn reorder_window_can_invert_fifo_order() {
+        // p = 1: every message escapes the clamp. With jittery latency a
+        // later send can overtake an earlier one — impossible under the
+        // default FIFO regime (see `delivers_in_time_order`).
+        let config = NetConfig::default()
+            .with_latency(LatencyModel::Uniform {
+                min: SimTime::from_micros(10),
+                max: SimTime::from_micros(500),
+            })
+            .with_seed(7)
+            .with_faults(FaultPlan::none().with_reorder_window(1.0, SimTime::from_micros(2_000)));
+        let mut n: SimNet<&'static str> = SimNet::new(config, 2);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let labels = ["m0", "m1", "m2", "m3", "m4", "m5", "m6", "m7"];
+        for l in labels {
+            n.send(a, b, l);
+        }
+        let got: Vec<_> = n.drain().into_iter().map(|d| d.payload).collect();
+        assert_eq!(got.len(), labels.len(), "reordering never loses messages");
+        assert_ne!(got, labels.to_vec(), "at least one inversion occurred");
+        assert_eq!(n.stats().fault_of_kind("reordered"), labels.len() as u64);
+    }
+
+    #[test]
+    fn clock_freeze_defers_deliveries_to_window_end() {
+        let frozen = NodeId::new(1);
+        let config = NetConfig::default()
+            .with_latency(LatencyModel::Constant(SimTime::from_micros(10)))
+            .with_faults(FaultPlan::none().with_clock_freeze(
+                frozen,
+                SimTime::ZERO,
+                SimTime::from_micros(300),
+            ));
+        let mut n: SimNet<&'static str> = SimNet::new(config, 3);
+        n.send(NodeId::new(0), frozen, "stalled");
+        n.send(NodeId::new(0), NodeId::new(2), "prompt");
+        let first = n.next_delivery().unwrap();
+        assert_eq!(first.payload, "prompt");
+        assert_eq!(first.at, SimTime::from_micros(10));
+        let second = n.next_delivery().unwrap();
+        assert_eq!(second.payload, "stalled");
+        assert_eq!(second.at, SimTime::from_micros(300));
+        assert_eq!(n.stats().fault_of_kind("clock_frozen"), 1);
+    }
+
+    #[test]
+    fn restart_loses_downtime_messages_then_resumes() {
+        let victim = NodeId::new(1);
+        let config = NetConfig::default()
+            .with_latency(LatencyModel::Constant(SimTime::from_micros(10)))
+            .with_faults(FaultPlan::none().with_restart(
+                victim,
+                SimTime::from_micros(5),
+                SimTime::from_micros(100),
+            ));
+        let mut n: SimNet<&'static str> = SimNet::new(config, 2);
+        // Lands at t=10, inside the down-window: lost.
+        n.send(NodeId::new(0), victim, "lost");
+        assert!(n.next_delivery().is_none());
+        assert_eq!(n.stats().fault_of_kind("destination_crashed"), 1);
+        // The node itself cannot send while down.
+        n.schedule_local(SimTime::from_micros(50), NodeId::new(0), "tick");
+        n.next_delivery().unwrap();
+        n.send(victim, NodeId::new(0), "from-zombie");
+        assert_eq!(n.stats().fault_of_kind("source_crashed"), 1);
+        // After up_at the node receives again and the resume is noted.
+        n.schedule_local(SimTime::from_micros(200), NodeId::new(0), "tock");
+        n.next_delivery().unwrap();
+        n.send(NodeId::new(0), victim, "back");
+        let d = n.next_delivery().unwrap();
+        assert_eq!(d.payload, "back");
+        assert!(!n.is_crashed(victim));
+        assert_eq!(n.stats().fault_of_kind("restarted"), 1);
     }
 }

@@ -32,6 +32,10 @@ pub struct NetStats {
     /// Messages sent per ordered (source, destination) pair.
     channels: BTreeMap<(NodeId, NodeId), u64>,
     max_in_flight: usize,
+    /// Injected faults per fault kind (see
+    /// [`FaultEvent::label`](crate::FaultEvent::label)).
+    #[serde(default)]
+    faults: BTreeMap<String, u64>,
 }
 
 impl NetStats {
@@ -97,6 +101,24 @@ impl NetStats {
         self.max_in_flight = self.max_in_flight.max(current);
     }
 
+    /// Records one injected fault of `kind` (a
+    /// [`FaultEvent::label`](crate::FaultEvent::label) string).
+    pub fn record_fault(&mut self, kind: &str) {
+        *self.faults.entry(kind.to_owned()).or_default() += 1;
+    }
+
+    /// Faults injected of one kind.
+    #[must_use]
+    pub fn fault_of_kind(&self, kind: &str) -> u64 {
+        self.faults.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total faults injected (all kinds).
+    #[must_use]
+    pub fn faults_total(&self) -> u64 {
+        self.faults.values().sum()
+    }
+
     /// Total messages sent (all kinds).
     #[must_use]
     pub fn sent_total(&self) -> u64 {
@@ -158,6 +180,9 @@ impl NetStats {
         for (k, v) in &other.channels {
             *self.channels.entry(*k).or_default() += v;
         }
+        for (k, v) in &other.faults {
+            *self.faults.entry(k.clone()).or_default() += v;
+        }
         self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
     }
 }
@@ -189,6 +214,9 @@ impl fmt::Display for NetStats {
                 self.delivered_of_kind(kind),
                 self.dropped_of_kind(kind)
             )?;
+        }
+        for (kind, count) in &self.faults {
+            writeln!(f, "  fault {kind}: {count}")?;
         }
         Ok(())
     }
@@ -288,6 +316,24 @@ mod tests {
         y.record_channel(a, b);
         x.merge(&y);
         assert_eq!(x.channel_load(a, b), 2);
+    }
+
+    #[test]
+    fn faults_accumulate_merge_and_display() {
+        let mut a = NetStats::default();
+        a.record_fault("reordered");
+        a.record_fault("reordered");
+        a.record_fault("clock_frozen");
+        let mut b = NetStats::default();
+        b.record_fault("reordered");
+        a.merge(&b);
+        assert_eq!(a.fault_of_kind("reordered"), 3);
+        assert_eq!(a.fault_of_kind("clock_frozen"), 1);
+        assert_eq!(a.fault_of_kind("restarted"), 0);
+        assert_eq!(a.faults_total(), 4);
+        let text = a.to_string();
+        assert!(text.contains("fault reordered: 3"), "{text}");
+        assert!(text.contains("fault clock_frozen: 1"), "{text}");
     }
 
     #[test]

@@ -98,7 +98,10 @@ impl Phase {
         };
         match kind {
             ObsKind::Raise { .. } | ObsKind::ResolutionStart => Phase::RaisePropagation,
-            ObsKind::StateTransition { .. } | ObsKind::ResolverElected { .. } => Phase::Election,
+            ObsKind::StateTransition { .. }
+            | ObsKind::ResolverElected { .. }
+            | ObsKind::ResolverSuspected { .. }
+            | ObsKind::ResolverReelected { .. } => Phase::Election,
             ObsKind::ResolutionCommit { .. } => Phase::Resolution,
             ObsKind::AbortionStart { .. } | ObsKind::AbortionEnd | ObsKind::ActionLeave => {
                 Phase::CommitAbort

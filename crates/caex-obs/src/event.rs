@@ -154,6 +154,21 @@ pub enum ObsKind {
         /// The failure exception.
         exception: ExceptionId,
     },
+    /// The failure detector reported the round's elected resolver dead
+    /// at this object: its raised exceptions become ghost entries and
+    /// a surviving raiser will re-run the election.
+    ResolverSuspected {
+        /// The suspected (dead) resolver.
+        resolver: NodeId,
+    },
+    /// A surviving raiser won the re-run election and resolves in the
+    /// dead resolver's place.
+    ResolverReelected {
+        /// The newly elected resolver.
+        resolver: NodeId,
+        /// The dead resolver it replaces.
+        replaced: NodeId,
+    },
 }
 
 impl ObsKind {
@@ -175,6 +190,8 @@ impl ObsKind {
             ObsKind::MessageSent { .. } => "message_sent",
             ObsKind::MessageReceived { .. } => "message_received",
             ObsKind::ActionFailed { .. } => "action_failed",
+            ObsKind::ResolverSuspected { .. } => "resolver_suspected",
+            ObsKind::ResolverReelected { .. } => "resolver_reelected",
         }
     }
 }

@@ -68,6 +68,22 @@ pub fn event_to_json(event: &ObsEvent) -> JsonValue {
             fields.push(("msg".to_owned(), JsonValue::str(*kind)));
             fields.push(("from".to_owned(), JsonValue::str(from.to_string())));
         }
+        ObsKind::ResolverSuspected { resolver } => {
+            fields.push((
+                "resolver".to_owned(),
+                JsonValue::str(resolver.to_string()),
+            ));
+        }
+        ObsKind::ResolverReelected { resolver, replaced } => {
+            fields.push((
+                "resolver".to_owned(),
+                JsonValue::str(resolver.to_string()),
+            ));
+            fields.push((
+                "replaced".to_owned(),
+                JsonValue::str(replaced.to_string()),
+            ));
+        }
         ObsKind::ActionEnter
         | ObsKind::ActionLeave
         | ObsKind::ResolutionStart
@@ -192,6 +208,17 @@ pub fn event_from_json(doc: &JsonValue) -> Result<ObsEvent, String> {
             }
         }
         "action_failed" => ObsKind::ActionFailed { exception: exc_field("exception")? },
+        "resolver_suspected" => {
+            let resolver = parse_object(str_field("resolver")?)
+                .ok_or_else(|| "bad `resolver`".to_owned())?;
+            ObsKind::ResolverSuspected { resolver }
+        }
+        "resolver_reelected" => ObsKind::ResolverReelected {
+            resolver: parse_object(str_field("resolver")?)
+                .ok_or_else(|| "bad `resolver`".to_owned())?,
+            replaced: parse_object(str_field("replaced")?)
+                .ok_or_else(|| "bad `replaced`".to_owned())?,
+        },
         other => return Err(format!("unknown event kind `{other}`")),
     };
     Ok(ObsEvent {
@@ -493,6 +520,27 @@ impl Observer for ChromeTraceExporter {
                 *k += 1;
                 let id = self.flow_id(from, tid, kind, nth);
                 self.flow_record("f", kind, id, ts, tid);
+            }
+            ObsKind::ResolverSuspected { resolver } => {
+                self.events.push(trace_record(
+                    "i",
+                    &format!("resolver {resolver} suspected ({})", event.span),
+                    "failover",
+                    ts,
+                    tid,
+                ));
+            }
+            ObsKind::ResolverReelected { resolver, replaced } => {
+                self.events.push(trace_record(
+                    "i",
+                    &format!(
+                        "resolver {resolver} re-elected for {replaced} ({})",
+                        event.span
+                    ),
+                    "failover",
+                    ts,
+                    tid,
+                ));
             }
         }
     }

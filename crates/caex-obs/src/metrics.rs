@@ -432,12 +432,15 @@ impl Observer for MetricsRegistry {
             }
             // Receives mirror sends one-to-one under reliable FIFO
             // channels; counting them against the §4.4 law would
-            // double every message.
+            // double every message. Failover events only need the
+            // per-kind `events_total` tally above.
             ObsKind::ActionLeave
             | ObsKind::ResolverElected { .. }
             | ObsKind::AbortionEnd
             | ObsKind::MessageReceived { .. }
-            | ObsKind::ActionFailed { .. } => {}
+            | ObsKind::ActionFailed { .. }
+            | ObsKind::ResolverSuspected { .. }
+            | ObsKind::ResolverReelected { .. } => {}
         }
     }
 

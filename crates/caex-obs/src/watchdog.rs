@@ -325,12 +325,17 @@ impl Observer for Watchdog {
                 }
             }
             // Receives carry no protocol obligations of their own; the
-            // matching-send invariant is causal analysis' job.
+            // matching-send invariant is causal analysis' job. The
+            // failover events are informational here — crash runs must
+            // not enable the multicast law in the first place (a
+            // deserter legitimately truncates fan-outs).
             ObsKind::Raise { .. }
             | ObsKind::ResolutionStart
             | ObsKind::ResolverElected { .. }
             | ObsKind::MessageReceived { .. }
-            | ObsKind::ActionFailed { .. } => {}
+            | ObsKind::ActionFailed { .. }
+            | ObsKind::ResolverSuspected { .. }
+            | ObsKind::ResolverReelected { .. } => {}
         }
     }
 

@@ -24,8 +24,8 @@
 use caex::analysis;
 use caex_net::NodeId;
 use caex_wire::harness::{
-    run_coordinator, run_participant, CoordinatorOptions, CrashMode, ParticipantOptions, Transport,
-    SUMMARY_PREFIX,
+    run_coordinator, run_participant, CoordinatorOptions, CrashMode, CrashPoint,
+    ParticipantOptions, Transport, SUMMARY_PREFIX,
 };
 use caex_wire::wire::WireConfig;
 use rand::rngs::StdRng;
@@ -114,6 +114,7 @@ fn participant_main(args: &Args) -> Result<(), String> {
             .unwrap_or(Duration::from_millis(300)),
         crash_after: args.millis("crash-after-ms")?,
         crash_mode: args.parse_as("crash-mode")?.unwrap_or(CrashMode::Exit),
+        crash_point: args.parse_as("crash-point")?.unwrap_or(CrashPoint::Barrier),
     };
     run_participant(&opts)
 }
@@ -138,6 +139,12 @@ fn coordinator_options(args: &Args, scenario: String) -> Result<CoordinatorOptio
         opts = opts.with_crash(NodeId::new(victim), mode);
         if let Some(after) = args.millis("crash-after-ms")? {
             opts.crash_after = after;
+        }
+        if let Some(point) = args.parse_as("crash-point")? {
+            opts.crash_point = point;
+        }
+        if let Some(resume) = args.millis("resume-after-ms")? {
+            opts.resume_after = Some(resume);
         }
     }
     opts.config.heartbeat_interval = args

@@ -89,6 +89,54 @@ impl std::str::FromStr for CrashMode {
     }
 }
 
+/// *When* an injected crash takes the victim down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// A fixed delay after the barrier, with the victim's script
+    /// suppressed — the victim is a passive declared participant whose
+    /// silence the resolver must survive (the original crash model).
+    Barrier,
+    /// The victim plays its script normally and dies the instant its
+    /// state machine produces a `Commit` broadcast — i.e. the *elected
+    /// resolver* crashes mid-resolution, after collecting ACKs but
+    /// before any commit reaches a peer. Survivors must re-elect and
+    /// finish resolution themselves (§4.2 failover).
+    Commit,
+}
+
+impl std::str::FromStr for CrashPoint {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "barrier" => Ok(CrashPoint::Barrier),
+            "commit" => Ok(CrashPoint::Commit),
+            other => Err(format!("unknown crash point `{other}` (want barrier or commit)")),
+        }
+    }
+}
+
+/// Takes this process down in the requested way, from wherever in the
+/// drive loop it is called. `Stop` sends ourselves `SIGSTOP` via
+/// `kill(1)` and *returns after `SIGCONT`* — callers resume exactly
+/// where they froze, which is what turns a stopped commit-point victim
+/// into a zombie resolver flushing stale `Commit`s on resume.
+fn crash_now(mode: CrashMode) {
+    match mode {
+        CrashMode::Exit => std::process::exit(2),
+        CrashMode::Stop => {
+            // Freeze in place: writer threads stop mid-flight,
+            // heartbeats cease, sockets stay open — only the
+            // peers' heartbeat timeout can expose us.
+            let pid = std::process::id().to_string();
+            let stopped = Command::new("kill").args(["-STOP", &pid]).status();
+            if stopped.is_err() {
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 /// Everything a participant process needs to run its node.
 #[derive(Debug, Clone)]
 pub struct ParticipantOptions {
@@ -113,6 +161,10 @@ pub struct ParticipantOptions {
     pub crash_after: Option<Duration>,
     /// How to crash.
     pub crash_mode: CrashMode,
+    /// When to crash: [`CrashPoint::Barrier`] (timer, script
+    /// suppressed) or [`CrashPoint::Commit`] (script plays, die at the
+    /// commit broadcast). Only consulted when `crash_after` is set.
+    pub crash_point: CrashPoint,
 }
 
 /// What one node did, as printed in its `CAEX-WIRE-REPORT` line.
@@ -406,12 +458,14 @@ fn handle_observed(
 /// Runs one node end-to-end over an already-connected port: barrier,
 /// script, drive loop, report. Shared by the child process entry point
 /// and the in-process [`run_local`] mesh.
+#[allow(clippy::too_many_arguments)]
 fn drive_wire_node(
     port: &WirePort,
     scenario: &WireScenario,
     id: NodeId,
     idle_timeout: Duration,
     suppress_steps: bool,
+    commit_crash: Option<CrashMode>,
     obs: &mut dyn Observer,
     start: Instant,
 ) -> NodeReport {
@@ -434,7 +488,31 @@ fn drive_wire_node(
         steps,
         start,
         idle_timeout,
-        |p, ev, from| handle_observed(p, ev, from, &mut bridge, start, obs),
+        |p, ev, from| {
+            let fx = handle_observed(p, ev, from, &mut bridge, start, obs);
+            // Commit-point crash: the resolver dies the moment its
+            // state machine decides to commit, before any `Commit`
+            // leaves this process. A `Stop` victim freezes *here*,
+            // holding the unsent commits; when the coordinator
+            // `SIGCONT`s it, this closure returns and the stale
+            // commits finally hit the wire — by then the survivors
+            // have deserted us, re-elected, and must fence them.
+            if let Some(mode) = commit_crash {
+                let committing = fx.iter().any(|e| {
+                    matches!(
+                        e,
+                        caex::Effect::Send {
+                            msg: caex::Msg::Commit { .. },
+                            ..
+                        }
+                    )
+                });
+                if committing {
+                    crash_now(mode);
+                }
+            }
+            fx
+        },
         |n| notes.push(n),
     );
     let end = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -498,30 +576,25 @@ pub fn run_participant(opts: &ParticipantOptions) -> Result<(), String> {
     port.barrier(Duration::from_secs(15))?;
     let start = Instant::now();
 
-    let crashing = opts.crash_after.is_some();
-    if let Some(after) = opts.crash_after {
+    let barrier_crash = opts.crash_after.is_some() && opts.crash_point == CrashPoint::Barrier;
+    let commit_crash = (opts.crash_after.is_some() && opts.crash_point == CrashPoint::Commit)
+        .then_some(opts.crash_mode);
+    if barrier_crash {
+        let after = opts.crash_after.expect("barrier_crash implies crash_after");
         let mode = opts.crash_mode;
         thread::spawn(move || {
             thread::sleep(after);
-            match mode {
-                CrashMode::Exit => std::process::exit(2),
-                CrashMode::Stop => {
-                    // Freeze in place: writer threads stop mid-flight,
-                    // heartbeats cease, sockets stay open — only the
-                    // peers' heartbeat timeout can expose us.
-                    let pid = std::process::id().to_string();
-                    let stopped = Command::new("kill").args(["-STOP", &pid]).status();
-                    if stopped.is_err() {
-                        std::process::exit(2);
-                    }
-                }
-            }
+            crash_now(mode);
         });
     }
 
     let report = match exporter.as_mut() {
-        Some(obs) => drive_wire_node(&port, &scenario, opts.id, opts.idle_timeout, crashing, obs, start),
-        None => drive_wire_node(&port, &scenario, opts.id, opts.idle_timeout, crashing, &mut (), start),
+        Some(obs) => drive_wire_node(
+            &port, &scenario, opts.id, opts.idle_timeout, barrier_crash, commit_crash, obs, start,
+        ),
+        None => drive_wire_node(
+            &port, &scenario, opts.id, opts.idle_timeout, barrier_crash, commit_crash, &mut (), start,
+        ),
     };
     drop(exporter); // close the obs stream before reporting
     drop(port);
@@ -549,8 +622,14 @@ pub struct CoordinatorOptions {
     pub crash: Option<NodeId>,
     /// How the victim crashes.
     pub crash_mode: CrashMode,
-    /// Delay between barrier and crash.
+    /// When the victim crashes (barrier timer vs commit point).
+    pub crash_point: CrashPoint,
+    /// Delay between barrier and crash (barrier point only).
     pub crash_after: Duration,
+    /// `SIGCONT` a stop-mode victim this long after the barrier — the
+    /// zombie-resolver experiment. The resumed victim finishes its
+    /// drive loop and prints a report like any other node.
+    pub resume_after: Option<Duration>,
     /// Transport tuning handed to every child.
     pub config: WireConfig,
     /// Children's drive-loop idle timeout.
@@ -572,7 +651,9 @@ impl CoordinatorOptions {
             obs_out: None,
             crash: None,
             crash_mode: CrashMode::Exit,
+            crash_point: CrashPoint::Barrier,
             crash_after: Duration::from_millis(150),
+            resume_after: None,
             config: WireConfig::default(),
             idle_timeout: Duration::from_millis(300),
             deadline: Duration::from_secs(30),
@@ -591,6 +672,27 @@ impl CoordinatorOptions {
         self.config.heartbeat_interval = Duration::from_millis(40);
         self.config.crash_timeout = Duration::from_millis(400);
         self.idle_timeout = Duration::from_millis(1500);
+        self
+    }
+
+    /// Moves the injected crash to the victim's commit broadcast: the
+    /// victim plays its script (raising and getting elected §4.2
+    /// resolver) and dies with the commit unsent, so survivors must
+    /// fail over. Implies [`CoordinatorOptions::with_crash`] tuning.
+    #[must_use]
+    pub fn at_commit_point(mut self) -> Self {
+        self.crash_point = CrashPoint::Commit;
+        self
+    }
+
+    /// `SIGCONT`s a stop-mode victim `after` the barrier, turning it
+    /// into a zombie resolver: it wakes holding stale state (for a
+    /// commit-point crash, unsent `Commit`s), flushes it at the
+    /// already-failed-over survivors, and must be fenced rather than
+    /// split the decision.
+    #[must_use]
+    pub fn resuming_after(mut self, after: Duration) -> Self {
+        self.resume_after = Some(after);
         self
     }
 }
@@ -658,14 +760,16 @@ fn serve_rendezvous(
     Ok(map)
 }
 
-/// Reaps children within the deadline. The stop-mode victim never
-/// exits on its own: once every other child is done it is killed. On
-/// deadline, everything still running is killed and a failure
-/// recorded.
+/// Reaps children within the deadline. A stop-mode victim that will
+/// never be resumed cannot exit on its own: once every other child is
+/// done it is killed. A victim with a scheduled `SIGCONT` (`resumes`)
+/// is left to finish and exit like any other node. On deadline,
+/// everything still running is killed and a failure recorded.
 fn reap_children(
     children: &mut [(NodeId, Child)],
     victim: Option<NodeId>,
     crash_mode: CrashMode,
+    resumes: bool,
     deadline: Instant,
     failures: &mut Vec<String>,
 ) {
@@ -710,7 +814,7 @@ fn reap_children(
             if exited[i] {
                 continue;
             }
-            let stalled_victim = all_others_done && victim == Some(*id);
+            let stalled_victim = all_others_done && victim == Some(*id) && !resumes;
             if overdue || stalled_victim {
                 // SIGKILL works on a SIGSTOPped process too.
                 let _ = child.kill();
@@ -817,6 +921,11 @@ pub fn run_coordinator(opts: &CoordinatorOptions) -> Result<RunSummary, String> 
                 .arg(match opts.crash_mode {
                     CrashMode::Exit => "exit",
                     CrashMode::Stop => "stop",
+                })
+                .arg("--crash-point")
+                .arg(match opts.crash_point {
+                    CrashPoint::Barrier => "barrier",
+                    CrashPoint::Commit => "commit",
                 });
         }
         let mut child = cmd
@@ -842,7 +951,24 @@ pub fn run_coordinator(opts: &CoordinatorOptions) -> Result<RunSummary, String> 
         return Err(e);
     }
 
-    reap_children(&mut children, opts.crash, opts.crash_mode, deadline, &mut failures);
+    if let (Some(victim), Some(after)) = (opts.crash, opts.resume_after) {
+        if let Some((_, child)) = children.iter().find(|(id, _)| *id == victim) {
+            let pid = child.id().to_string();
+            thread::spawn(move || {
+                thread::sleep(after);
+                let _ = Command::new("kill").args(["-CONT", &pid]).status();
+            });
+        }
+    }
+
+    reap_children(
+        &mut children,
+        opts.crash,
+        opts.crash_mode,
+        opts.resume_after.is_some(),
+        deadline,
+        &mut failures,
+    );
 
     let mut reports: Vec<NodeReport> = Vec::new();
     for (i, reader) in stdout_readers.into_iter().enumerate() {
@@ -919,8 +1045,12 @@ pub fn run_coordinator(opts: &CoordinatorOptions) -> Result<RunSummary, String> 
     }
     let resolved = resolved_set.iter().next().copied();
 
+    // A resumed zombie victim prints a report too; its view of peers
+    // that hung up after the run is not a protocol outcome, so only
+    // survivors' desertions count.
     let mut deserters: Vec<u32> = reports
         .iter()
+        .filter(|r| opts.crash.is_none_or(|v| r.id != v.index()))
         .flat_map(|r| r.deserters.iter().copied())
         .collect();
     deserters.sort_unstable();
@@ -955,9 +1085,18 @@ pub fn run_coordinator(opts: &CoordinatorOptions) -> Result<RunSummary, String> 
             .iter()
             .filter(|p| p.index() != victim)
             .count();
-        if handled_count != live_participants {
+        // A commit-point victim starts its own handler before dying
+        // (and a resumed zombie reports it), so only survivors are
+        // held to the one-handler-each law.
+        let survivor_handled = reports
+            .iter()
+            .filter(|r| r.id != victim)
+            .flat_map(|r| r.handled.iter())
+            .filter(|(a, _)| *a == action)
+            .count();
+        if survivor_handled != live_participants {
             failures.push(format!(
-                "{handled_count} handlers started, expected one per survivor ({live_participants})"
+                "{survivor_handled} survivor handlers started, expected one per survivor ({live_participants})"
             ));
         }
     } else {
@@ -1067,7 +1206,7 @@ pub fn run_local(
             let id = NodeId::new(i as u32);
             let port = bound.connect(&addrs).map_err(|e| format!("connect {id}: {e}"))?;
             port.barrier(Duration::from_secs(10))?;
-            Ok(drive_wire_node(&port, &scenario, id, idle, false, &mut (), start))
+            Ok(drive_wire_node(&port, &scenario, id, idle, false, None, &mut (), start))
         }));
     }
     let mut reports = Vec::with_capacity(n as usize);

@@ -64,8 +64,11 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
         ),
         (any::<u32>(), any::<u32>())
             .prop_map(|(f, a)| Msg::Ack { from: NodeId::new(f), action: ActionId::new(a) }),
-        (any::<u32>(), arb_exception())
-            .prop_map(|(a, exc)| Msg::Commit { action: ActionId::new(a), exc }),
+        (any::<u32>(), any::<u32>(), arb_exception()).prop_map(|(a, f, exc)| Msg::Commit {
+            action: ActionId::new(a),
+            from: NodeId::new(f),
+            exc,
+        }),
         (any::<u32>(), any::<u32>())
             .prop_map(|(f, a)| Msg::LeaveReady { from: NodeId::new(f), action: ActionId::new(a) }),
     ]

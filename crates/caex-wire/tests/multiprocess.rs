@@ -93,3 +93,64 @@ fn frozen_participant_is_detected_by_heartbeat_timeout() {
     // the heartbeat timeout can catch this one.
     crash_run(CrashMode::Stop, "stop");
 }
+
+#[test]
+fn resolver_killed_at_the_commit_point_fails_over() {
+    // Node 2 is Example 1's max raiser, hence the elected §4.2
+    // resolver. A commit-point crash kills it after it has collected
+    // every ACK but before a single Commit reaches a peer: the
+    // survivors hold the victim's exception only as a ghost entry and
+    // must re-elect node 1, re-resolve over the full raised set, and
+    // commit the same exception the dead resolver would have.
+    let victim = NodeId::new(2);
+    let opts = CoordinatorOptions::new("example1", wire_binary())
+        .with_crash(victim, CrashMode::Exit)
+        .at_commit_point();
+    let summary = run_coordinator(&opts).expect("coordinated crash run");
+    assert!(summary.ok(), "failures: {:?}", summary.failures);
+    assert_eq!(summary.deserters, vec![victim.index()]);
+    let baseline = WireScenario::sim_baseline("example1").expect("sim oracle");
+    assert_eq!(
+        summary.resolved,
+        baseline.agreed.map(|e| e.index()),
+        "failover must commit the exception the dead resolver would have"
+    );
+}
+
+#[test]
+fn zombie_resolver_resumed_after_reelection_cannot_split_the_decision() {
+    // The stop-mode victim freezes *inside* its commit step, holding
+    // unsent Commit messages. Long after the survivors have deserted
+    // it, re-elected, and committed, SIGCONT wakes the zombie and its
+    // stale Commits finally hit the wire — the survivors' deserter
+    // fence must discard them, and the agreement check (which includes
+    // the zombie's own report) must still see exactly one exception.
+    let victim = NodeId::new(2);
+    let opts = CoordinatorOptions::new("example1", wire_binary())
+        .with_crash(victim, CrashMode::Stop)
+        .at_commit_point()
+        .resuming_after(std::time::Duration::from_millis(800));
+    let summary = run_coordinator(&opts).expect("coordinated zombie run");
+    assert!(summary.ok(), "failures: {:?}", summary.failures);
+    assert_eq!(summary.deserters, vec![victim.index()]);
+    let baseline = WireScenario::sim_baseline("example1").expect("sim oracle");
+    assert_eq!(summary.resolved, baseline.agreed.map(|e| e.index()));
+    // The zombie finished its drive loop and reported: its own handler
+    // ran on the same exception (it committed locally before
+    // freezing), so a split decision would have tripped the
+    // agreement failure above.
+    let zombie = summary
+        .reports
+        .iter()
+        .find(|r| r.id == victim.index())
+        .expect("resumed victim prints a report");
+    assert!(
+        zombie
+            .handled
+            .iter()
+            .any(|(_, e)| Some(*e) == summary.resolved),
+        "zombie handled {:?}, run resolved {:?}",
+        zombie.handled,
+        summary.resolved
+    );
+}

@@ -15,7 +15,7 @@
 //!   2 HaveNested       from:u32 action:u32
 //!   3 NestedCompleted  action:u32 from:u32 flag:u8 [exception]
 //!   4 Ack              from:u32 action:u32
-//!   5 Commit           action:u32 exception
+//!   5 Commit           action:u32 from:u32 exception
 //! exception := id:u32 severity:u8 origin:opt_str detail:opt_str
 //! opt_str   := 0:u8 | 1:u8 len:u16 utf8-bytes
 //! ```
@@ -31,6 +31,7 @@
 //!
 //! let msg = Msg::Commit {
 //!     action: ActionId::new(1),
+//!     from: NodeId::new(2),
 //!     exc: Exception::new(ExceptionId::new(9)),
 //! };
 //! let bytes = codec::encode(&msg);
@@ -151,9 +152,10 @@ pub fn encode(msg: &Msg) -> Bytes {
             buf.put_u32_le(from.index());
             buf.put_u32_le(action.index());
         }
-        Msg::Commit { action, exc } => {
+        Msg::Commit { action, from, exc } => {
             buf.put_u8(TAG_COMMIT);
             buf.put_u32_le(action.index());
+            buf.put_u32_le(from.index());
             put_exception(&mut buf, exc);
         }
         Msg::LeaveReady { from, action } => {
@@ -172,7 +174,7 @@ pub fn encoded_len(msg: &Msg) -> usize {
         Msg::Exception { exc, .. } => 1 + 4 + 4 + exception_len(exc),
         Msg::HaveNested { .. } | Msg::Ack { .. } | Msg::LeaveReady { .. } => 1 + 4 + 4,
         Msg::NestedCompleted { exc, .. } => 1 + 4 + 4 + 1 + exc.as_ref().map_or(0, exception_len),
-        Msg::Commit { exc, .. } => 1 + 4 + exception_len(exc),
+        Msg::Commit { exc, .. } => 1 + 4 + 4 + exception_len(exc),
     }
 }
 
@@ -272,8 +274,9 @@ pub fn decode(bytes: &Bytes) -> Result<Msg, CodecError> {
         }
         TAG_COMMIT => {
             let action = ActionId::new(need_u32(&mut buf)?);
+            let from = NodeId::new(need_u32(&mut buf)?);
             let exc = get_exception(&mut buf)?;
-            Msg::Commit { action, exc }
+            Msg::Commit { action, from, exc }
         }
         TAG_LEAVE_READY => {
             let from = NodeId::new(need_u32(&mut buf)?);
@@ -323,7 +326,11 @@ mod tests {
                 exc: Some(rich),
             },
             Msg::Ack { from, action },
-            Msg::Commit { action, exc: bare },
+            Msg::Commit {
+                action,
+                from,
+                exc: bare,
+            },
             Msg::LeaveReady { from, action },
         ]
     }
@@ -392,8 +399,9 @@ mod tests {
 
         let mut buf = BytesMut::new();
         buf.put_u8(TAG_COMMIT);
-        buf.put_u32_le(0);
-        buf.put_u32_le(0);
+        buf.put_u32_le(0); // action
+        buf.put_u32_le(0); // from
+        buf.put_u32_le(0); // exception id
         buf.put_u8(7); // bad severity
         buf.put_u8(0);
         buf.put_u8(0);
@@ -404,8 +412,9 @@ mod tests {
     fn bad_utf8_is_rejected() {
         let mut buf = BytesMut::new();
         buf.put_u8(TAG_COMMIT);
-        buf.put_u32_le(0);
-        buf.put_u32_le(1);
+        buf.put_u32_le(0); // action
+        buf.put_u32_le(2); // from
+        buf.put_u32_le(1); // exception id
         buf.put_u8(0); // severity
         buf.put_u8(1); // origin present
         buf.put_u16_le(2);
@@ -419,6 +428,7 @@ mod tests {
         let long = "x".repeat(70_000);
         let msg = Msg::Commit {
             action: ActionId::new(0),
+            from: NodeId::new(0),
             exc: Exception::new(ExceptionId::new(1)).with_detail(long),
         };
         let bytes = encode(&msg);

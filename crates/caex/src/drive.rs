@@ -84,6 +84,34 @@ pub fn drive_node<P, H, N>(
     steps: Vec<(SimTime, Event)>,
     start: Instant,
     idle_timeout: Duration,
+    handle: H,
+    note: N,
+) -> DriveSummary
+where
+    P: FifoPort<Event>,
+    H: FnMut(&mut Participant, Event, Option<caex_net::NodeId>) -> Vec<Effect>,
+    N: FnMut(Note),
+{
+    drive_node_until(port, participant, steps, start, idle_timeout, None, handle, note)
+}
+
+/// Like [`drive_node`], but with an optional crash deadline.
+///
+/// When `halt_at` is set, the loop stops abruptly the first time it
+/// observes `Instant::now() >= halt_at` — no farewell messages, no
+/// draining of pending local steps — which is how the threaded engine
+/// injects a mid-resolution crash (the in-process analogue of
+/// `SIGKILL` in `caex-wire`). Messages still in the inbox are drained
+/// into the per-kind drop statistics as usual, so [`caex_net::NetStats`]
+/// stays balanced.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_node_until<P, H, N>(
+    port: &P,
+    participant: &mut Participant,
+    steps: Vec<(SimTime, Event)>,
+    start: Instant,
+    idle_timeout: Duration,
+    halt_at: Option<Instant>,
     mut handle: H,
     mut note: N,
 ) -> DriveSummary
@@ -104,6 +132,9 @@ where
     let mut seq = u64::MAX / 2;
     let mut last_activity = Instant::now();
     loop {
+        if halt_at.is_some_and(|h| Instant::now() >= h) {
+            break; // injected crash: stop mid-protocol, no farewell
+        }
         // Fire due local events first.
         let now = Instant::now();
         let mut effects = Vec::new();
@@ -113,11 +144,14 @@ where
             last_activity = Instant::now();
         }
         // Then wait briefly for a message.
-        let wait = queue
+        let mut wait = queue
             .peek()
             .map(|t| t.due.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(10))
             .min(Duration::from_millis(10));
+        if let Some(h) = halt_at {
+            wait = wait.min(h.saturating_duration_since(Instant::now()));
+        }
         match port.recv_timeout(wait) {
             Ok((from, event)) => {
                 effects.extend(handle(participant, event, Some(from)));

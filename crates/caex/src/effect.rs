@@ -210,6 +210,29 @@ pub enum Note {
         /// The crashed peer.
         peer: NodeId,
     },
+    /// The failure detector reported the *elected resolver* of an
+    /// in-flight resolution as dead: the survivor drops the deserter's
+    /// raised exceptions and (with failover enabled) falls back to the
+    /// Exceptional state so a live raiser can be re-elected.
+    ResolverSuspected {
+        /// The surviving object that lost its resolver.
+        object: NodeId,
+        /// The action whose resolution lost its resolver.
+        action: ActionId,
+        /// The dead resolver (the max raiser before pruning).
+        peer: NodeId,
+    },
+    /// A surviving raiser won the re-run election after the original
+    /// resolver deserted, and is about to resolve and commit in its
+    /// place.
+    ResolverReelected {
+        /// The action being resolved.
+        action: ActionId,
+        /// The newly elected resolver (max *live* raiser).
+        resolver: NodeId,
+        /// The resolver it replaces.
+        replaced: NodeId,
+    },
     /// A top-level action failed (no containing action to signal to).
     ActionFailed {
         /// The object.

@@ -238,6 +238,8 @@ pub struct Scenario {
     resolver_group: u32,
     leave_mode: LeaveMode,
     acceptance: Vec<(ActionId, AcceptanceTest)>,
+    failover: bool,
+    detection_delay: SimTime,
 }
 
 /// An exit-line acceptance test: `None` accepts, `Some(exc)` rejects
@@ -269,6 +271,8 @@ impl Scenario {
             resolver_group: 1,
             leave_mode: LeaveMode::Managed,
             acceptance: Vec::new(),
+            failover: true,
+            detection_delay: SimTime::from_micros(100),
         }
     }
 
@@ -335,6 +339,32 @@ impl Scenario {
     #[must_use]
     pub fn with_delivery_limit(mut self, limit: u64) -> Self {
         self.max_deliveries = limit;
+        self
+    }
+
+    /// Enables or disables resolver failover (default: enabled).
+    ///
+    /// With failover on, the engine plays the failure detector: every
+    /// planned crash or restart in the fault plan is followed, one
+    /// detection delay later, by an [`Event::DeserterSuspected`] at
+    /// every survivor, and participants prune the deserter, re-elect a
+    /// live resolver and fence the dead peer's late messages. With
+    /// failover off the crash is still injected but never reported —
+    /// the paper's literal §4.2 machine, which the model checker's
+    /// CAEX018 proves can deadlock when the elected resolver dies.
+    #[must_use]
+    pub fn with_failover(mut self, enabled: bool) -> Self {
+        self.failover = enabled;
+        self
+    }
+
+    /// Sets the simulated failure-detector latency: the virtual time
+    /// between a planned crash (or restart's down edge) and the
+    /// [`Event::DeserterSuspected`] delivered to each survivor
+    /// (default 100 µs). Only meaningful with failover enabled.
+    #[must_use]
+    pub fn with_detection_delay(mut self, delay: SimTime) -> Self {
+        self.detection_delay = delay;
         self
     }
 
@@ -448,6 +478,20 @@ impl Scenario {
         self.resolver_group
     }
 
+    /// Whether resolver failover is enabled (see
+    /// [`Scenario::with_failover`]).
+    #[must_use]
+    pub fn failover(&self) -> bool {
+        self.failover
+    }
+
+    /// The simulated failure-detector latency (see
+    /// [`Scenario::with_detection_delay`]).
+    #[must_use]
+    pub fn detection_delay(&self) -> SimTime {
+        self.detection_delay
+    }
+
     /// The actions carrying exit-line acceptance tests, in installation
     /// order. The tests themselves are opaque closures; analyses that
     /// cannot evaluate them (the model checker) use this to detect
@@ -504,6 +548,15 @@ impl Scenario {
             .map(|n| n.index() + 1)
             .max()
             .unwrap_or(0);
+        // The engine plays the failure detector (with failover on):
+        // collect the fault plan's crash/restart schedule before the
+        // config moves into the net, then deliver a `DeserterSuspected`
+        // to every survivor one detection delay after each down edge.
+        let mut suspicions: Vec<(SimTime, NodeId)> = Vec::new();
+        if self.failover {
+            suspicions.extend(self.config.faults.crashes().map(|(n, at)| (at, n)));
+            suspicions.extend(self.config.faults.restarts().map(|(n, down, _)| (down, n)));
+        }
         let mut net: SimNet<Event> = SimNet::new(self.config, num_nodes);
         let mut participants: HashMap<NodeId, Participant> = (0..num_nodes)
             .map(NodeId::new)
@@ -511,9 +564,22 @@ impl Scenario {
                 let mut p = Participant::new(id, Arc::clone(&self.registry), self.strategy);
                 p.set_resolver_group(self.resolver_group);
                 p.set_leave_mode(self.leave_mode);
+                p.set_failover(self.failover);
                 (id, p)
             })
             .collect();
+        for &(down_at, victim) in &suspicions {
+            let report_at = down_at + self.detection_delay;
+            for survivor in (0..num_nodes).map(NodeId::new) {
+                if survivor != victim {
+                    net.schedule_local(
+                        report_at,
+                        survivor,
+                        Event::DeserterSuspected { peer: victim },
+                    );
+                }
+            }
+        }
         for (object, action, table) in self.handlers {
             participants
                 .get_mut(&object)

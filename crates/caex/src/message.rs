@@ -59,10 +59,16 @@ pub enum Msg {
         /// acknowledged.
         action: ActionId,
     },
-    /// `Commit(E)` from the elected resolver.
+    /// `Commit(E)` from the elected resolver. Carries the committing
+    /// resolver's identity so receivers can fence a "zombie" resolver:
+    /// a commit from an object the failure detector already reported
+    /// dead is discarded, preventing a resumed (SIGCONT) or restarted
+    /// resolver's late decision from splitting the outcome.
     Commit {
         /// The resolved action.
         action: ActionId,
+        /// The committing resolver.
+        from: NodeId,
         /// The resolving exception whose handlers everyone starts.
         exc: Exception,
     },
@@ -90,6 +96,23 @@ impl Msg {
             | Msg::Ack { action, .. }
             | Msg::Commit { action, .. }
             | Msg::LeaveReady { action, .. } => *action,
+        }
+    }
+
+    /// The object this message speaks for — used to fence messages from
+    /// reported deserters. For [`Msg::Exception`] this is the *original
+    /// raiser* (a live peer's crash-recovery probe retransmits another
+    /// raiser's exception verbatim); for [`Msg::Commit`] it is the
+    /// committing resolver.
+    #[must_use]
+    pub fn sender(&self) -> NodeId {
+        match self {
+            Msg::Exception { from, .. }
+            | Msg::HaveNested { from, .. }
+            | Msg::NestedCompleted { from, .. }
+            | Msg::Ack { from, .. }
+            | Msg::Commit { from, .. }
+            | Msg::LeaveReady { from, .. } => *from,
         }
     }
 }
@@ -123,7 +146,9 @@ impl fmt::Display for Msg {
                 None => write!(f, "NestedCompleted({action}, {from}, null)"),
             },
             Msg::Ack { from, action } => write!(f, "ACK({from}, {action})"),
-            Msg::Commit { action, exc } => write!(f, "Commit({action}, {})", exc.id()),
+            Msg::Commit { action, from, exc } => {
+                write!(f, "Commit({action}, {from}, {})", exc.id())
+            }
             Msg::LeaveReady { from, action } => write!(f, "LeaveReady({from}, {action})"),
         }
     }
@@ -167,6 +192,15 @@ pub enum Event {
         /// Failure exception to signal to the containing action.
         signal: Option<Exception>,
     },
+    /// Internal: the failure detector reports `peer` as dead. Engines
+    /// schedule one per survivor some detection delay after a planned
+    /// crash; the participant folds it into
+    /// [`Participant::on_deserter`](crate::Participant::on_deserter),
+    /// which (with failover enabled) re-elects a live resolver.
+    DeserterSuspected {
+        /// The object the failure detector gave up on.
+        peer: NodeId,
+    },
 }
 
 impl Kinded for Event {
@@ -179,6 +213,7 @@ impl Kinded for Event {
             Event::LeaveGranted(_) => "local_leave_granted",
             Event::AbortionDone { .. } => "local_abortion_done",
             Event::HandlerDone { .. } => "local_handler_done",
+            Event::DeserterSuspected { .. } => "local_deserter_suspected",
         }
     }
 
@@ -226,6 +261,7 @@ mod tests {
         assert_eq!(
             Msg::Commit {
                 action: a,
+                from: o,
                 exc: exc()
             }
             .kind(),
@@ -252,6 +288,7 @@ mod tests {
             Msg::Ack { from: o, action: a },
             Msg::Commit {
                 action: a,
+                from: o,
                 exc: exc(),
             },
             Msg::LeaveReady { from: o, action: a },

@@ -354,6 +354,23 @@ impl ObsBridge {
                     ObsKind::ActionFailed { exception: exc.id() },
                 ));
             }
+            Note::ResolverSuspected { action, peer, .. } => {
+                obs.on_event(&mk(
+                    *action,
+                    self.round_of(*action),
+                    ObsKind::ResolverSuspected { resolver: *peer },
+                ));
+            }
+            Note::ResolverReelected { action, resolver, replaced } => {
+                obs.on_event(&mk(
+                    *action,
+                    self.round_of(*action),
+                    ObsKind::ResolverReelected {
+                        resolver: *resolver,
+                        replaced: *replaced,
+                    },
+                ));
+            }
             // Book-keeping notes with no span semantics: skipped
             // entries, suppressed raises, stale messages, multicast
             // tallies, leave coordination.

@@ -41,6 +41,13 @@ struct Resolution {
     state: PState,
     /// `LE`: raised exceptions known here, as (raiser, occurrence).
     le: Vec<(NodeId, Exception)>,
+    /// Exceptions raised by peers that have since deserted. They no
+    /// longer vote in the resolver election (a dead max-raiser can
+    /// never commit), but they stay in the *resolved* set: the
+    /// re-elected resolver resolves the full gossiped raised set, so
+    /// its decision agrees with any commit the dead resolver managed to
+    /// deliver before crashing.
+    ghost_le: Vec<(NodeId, Exception)>,
     /// `LO`: objects aborting nested actions, and whether their
     /// `NestedCompleted` has arrived.
     lo: BTreeMap<NodeId, bool>,
@@ -53,6 +60,11 @@ struct Resolution {
     /// `NestedCompleted` (Example 2's narration order; FIFO per channel
     /// keeps the protocol correct either way).
     deferred_acks: Vec<NodeId>,
+    /// Report-only: the deserted resolver this resolution lost, if the
+    /// failure detector pruned the max raiser mid-resolution. Read when
+    /// the re-run election elects a survivor (it then notes
+    /// [`Note::ResolverReelected`]); never consulted by the protocol.
+    lost_resolver: Option<NodeId>,
 }
 
 impl Resolution {
@@ -61,11 +73,21 @@ impl Resolution {
             action,
             state,
             le: Vec::new(),
+            ghost_le: Vec::new(),
             lo: BTreeMap::new(),
             pending_acks: BTreeSet::new(),
             aborting: false,
             deferred_acks: Vec::new(),
+            lost_resolver: None,
         }
+    }
+
+    /// The full raised set — live raisers' entries followed by the
+    /// deserted raisers' retained ones — that resolution runs over.
+    fn raised_set(&self) -> Vec<(NodeId, Exception)> {
+        let mut raised = self.le.clone();
+        raised.extend(self.ghost_le.iter().cloned());
+        raised
     }
 }
 
@@ -132,6 +154,12 @@ pub struct Participant {
     /// answer to a crash-orphaned peer's probe; at most one announce
     /// per action keeps the recovery traffic bounded.
     recovery_announced: HashSet<ActionId>,
+    /// Resolver failover (default on). When off, the machine is the
+    /// paper's literal §4.2 algorithm: desertion reports are recorded
+    /// but trigger no re-election, no recovery probing and no zombie
+    /// fencing — the legacy configuration the model checker's CAEX018
+    /// flags as crash-vulnerable.
+    failover: bool,
 }
 
 impl fmt::Debug for Participant {
@@ -170,6 +198,7 @@ impl Participant {
             leave_ready: HashMap::new(),
             deserters: HashSet::new(),
             recovery_announced: HashSet::new(),
+            failover: true,
         }
     }
 
@@ -177,6 +206,21 @@ impl Participant {
     /// leave (§4's "centralized or decentralized manager").
     pub fn set_leave_mode(&mut self, mode: LeaveMode) {
         self.leave_mode = mode;
+    }
+
+    /// Enables or disables resolver failover (on by default). With
+    /// failover off, [`Self::on_deserter`] only records the deserter —
+    /// no obligation waiving, no re-election, no recovery probing, no
+    /// commit fencing — reproducing the paper's literal §4.2 machine,
+    /// which assumes the elected resolver stays alive.
+    pub fn set_failover(&mut self, enabled: bool) {
+        self.failover = enabled;
+    }
+
+    /// Whether resolver failover is enabled.
+    #[must_use]
+    pub fn failover(&self) -> bool {
+        self.failover
     }
 
     /// Sets the resolver-group size `k` (§4.4: "the algorithm can be
@@ -346,6 +390,9 @@ impl Participant {
                 let mut le: Vec<&(NodeId, Exception)> = r.le.iter().collect();
                 le.sort_unstable_by_key(|(raiser, e)| (*raiser, e.id()));
                 le.hash(h);
+                let mut ghost: Vec<&(NodeId, Exception)> = r.ghost_le.iter().collect();
+                ghost.sort_unstable_by_key(|(raiser, e)| (*raiser, e.id()));
+                ghost.hash(h);
                 r.lo.hash(h);
                 r.pending_acks.hash(h);
                 r.aborting.hash(h);
@@ -393,6 +440,7 @@ impl Participant {
             leave_ready: self.leave_ready.clone(),
             deserters: self.deserters.clone(),
             recovery_announced: self.recovery_announced.clone(),
+            failover: self.failover,
         })
     }
 
@@ -417,6 +465,12 @@ impl Participant {
     #[must_use]
     pub fn delivery_silence(&self, msg: &Msg) -> Option<Silence> {
         let action = msg.action();
+        if self.failover && self.deserters.contains(&msg.sender()) {
+            // Fenced at the top of `on_msg`: a message speaking for a
+            // reported deserter is discarded with a note and mutates
+            // nothing. Monotone premise: `deserters` only grows.
+            return Some(Silence::Always);
+        }
         if self.resolved.contains_key(&action) {
             // Stale post-commit traffic — silent unless it is about to
             // trigger the recovery rebroadcast in `on_msg`. The
@@ -560,6 +614,11 @@ impl Participant {
     /// only raiser deserted before any abortion traffic), the orphaned
     /// resolution context is discarded and the object resumes normal
     /// computation. Calling this again for the same peer is a no-op.
+    ///
+    /// With failover disabled ([`Self::set_failover`]), only the
+    /// desertion itself is recorded: the paper's §4.2 machine has no
+    /// failure-handling clause, so every obligation keeps waiting on
+    /// the dead peer (the configuration CAEX018 proves crash-vulnerable).
     pub fn on_deserter(&mut self, peer: NodeId) -> Vec<Effect> {
         let mut fx = Vec::new();
         if peer == self.id || !self.deserters.insert(peer) {
@@ -569,27 +628,53 @@ impl Participant {
             object: self.id,
             peer,
         }));
+        if !self.failover {
+            return fx;
+        }
         if let Some(res) = &mut self.res {
             res.pending_acks.remove(&peer);
             res.lo.remove(&peer);
-            res.le.retain(|(raiser, _)| *raiser != peer);
-            res.deferred_acks.retain(|to| *to != peer);
+            // The deserter's raises move to the ghost list: they stop
+            // voting in the election but stay in the resolved set (see
+            // `Resolution::ghost_le`). If the deserter was the known
+            // max raiser, this resolution just lost its elected
+            // resolver — note it, and remember whom a survivor's
+            // re-run election replaces.
+            let was_resolver = res
+                .le
+                .iter()
+                .map(|(raiser, _)| *raiser)
+                .max()
+                .is_some_and(|max| max == peer);
+            let mut keep = Vec::with_capacity(res.le.len());
+            for entry in res.le.drain(..) {
+                if entry.0 == peer {
+                    if !res
+                        .ghost_le
+                        .iter()
+                        .any(|(r, e)| *r == entry.0 && e.id() == entry.1.id())
+                    {
+                        res.ghost_le.push(entry);
+                    }
+                } else {
+                    keep.push(entry);
+                }
+            }
+            res.le = keep;
+            if was_resolver {
+                res.lost_resolver = Some(peer);
+                let action = res.action;
+                fx.push(Effect::Note(Note::ResolverSuspected {
+                    object: self.id,
+                    action,
+                    peer,
+                }));
+            }
             if res.state == PState::Ready {
                 // A raiser parked in R was outranked — possibly by the
                 // deserter. Return to X so the ready predicate re-runs
                 // the election over the surviving raisers.
                 res.state = PState::Exceptional;
-            }
-            if res.le.is_empty()
-                && res.lo.is_empty()
-                && res.pending_acks.is_empty()
-                && res.state != PState::Exceptional
-                && !res.aborting
-            {
-                // Orphaned: every known raiser deserted, nothing else
-                // is in flight, and we raised nothing ourselves — no
-                // commit will ever arrive.
-                self.res = None;
             }
         }
         self.check_ready(&mut fx);
@@ -652,6 +737,7 @@ impl Participant {
                 epoch,
             } => self.on_abortion_done(action, signal, epoch, &mut fx),
             Event::HandlerDone { action, signal } => self.on_handler_done(action, signal, &mut fx),
+            Event::DeserterSuspected { peer } => fx.extend(self.on_deserter(peer)),
         }
         fx
     }
@@ -848,6 +934,18 @@ impl Participant {
 
     fn on_msg(&mut self, msg: Msg, fx: &mut Vec<Effect>) {
         let action = msg.action();
+        // Zombie fencing: once the failure detector reported a peer
+        // dead, nothing it says counts any more. In particular a
+        // resumed (SIGCONT) or restarted resolver's late `Commit` must
+        // not double-commit or split the decision the survivors have
+        // re-resolved without it.
+        if self.failover && self.deserters.contains(&msg.sender()) {
+            fx.push(Effect::Note(Note::StaleMessage {
+                object: self.id,
+                msg,
+            }));
+            return;
+        }
         if let Some(exc) = self.resolved.get(&action).cloned() {
             // The resolution here already committed. A peer still
             // sending resolution traffic for it missed the commit —
@@ -860,7 +958,8 @@ impl Participant {
             // broadcast is guaranteed to reach whoever is blocked);
             // without any desertion the traffic is merely late and is
             // cleaned up silently (§3.3 problem 4).
-            if !self.deserters.is_empty()
+            if self.failover
+                && !self.deserters.is_empty()
                 && matches!(
                     msg,
                     Msg::Exception { .. } | Msg::HaveNested { .. } | Msg::NestedCompleted { .. }
@@ -870,8 +969,13 @@ impl Participant {
                 for to in self.peers(action) {
                     fx.push(Effect::Send {
                         to,
+                        // `from` is this live object: the original
+                        // resolver is a deserter and its commits are
+                        // fenced, so the rebroadcast vouches for the
+                        // outcome under the survivor's own identity.
                         msg: Msg::Commit {
                             action,
+                            from: self.id,
                             exc: exc.clone(),
                         },
                     });
@@ -992,8 +1096,8 @@ impl Participant {
                     }
                 }
             }
-            Msg::Commit { exc, .. } => {
-                self.accept_commit(action, exc, fx);
+            Msg::Commit { from, exc, .. } => {
+                self.accept_commit(action, from, exc, fx);
                 return;
             }
             Msg::LeaveReady { from, .. } => {
@@ -1175,11 +1279,35 @@ impl Participant {
         self.check_ready(fx);
     }
 
+    /// Failover stand-down: every raiser this object ever heard of has
+    /// deserted (`LE` drained into the ghost list), it raised nothing
+    /// itself, and nothing is left in flight — no live object can ever
+    /// be elected, so no commit will ever arrive. Return to normal
+    /// instead of waiting forever. Evaluated from [`Self::check_ready`]
+    /// so it also fires when the blocking work (a nested abortion, an
+    /// outstanding ACK) completes *after* the desertion was recorded.
+    fn stand_down_if_orphaned(&mut self) {
+        if !self.failover {
+            return;
+        }
+        let Some(res) = &self.res else { return };
+        if res.le.is_empty()
+            && !res.ghost_le.is_empty()
+            && res.pending_acks.is_empty()
+            && res.lo.values().all(|&done| done)
+            && res.state != PState::Exceptional
+            && !res.aborting
+        {
+            self.res = None;
+        }
+    }
+
     /// The ready predicate of §4.2: `S(Oi) = X`, `NestedCompleted`
     /// received from every object in `LO`, and ACKs received from all of
     /// `G_A` for our own broadcast. The ready object with the biggest
     /// number among the raisers resolves and commits.
     fn check_ready(&mut self, fx: &mut Vec<Effect>) {
+        self.stand_down_if_orphaned();
         let Some(res) = &mut self.res else { return };
         if res.state != PState::Exceptional
             || res.aborting
@@ -1204,9 +1332,20 @@ impl Participant {
             res.state = PState::Ready;
             return;
         }
-        // This object resolves.
+        // This object resolves. The resolved set is the *full* gossiped
+        // raised set — live raisers plus any deserted raiser's retained
+        // exceptions — so a failover resolver reaches the same decision
+        // the dead original would have, and survivors that already got
+        // the original's commit stay in agreement.
         let action = res.action;
-        let raised: Vec<(NodeId, Exception)> = res.le.clone();
+        let raised = res.raised_set();
+        if let Some(replaced) = res.lost_resolver.take() {
+            fx.push(Effect::Note(Note::ResolverReelected {
+                action,
+                resolver: self.id,
+                replaced,
+            }));
+        }
         let tree = self
             .registry
             .scope(action)
@@ -1234,20 +1373,21 @@ impl Participant {
                 to,
                 msg: Msg::Commit {
                     action,
+                    from: self.id,
                     exc: resolved.clone(),
                 },
             });
         }
-        self.accept_commit(action, resolved, fx);
+        self.accept_commit(action, self.id, resolved, fx);
     }
 
     /// Common commit path for the resolver itself and for `Commit`
     /// receivers: empty the lists and start the handler for `E`.
-    fn accept_commit(&mut self, action: ActionId, exc: Exception, fx: &mut Vec<Effect>) {
+    fn accept_commit(&mut self, action: ActionId, from: NodeId, exc: Exception, fx: &mut Vec<Effect>) {
         if self.res.as_ref().map(|r| r.action) != Some(action) {
             fx.push(Effect::Note(Note::StaleMessage {
                 object: self.id,
-                msg: Msg::Commit { action, exc },
+                msg: Msg::Commit { action, from, exc },
             }));
             return;
         }
@@ -1463,6 +1603,7 @@ mod tests {
         }));
         let fx = p.handle(Event::Msg(Msg::Commit {
             action: a,
+            from: NodeId::new(1),
             exc: Exception::new(ExceptionId::new(2)),
         }));
         assert!(p.is_normal());
@@ -1489,6 +1630,7 @@ mod tests {
         assert_eq!(p.state(), Some(PState::Exceptional));
         let fx = p.handle(Event::Msg(Msg::Commit {
             action: a,
+            from: NodeId::new(2),
             exc: Exception::new(ExceptionId::new(1)),
         }));
         assert!(p.is_normal());
@@ -1555,6 +1697,7 @@ mod tests {
         }));
         let commit = Msg::Commit {
             action: a,
+            from: NodeId::new(1),
             exc: Exception::new(ExceptionId::new(2)),
         };
         p.handle(Event::Msg(commit.clone()));

@@ -13,7 +13,7 @@
 //! paper's §4.5 points at group membership services for the real
 //! thing); the simulator engine remains the measurement instrument.
 
-use crate::drive::drive_node;
+use crate::drive::drive_node_until;
 use crate::{Effect, Event, LeaveMode, NestedStrategy, Note, Participant};
 use caex_action::{ActionId, ActionRegistry, HandlerTable};
 use caex_net::{NetStats, NodeId, SimTime, ThreadNet};
@@ -158,6 +158,8 @@ pub struct ThreadRunner {
     steps: Vec<(SimTime, NodeId, Event)>,
     handlers: Vec<(NodeId, ActionId, HandlerTable)>,
     idle_timeout: Duration,
+    crashes: Vec<(SimTime, NodeId)>,
+    detection_delay: SimTime,
 }
 
 impl std::fmt::Debug for ThreadRunner {
@@ -179,7 +181,30 @@ impl ThreadRunner {
             steps: Vec::new(),
             handlers: Vec::new(),
             idle_timeout: Duration::from_millis(300),
+            crashes: Vec::new(),
+            detection_delay: SimTime::from_millis(50),
         }
+    }
+
+    /// Crashes `victim` at `time`: its thread halts abruptly
+    /// mid-protocol (no farewell messages), and every survivor's
+    /// failure detector reports the desertion one detection delay
+    /// later. This is the in-process analogue of `caex-wire`'s
+    /// `--crash` SIGKILL injection; with failover enabled (the
+    /// default) survivors re-elect a resolver and finish resolution.
+    #[must_use]
+    pub fn crash_at(mut self, time: SimTime, victim: NodeId) -> Self {
+        self.crashes.push((time, victim));
+        self
+    }
+
+    /// Sets how long after a crash the survivors' failure detector
+    /// reports it (default 50ms of wall clock). Thread scheduling is
+    /// coarse, so keep this well above the crash time's jitter.
+    #[must_use]
+    pub fn with_detection_delay(mut self, delay: SimTime) -> Self {
+        self.detection_delay = delay;
+        self
     }
 
     /// Selects the nested-action strategy.
@@ -330,22 +355,43 @@ impl ThreadRunner {
         for (time, object, event) in self.steps {
             steps_per_node[object.index() as usize].push((time, event));
         }
+        // Injected crashes: survivors hear about each one from their
+        // (scripted) failure detector a detection delay later.
+        for &(time, victim) in &self.crashes {
+            let report_at = time + self.detection_delay;
+            for survivor in (0..num_nodes).map(NodeId::new) {
+                if survivor != victim {
+                    steps_per_node[survivor.index() as usize]
+                        .push((report_at, Event::DeserterSuspected { peer: victim }));
+                }
+            }
+        }
+        let halts: Vec<Option<Instant>> = (0..num_nodes)
+            .map(|i| {
+                self.crashes
+                    .iter()
+                    .filter(|(_, v)| v.index() == i)
+                    .map(|(t, _)| start + Duration::from_micros(t.as_micros()))
+                    .min()
+            })
+            .collect();
 
         let idle_timeout = self.idle_timeout;
         let mut joins = Vec::new();
-        for (port, (mut participant, steps)) in ports
+        for (port, ((mut participant, steps), halt_at)) in ports
             .into_iter()
-            .zip(participants.into_iter().zip(steps_per_node))
+            .zip(participants.into_iter().zip(steps_per_node).zip(halts))
         {
             let notes = Arc::clone(&notes);
             let sink = Arc::clone(&sink);
             joins.push(thread::spawn(move || {
-                drive_node(
+                drive_node_until(
                     &port,
                     &mut participant,
                     steps,
                     start,
                     idle_timeout,
+                    halt_at,
                     |p, ev, from| handle_observed(p, ev, from, &sink, start),
                     |note| notes.lock().push(note),
                 );

@@ -30,6 +30,22 @@ impl Workload {
     pub fn run(self) -> crate::RunReport {
         self.scenario.run()
     }
+
+    /// Enables or disables resolver failover — passthrough to
+    /// [`Scenario::with_failover`].
+    #[must_use]
+    pub fn with_failover(mut self, enabled: bool) -> Self {
+        self.scenario = self.scenario.with_failover(enabled);
+        self
+    }
+
+    /// Sets the failure-detector latency — passthrough to
+    /// [`Scenario::with_detection_delay`].
+    #[must_use]
+    pub fn with_detection_delay(mut self, delay: caex_net::SimTime) -> Self {
+        self.scenario = self.scenario.with_detection_delay(delay);
+        self
+    }
 }
 
 /// Builds the general §4.4 workload: `n` participants of one top-level

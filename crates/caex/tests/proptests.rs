@@ -260,7 +260,7 @@ proptest! {
             1 => Msg::HaveNested { from, action },
             2 => Msg::NestedCompleted { action, from, exc: with_exc.then_some(e) },
             3 => Msg::Ack { from, action },
-            _ => Msg::Commit { action, exc: e },
+            _ => Msg::Commit { action, from, exc: e },
         };
         let bytes = codec::encode(&msg);
         prop_assert_eq!(bytes.len(), codec::encoded_len(&msg));

@@ -1,0 +1,94 @@
+//! Resolver failover: Example 2's elected resolver crashes
+//! mid-resolution and the survivors finish the job.
+//!
+//! O2 sits at the centre of the paper's Example 2 — it raises E2 from
+//! the innermost nested action, its abortion handler signals E3, and
+//! it is the max raiser, so §4.2 elects it to resolve A1. This run
+//! kills O2 exactly between its election and its commit. The failure
+//! detector reports the desertion, the surviving raiser O1 inherits
+//! the election, and — because a deserter's raises are retained as
+//! *ghost* entries — O1 resolves over the full raised set, committing
+//! the same exception the dead resolver would have.
+//!
+//! Run with: `cargo run --example failover`
+
+use caex::workloads;
+use caex::Note;
+use caex_net::{FaultPlan, LatencyModel, NetConfig, NodeId, SimTime};
+
+fn main() {
+    let victim = NodeId::new(2);
+    // With 100µs links the abort cascade and ACK collection put O2's
+    // commit at t=315µs; crashing at 250µs lands squarely between its
+    // election and its commit.
+    let crash_at = SimTime::from_micros(250);
+    let config = NetConfig::default()
+        .with_latency(LatencyModel::Constant(SimTime::from_micros(100)))
+        .with_faults(FaultPlan::none().with_crash(victim, crash_at));
+
+    let (workload, ids) = workloads::example2(config);
+    let report = workload.run();
+
+    println!("=== Example 2 with the elected resolver ({victim}) crashed at {crash_at} ===\n");
+
+    for note in &report.notes {
+        match note {
+            Note::Deserted { object, peer } => {
+                println!("t+detect  {object} suspects {peer} (failure detector)");
+            }
+            Note::ResolverSuspected { object, action, peer } => {
+                println!("          {object}: elected resolver {peer} of {action} is gone");
+            }
+            Note::ResolverReelected { action, resolver, replaced } => {
+                println!("          {resolver} takes over {action}'s resolution from {replaced}");
+            }
+            Note::ResolutionCommitted { action, resolver, resolved, raised } => {
+                println!(
+                    "          {resolver} commits {} for {action} over {} raised exception(s)",
+                    resolved.id(),
+                    raised.len()
+                );
+            }
+            _ => {}
+        }
+    }
+
+    let resolution = report
+        .resolution_for(ids.a1)
+        .expect("failover must still resolve A1");
+    assert_ne!(
+        resolution.resolver, victim,
+        "a crashed resolver cannot commit"
+    );
+    assert!(
+        resolution.raised.iter().any(|(o, _)| *o == victim),
+        "the deserter's raise must survive as a ghost entry"
+    );
+    let handlers = report.handlers_for(ids.a1);
+    println!(
+        "\nresolved: {} by {} — {} survivor handler(s), {} messages",
+        resolution.resolved.id(),
+        resolution.resolver,
+        handlers.len(),
+        report.total_messages()
+    );
+    assert!(
+        handlers.iter().all(|h| h.object != victim),
+        "the victim cannot run a handler"
+    );
+
+    // Contrast: the paper's literal machine (failover off) stalls.
+    let legacy_config = NetConfig::default()
+        .with_latency(LatencyModel::Constant(SimTime::from_micros(100)))
+        .with_faults(FaultPlan::none().with_crash(victim, crash_at));
+    let (legacy, _) = workloads::example2(legacy_config);
+    let legacy_report = legacy.with_failover(false).run();
+    println!(
+        "without failover: {} resolution(s), {} object(s) stuck mid-resolution",
+        legacy_report.resolutions.len(),
+        legacy_report.deadlocked.len()
+    );
+    assert!(!legacy_report.is_clean(), "the legacy machine must stall");
+
+    println!("\nOK: survivors re-elected and committed; the legacy machine stalls.");
+}

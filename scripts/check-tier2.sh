@@ -24,36 +24,42 @@
 #    live regeneration, caex-report's critical-path table on a recorded
 #    sim Example 2 matches the pinned numbers, and a real multi-process
 #    wire run's skew-stitched trace passes the happens-before `--check`
-#    invariants (acyclic, every receive matched, phase sums exact).
+#    invariants (acyclic, every receive matched, phase sums exact);
+# 9. resolver failover: the release-mode crash-grid battery (every role
+#    killed at every protocol step of Examples 1/2, plus the random
+#    (n,p,q) proptest and the thread engine), then two real
+#    multi-process runs — the elected resolver killed at its commit
+#    point, and a SIGSTOP zombie resumed after re-election whose stale
+#    commits must be fenced.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-2 [1/8]: caex-lint over every built-in workload =="
+echo "== tier-2 [1/9]: caex-lint over every built-in workload =="
 cargo run -q -p caex-lint --bin caex-lint
 
-echo "== tier-2 [2/8]: obs watchdog + §4.4 laws over every built-in workload =="
+echo "== tier-2 [2/9]: obs watchdog + §4.4 laws over every built-in workload =="
 cargo test -q --test observability
 
-echo "== tier-2 [3/8]: regenerate TABLES.md and validated BENCH_PR2.json =="
+echo "== tier-2 [3/9]: regenerate TABLES.md and validated BENCH_PR2.json =="
 cargo run -q -p caex-bench --bin tables -- --out TABLES.md --bench-json BENCH_PR2.json \
     > /dev/null
 
-echo "== tier-2 [4/8]: BENCH_PR2.json matches the checked-in pin =="
+echo "== tier-2 [4/9]: BENCH_PR2.json matches the checked-in pin =="
 cargo test -q -p caex-bench --test bench_pr2
 
-echo "== tier-2 [5/8]: wire frame codec fuzz battery =="
+echo "== tier-2 [5/9]: wire frame codec fuzz battery =="
 cargo test -q -p caex-wire --test frame_props
 
-echo "== tier-2 [6/8]: multi-process §4.2 resolution over real sockets =="
+echo "== tier-2 [6/9]: multi-process §4.2 resolution over real sockets =="
 cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator --scenario example1
 cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator --scenario example2
 cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator --scenario example1 \
     --crash 3 --crash-mode exit
 
-echo "== tier-2 [7/8]: exhaustive model checking of the built-in scenarios =="
+echo "== tier-2 [7/9]: exhaustive model checking of the built-in scenarios =="
 cargo run -q --release -p caex-lint --bin caex-lint -- check --model
 
-echo "== tier-2 [8/8]: causal analysis — BENCH_PR7 pin, caex-report, wire trace =="
+echo "== tier-2 [8/9]: causal analysis — BENCH_PR7 pin, caex-report, wire trace =="
 cargo test -q -p caex-bench --test bench_pr7
 TRACE_DIR="$(mktemp -d)"
 trap 'rm -rf "$TRACE_DIR"' EXIT
@@ -70,5 +76,13 @@ cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator \
 cargo run -q -p caex-bench --bin caex-report -- analyze \
     --in "$TRACE_DIR/ex2-wire.jsonl" --check --folded "$TRACE_DIR/ex2-wire.folded"
 test -s "$TRACE_DIR/ex2-wire.folded" || { echo "empty folded output"; exit 1; }
+
+echo "== tier-2 [9/9]: resolver failover — crash grids, commit-point kill, zombie =="
+cargo test -q --release -p caex --test failover
+cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator \
+    --scenario example1 --crash 2 --crash-point commit
+cargo run -q --release -p caex-wire --bin caex-wire -- --role coordinator \
+    --scenario example1 --crash 2 --crash-mode stop --crash-point commit \
+    --resume-after-ms 800
 
 echo "tier-2 OK"

@@ -70,19 +70,38 @@ fn loss_sweep_never_violates_agreement() {
 }
 
 #[test]
-fn crash_of_the_prospective_resolver_stalls_cleanly() {
-    // The max raiser (the resolver-to-be) crashes mid-protocol: nobody
-    // else may usurp the commit, so the run stalls with no resolution.
+fn crash_of_the_prospective_resolver_stalls_cleanly_without_failover() {
+    // The max raiser (the resolver-to-be) crashes mid-protocol. The
+    // paper's literal §4.2 machine (failover off) has no failure
+    // handling: nobody may usurp the commit, so the run stalls with no
+    // resolution — detectably, and without violating agreement.
     let config = NetConfig::default()
         .with_latency(LatencyModel::Constant(SimTime::from_micros(100)))
         .with_faults(
             // In case3(5) the raisers are O0..O4; resolver is O4.
             FaultPlan::none().with_crash(NodeId::new(4), SimTime::from_micros(50)),
         );
-    let report = workloads::case3(5, config).run();
+    let report = workloads::case3(5, config).with_failover(false).run();
     assert!(report.resolutions.is_empty());
     assert!(!report.is_clean());
     assert!(agreement_holds(&report));
+}
+
+#[test]
+fn crash_of_the_prospective_resolver_fails_over_by_default() {
+    // Same crash, failover on (the default): the survivors suspect O4,
+    // re-elect the next-highest live raiser O3, and the resolution
+    // completes over the full raised set — survivors all handle the
+    // same exception.
+    let config = NetConfig::default()
+        .with_latency(LatencyModel::Constant(SimTime::from_micros(100)))
+        .with_faults(FaultPlan::none().with_crash(NodeId::new(4), SimTime::from_micros(50)));
+    let report = workloads::case3(5, config).run();
+    assert_eq!(report.resolutions.len(), 1);
+    assert_eq!(report.resolutions[0].resolver, NodeId::new(3));
+    assert!(agreement_holds(&report));
+    // Every survivor (not the crashed O4) starts the resolved handler.
+    assert_eq!(report.handlers_for(report.resolutions[0].action).len(), 4);
 }
 
 #[test]
