@@ -829,6 +829,8 @@ fn render_event(event: &Event) -> String {
         Event::AbortionDone { action, .. } => format!("AbortionDone({action})"),
         Event::HandlerDone { action, .. } => format!("HandlerDone({action})"),
         Event::DeserterSuspected { peer } => format!("DeserterSuspected({peer})"),
+        Event::PeerSuspected { peer } => format!("PeerSuspected({peer})"),
+        Event::PeerRejoined { peer } => format!("PeerRejoined({peer})"),
     }
 }
 

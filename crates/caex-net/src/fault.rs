@@ -25,6 +25,9 @@ pub enum FaultEvent {
     SourceCrashed,
     /// The message crossed an active partition boundary; dropped.
     Partitioned,
+    /// The message crossed a *healing* partition boundary; deferred to
+    /// the heal time instead of dropped (TCP-style retransmission).
+    PartitionHealed,
     /// The message escaped the channel's FIFO clamp and overtook (or
     /// fell behind) its predecessors within a bounded window.
     Reordered,
@@ -47,6 +50,7 @@ impl FaultEvent {
             FaultEvent::DestinationCrashed => "destination_crashed",
             FaultEvent::SourceCrashed => "source_crashed",
             FaultEvent::Partitioned => "partitioned",
+            FaultEvent::PartitionHealed => "partition_healed",
             FaultEvent::Reordered => "reordered",
             FaultEvent::ClockFrozen => "clock_frozen",
             FaultEvent::Restarted => "restarted",
@@ -72,6 +76,8 @@ pub struct FaultPlan {
     duplicate_probability: f64,
     crashes: Vec<(NodeId, SimTime)>,
     partitions: Vec<Partition>,
+    #[serde(default)]
+    healing_partitions: Vec<Partition>,
     slowdowns: Vec<Slowdown>,
     reorder_probability: f64,
     reorder_window: SimTime,
@@ -141,6 +147,7 @@ impl FaultPlan {
             duplicate_probability: 0.0,
             crashes: Vec::new(),
             partitions: Vec::new(),
+            healing_partitions: Vec::new(),
             slowdowns: Vec::new(),
             reorder_probability: 0.0,
             reorder_window: SimTime::ZERO,
@@ -213,6 +220,57 @@ impl FaultPlan {
     #[must_use]
     pub fn is_partitioned(&self, src: NodeId, dst: NodeId, at: SimTime) -> bool {
         self.partitions.iter().any(|p| p.severs(src, dst, at))
+    }
+
+    /// Adds a *healing* partition: messages between `group` and the
+    /// rest of the network sent during `[from, until)` are **deferred**
+    /// to the heal time `until` instead of dropped — the transport's
+    /// retransmission (TCP buffering across a SIGSTOP, the wire mesh's
+    /// redial-and-replay) eventually pushes them through. This is the
+    /// in-sim model of a transient partition that a phi-accrual
+    /// detector should suspect but never confirm.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use caex_net::{FaultPlan, NodeId, SimTime};
+    ///
+    /// let plan = FaultPlan::none().with_healing_partition(
+    ///     [NodeId::new(0)],
+    ///     SimTime::from_millis(1),
+    ///     SimTime::from_millis(5),
+    /// );
+    /// let inside = SimTime::from_millis(2);
+    /// assert_eq!(
+    ///     plan.heal_deferral(NodeId::new(0), NodeId::new(1), inside),
+    ///     Some(SimTime::from_millis(5))
+    /// );
+    /// assert_eq!(plan.heal_deferral(NodeId::new(1), NodeId::new(2), inside), None);
+    /// assert!(!plan.is_benign());
+    /// ```
+    #[must_use]
+    pub fn with_healing_partition<I>(mut self, group: I, from: SimTime, until: SimTime) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        self.healing_partitions.push(Partition {
+            group: group.into_iter().collect(),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// If a `src → dst` send at time `at` crosses a healing partition,
+    /// returns the time delivery is deferred to (the latest heal over
+    /// all covering windows).
+    #[must_use]
+    pub fn heal_deferral(&self, src: NodeId, dst: NodeId, at: SimTime) -> Option<SimTime> {
+        self.healing_partitions
+            .iter()
+            .filter(|p| p.severs(src, dst, at))
+            .map(|p| p.until)
+            .max()
     }
 
     /// Adds a transient slowdown: message latencies sampled during
@@ -399,6 +457,7 @@ impl FaultPlan {
             && self.duplicate_probability == 0.0
             && self.crashes.is_empty()
             && self.partitions.is_empty()
+            && self.healing_partitions.is_empty()
             && self.slowdowns.is_empty()
             && self.reorder_probability == 0.0
             && self.freezes.is_empty()
@@ -415,6 +474,33 @@ impl Default for FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn healing_partition_defers_instead_of_dropping() {
+        let plan = FaultPlan::none().with_healing_partition(
+            [NodeId::new(0), NodeId::new(1)],
+            SimTime::from_micros(10),
+            SimTime::from_micros(20),
+        );
+        let inside = SimTime::from_micros(15);
+        // Crossing sends are deferred to the heal time, not severed.
+        assert!(!plan.is_partitioned(NodeId::new(0), NodeId::new(2), inside));
+        assert_eq!(
+            plan.heal_deferral(NodeId::new(0), NodeId::new(2), inside),
+            Some(SimTime::from_micros(20))
+        );
+        assert_eq!(
+            plan.heal_deferral(NodeId::new(2), NodeId::new(1), inside),
+            Some(SimTime::from_micros(20))
+        );
+        // Same-side and out-of-window sends are untouched.
+        assert_eq!(plan.heal_deferral(NodeId::new(0), NodeId::new(1), inside), None);
+        assert_eq!(
+            plan.heal_deferral(NodeId::new(0), NodeId::new(2), SimTime::from_micros(20)),
+            None
+        );
+        assert!(!plan.is_benign());
+    }
 
     #[test]
     fn none_is_benign() {

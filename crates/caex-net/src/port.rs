@@ -44,7 +44,31 @@ pub trait FifoPort<M> {
     /// Peers newly detected as crashed since the last call. Each
     /// crashed peer is reported exactly once; transports without
     /// failure detection return an empty list (the default).
+    ///
+    /// Transports with an *accrual* detector report here only peers
+    /// whose death is **confirmed** (suspicion sustained across polls,
+    /// or hard evidence like a torn-down connection that would not
+    /// redial); mere latency spikes surface through
+    /// [`FifoPort::take_suspected`] instead.
     fn take_crashed(&self) -> Vec<NodeId> {
+        Vec::new()
+    }
+
+    /// Peers newly *suspected* (silence beyond the detector's
+    /// suspicion threshold, but not yet confirmed dead) since the last
+    /// call. A peer may be reported here, recover, and be reported
+    /// again — unlike [`FifoPort::take_crashed`] this is not
+    /// once-only. Transports without an accrual detector return an
+    /// empty list (the default).
+    fn take_suspected(&self) -> Vec<NodeId> {
+        Vec::new()
+    }
+
+    /// Previously suspected peers heard from again (a suspicion flap)
+    /// since the last call — the cue for a survivor to run a
+    /// commit-forwarding round toward the returning peer. Transports
+    /// without reconnect support return an empty list (the default).
+    fn take_rejoined(&self) -> Vec<NodeId> {
         Vec::new()
     }
 

@@ -471,6 +471,22 @@ impl<M: Kinded + Clone> SimNet<M> {
             let micros = (wire_len as u64 * 1_000).div_ceil(bandwidth);
             at += SimTime::from_micros(micros);
         }
+        // Healing partition: a send crossing the boundary is buffered
+        // by the transport and retransmitted when the partition heals —
+        // deferred, not dropped. Applied before the FIFO clamp so later
+        // sends on the channel cannot overtake the deferred backlog.
+        if let Some(healed) = self.config.faults.heal_deferral(from, to, self.now) {
+            self.stats.record_fault(FaultEvent::PartitionHealed.label());
+            self.stats.record_recovery("replayed_frame");
+            self.record(
+                self.now,
+                TraceEventKind::Fault(FaultEvent::PartitionHealed),
+                from,
+                to,
+                kind,
+            );
+            at = at.max(healed);
+        }
         // Bounded reordering: with probability p this message escapes
         // the channel's FIFO clamp and gains up to `reorder_window` of
         // extra delay — it may overtake later sends or fall behind

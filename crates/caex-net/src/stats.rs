@@ -36,6 +36,11 @@ pub struct NetStats {
     /// [`FaultEvent::label`](crate::FaultEvent::label)).
     #[serde(default)]
     faults: BTreeMap<String, u64>,
+    /// Recovery actions per kind (`"reconnect"`, `"suspicion_flap"`,
+    /// `"replayed_frame"`, …) — the transport surviving a fault rather
+    /// than suffering one.
+    #[serde(default)]
+    recovery: BTreeMap<String, u64>,
 }
 
 impl NetStats {
@@ -113,6 +118,25 @@ impl NetStats {
         self.faults.get(kind).copied().unwrap_or(0)
     }
 
+    /// Records one recovery action of `kind` — a reconnect after a
+    /// broken connection, a suspicion flap (a peer suspected and then
+    /// heard from again), a frame replayed after a redial.
+    pub fn record_recovery(&mut self, kind: &str) {
+        *self.recovery.entry(kind.to_owned()).or_default() += 1;
+    }
+
+    /// Recovery actions of one kind.
+    #[must_use]
+    pub fn recovery_of_kind(&self, kind: &str) -> u64 {
+        self.recovery.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total recovery actions (all kinds).
+    #[must_use]
+    pub fn recoveries_total(&self) -> u64 {
+        self.recovery.values().sum()
+    }
+
     /// Total faults injected (all kinds).
     #[must_use]
     pub fn faults_total(&self) -> u64 {
@@ -183,6 +207,9 @@ impl NetStats {
         for (k, v) in &other.faults {
             *self.faults.entry(k.clone()).or_default() += v;
         }
+        for (k, v) in &other.recovery {
+            *self.recovery.entry(k.clone()).or_default() += v;
+        }
         self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
     }
 }
@@ -217,6 +244,9 @@ impl fmt::Display for NetStats {
         }
         for (kind, count) in &self.faults {
             writeln!(f, "  fault {kind}: {count}")?;
+        }
+        for (kind, count) in &self.recovery {
+            writeln!(f, "  recovery {kind}: {count}")?;
         }
         Ok(())
     }
@@ -334,6 +364,25 @@ mod tests {
         let text = a.to_string();
         assert!(text.contains("fault reordered: 3"), "{text}");
         assert!(text.contains("fault clock_frozen: 1"), "{text}");
+    }
+
+    #[test]
+    fn recoveries_accumulate_merge_and_display() {
+        let mut a = NetStats::default();
+        a.record_recovery("reconnect");
+        a.record_recovery("suspicion_flap");
+        let mut b = NetStats::default();
+        b.record_recovery("reconnect");
+        b.record_recovery("replayed_frame");
+        a.merge(&b);
+        assert_eq!(a.recovery_of_kind("reconnect"), 2);
+        assert_eq!(a.recovery_of_kind("suspicion_flap"), 1);
+        assert_eq!(a.recovery_of_kind("replayed_frame"), 1);
+        assert_eq!(a.recovery_of_kind("unknown"), 0);
+        assert_eq!(a.recoveries_total(), 4);
+        let text = a.to_string();
+        assert!(text.contains("recovery reconnect: 2"), "{text}");
+        assert!(text.contains("recovery suspicion_flap: 1"), "{text}");
     }
 
     #[test]

@@ -110,7 +110,10 @@ impl Phase {
             ObsKind::MessageSent { kind, .. } | ObsKind::MessageReceived { kind, .. } => {
                 of_msg(kind)
             }
-            ObsKind::ActionEnter | ObsKind::ActionFailed { .. } => Phase::Other,
+            ObsKind::ActionEnter
+            | ObsKind::ActionFailed { .. }
+            | ObsKind::PeerSuspected { .. }
+            | ObsKind::PeerRejoined { .. } => Phase::Other,
         }
     }
 }

@@ -169,6 +169,20 @@ pub enum ObsKind {
         /// The dead resolver it replaces.
         replaced: NodeId,
     },
+    /// The accrual failure detector suspects `peer` (silence past the
+    /// suspicion threshold φ) without confirming its death — the
+    /// two-stage detector's warning level. Feeds the watchdog's flap
+    /// accounting; no protocol obligation changes.
+    PeerSuspected {
+        /// The suspected peer.
+        peer: NodeId,
+    },
+    /// A previously suspected `peer` was heard from again (suspicion
+    /// flap / reconnect after a healed partition).
+    PeerRejoined {
+        /// The returning peer.
+        peer: NodeId,
+    },
 }
 
 impl ObsKind {
@@ -192,6 +206,8 @@ impl ObsKind {
             ObsKind::ActionFailed { .. } => "action_failed",
             ObsKind::ResolverSuspected { .. } => "resolver_suspected",
             ObsKind::ResolverReelected { .. } => "resolver_reelected",
+            ObsKind::PeerSuspected { .. } => "peer_suspected",
+            ObsKind::PeerRejoined { .. } => "peer_rejoined",
         }
     }
 }

@@ -74,6 +74,9 @@ pub fn event_to_json(event: &ObsEvent) -> JsonValue {
                 JsonValue::str(resolver.to_string()),
             ));
         }
+        ObsKind::PeerSuspected { peer } | ObsKind::PeerRejoined { peer } => {
+            fields.push(("peer".to_owned(), JsonValue::str(peer.to_string())));
+        }
         ObsKind::ResolverReelected { resolver, replaced } => {
             fields.push((
                 "resolver".to_owned(),
@@ -213,6 +216,12 @@ pub fn event_from_json(doc: &JsonValue) -> Result<ObsEvent, String> {
                 .ok_or_else(|| "bad `resolver`".to_owned())?;
             ObsKind::ResolverSuspected { resolver }
         }
+        "peer_suspected" => ObsKind::PeerSuspected {
+            peer: parse_object(str_field("peer")?).ok_or_else(|| "bad `peer`".to_owned())?,
+        },
+        "peer_rejoined" => ObsKind::PeerRejoined {
+            peer: parse_object(str_field("peer")?).ok_or_else(|| "bad `peer`".to_owned())?,
+        },
         "resolver_reelected" => ObsKind::ResolverReelected {
             resolver: parse_object(str_field("resolver")?)
                 .ok_or_else(|| "bad `resolver`".to_owned())?,
@@ -537,6 +546,24 @@ impl Observer for ChromeTraceExporter {
                         "resolver {resolver} re-elected for {replaced} ({})",
                         event.span
                     ),
+                    "failover",
+                    ts,
+                    tid,
+                ));
+            }
+            ObsKind::PeerSuspected { peer } => {
+                self.events.push(trace_record(
+                    "i",
+                    &format!("peer {peer} suspected"),
+                    "failover",
+                    ts,
+                    tid,
+                ));
+            }
+            ObsKind::PeerRejoined { peer } => {
+                self.events.push(trace_record(
+                    "i",
+                    &format!("peer {peer} rejoined"),
                     "failover",
                     ts,
                     tid,

@@ -440,7 +440,9 @@ impl Observer for MetricsRegistry {
             | ObsKind::MessageReceived { .. }
             | ObsKind::ActionFailed { .. }
             | ObsKind::ResolverSuspected { .. }
-            | ObsKind::ResolverReelected { .. } => {}
+            | ObsKind::ResolverReelected { .. }
+            | ObsKind::PeerSuspected { .. }
+            | ObsKind::PeerRejoined { .. } => {}
         }
     }
 

@@ -72,6 +72,10 @@ pub struct Watchdog {
     // (action, round) -> (sender, kind) -> distinct destinations of
     // that sender's fan-out. Only the four broadcast kinds are tracked.
     fanouts: BTreeMap<(ActionId, u32), BTreeMap<(NodeId, &'static str), BTreeSet<NodeId>>>,
+    // (observer, suspected peer) pairs with no rejoin (or confirmation)
+    // yet — pairs the two-stage detector's Suspected/Rejoined events.
+    open_suspicions: BTreeSet<(NodeId, NodeId)>,
+    suspicion_flaps: u64,
 }
 
 /// Per-(round, sender) tally of ack-expecting sends, grouped into
@@ -116,7 +120,17 @@ impl Watchdog {
             open_handlers: HashMap::new(),
             check_multicast_law: false,
             fanouts: BTreeMap::new(),
+            open_suspicions: BTreeSet::new(),
+            suspicion_flaps: 0,
         }
+    }
+
+    /// Suspicion flaps observed so far: peers suspected by the accrual
+    /// detector and then heard from again (each one a desertion the old
+    /// fixed-timeout detector would have declared falsely).
+    #[must_use]
+    pub fn suspicion_flaps(&self) -> u64 {
+        self.suspicion_flaps
     }
 
     /// Allows up to `count` commits per round (resolver groups).
@@ -323,6 +337,21 @@ impl Observer for Watchdog {
                         );
                     }
                 }
+            }
+            ObsKind::PeerSuspected { peer } => {
+                self.open_suspicions.insert((object, *peer));
+            }
+            ObsKind::PeerRejoined { peer } => {
+                // A rejoin must answer an open suspicion at the same
+                // observer: an unpaired one means the two-stage
+                // detector skipped its Suspected level.
+                if !self.open_suspicions.remove(&(object, *peer)) {
+                    self.flag(
+                        event,
+                        format!("{object} saw {peer} rejoin without suspecting it first"),
+                    );
+                }
+                self.suspicion_flaps += 1;
             }
             // Receives carry no protocol obligations of their own; the
             // matching-send invariant is causal analysis' job. The

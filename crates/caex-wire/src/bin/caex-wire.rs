@@ -12,6 +12,10 @@
 //! # random (n, p, q) grid, each cell a fresh multi-process mesh:
 //! caex-wire --role coordinator --grid 4 --seed 7
 //!
+//! # transient partition: SIGSTOP node 3 for 1s mid-run, then heal —
+//! # the run must still satisfy the §4.4 law with zero deserters:
+//! caex-wire --role coordinator --scenario example1 --partition 3 --partition-ms 1000
+//!
 //! # what the coordinator spawns under the hood:
 //! caex-wire --role participant --scenario example1 --id 2 \
 //!           --rendezvous 127.0.0.1:4000
@@ -83,8 +87,22 @@ fn wire_config(args: &Args) -> Result<WireConfig, String> {
     if let Some(hb) = args.millis("heartbeat-ms")? {
         config.heartbeat_interval = hb;
     }
+    if let Some(phi) = args.parse_as::<f64>("phi-suspect")? {
+        config.phi_suspect = phi;
+    }
+    if let Some(phi) = args.parse_as::<f64>("phi-confirm")? {
+        config.phi_confirm = phi;
+    }
+    if let Some(window) = args.parse_as::<usize>("phi-window")? {
+        config.phi_window = window;
+    }
+    if let Some(backoff) = args.millis("reconnect-backoff-ms")? {
+        config.reconnect_backoff = backoff;
+    }
+    // Legacy alias, applied last so it wins: a fixed crash timeout
+    // becomes the equivalent `phi_confirm` at the chosen heartbeat.
     if let Some(ct) = args.millis("crash-timeout-ms")? {
-        config.crash_timeout = ct;
+        config = config.with_crash_timeout(ct);
     }
     Ok(config)
 }
@@ -115,6 +133,7 @@ fn participant_main(args: &Args) -> Result<(), String> {
         crash_after: args.millis("crash-after-ms")?,
         crash_mode: args.parse_as("crash-mode")?.unwrap_or(CrashMode::Exit),
         crash_point: args.parse_as("crash-point")?.unwrap_or(CrashPoint::Barrier),
+        partition_hold: matches!(args.get("partition-hold"), Some("true" | "1" | "yes")),
     };
     run_participant(&opts)
 }
@@ -147,12 +166,30 @@ fn coordinator_options(args: &Args, scenario: String) -> Result<CoordinatorOptio
             opts.resume_after = Some(resume);
         }
     }
+    if let Some(victim) = args.parse_as::<u32>("partition")? {
+        let outage = args
+            .millis("partition-ms")?
+            .unwrap_or(Duration::from_millis(1000));
+        opts = opts.with_partition(NodeId::new(victim), outage);
+    }
     opts.config.heartbeat_interval = args
         .millis("heartbeat-ms")?
         .unwrap_or(opts.config.heartbeat_interval);
-    opts.config.crash_timeout = args
-        .millis("crash-timeout-ms")?
-        .unwrap_or(opts.config.crash_timeout);
+    if let Some(phi) = args.parse_as::<f64>("phi-suspect")? {
+        opts.config.phi_suspect = phi;
+    }
+    if let Some(phi) = args.parse_as::<f64>("phi-confirm")? {
+        opts.config.phi_confirm = phi;
+    }
+    if let Some(window) = args.parse_as::<usize>("phi-window")? {
+        opts.config.phi_window = window;
+    }
+    if let Some(backoff) = args.millis("reconnect-backoff-ms")? {
+        opts.config.reconnect_backoff = backoff;
+    }
+    if let Some(ct) = args.millis("crash-timeout-ms")? {
+        opts.config = opts.config.with_crash_timeout(ct);
+    }
     if let Some(idle) = args.millis("idle-timeout-ms")? {
         opts.idle_timeout = idle;
     }

@@ -9,21 +9,29 @@
 //! ```text
 //! version:u8  kind:u8  len:u32  crc:u32  payload[len]
 //!
-//! kind 1 Hello      payload = id:u32
+//! kind 1 Hello      payload = id:u32 ++ incarnation:u32
 //! kind 2 Heartbeat  payload empty
 //! kind 3 Ready      payload empty
 //! kind 4 Msg        payload = from:u32 ++ sent_us:u64 ++ caex::codec::encode(msg)
 //! kind 5 Bye        payload empty
 //! ```
 //!
-//! Version 2 extends the `Msg` payload with `sent_us`, the sender's
+//! Version 2 extended the `Msg` payload with `sent_us`, the sender's
 //! local clock (microseconds since its run epoch) at the moment the
 //! frame was queued. Receivers use it to estimate per-peer clock skew
 //! (as `min` over observed `recv_local − sent_us` one-way delays), so
 //! traces recorded on different machines can be stitched into one
-//! causally-consistent timeline. Version 1 frames are rejected: the
-//! mesh is always started as one fleet, so mixed versions indicate an
-//! operator error, not a compatibility case worth masking.
+//! causally-consistent timeline.
+//!
+//! Version 3 extends `Hello` with an *incarnation* counter: `0` on a
+//! node's initial mesh-formation links, bumped for every mid-run
+//! redial. An acceptor that sees a Hello with a higher incarnation
+//! than the one it recorded for that peer knows the link is a
+//! *reconnect* — the peer survived a transient outage and is resuming,
+//! not a duplicate or stale dial — and can stand down any suspicion
+//! the silence accrued. Older versions are rejected: the mesh is
+//! always started as one fleet, so mixed versions indicate an operator
+//! error, not a compatibility case worth masking.
 //!
 //! `crc` is the CRC-32 (IEEE 802.3) of the payload bytes, so a torn or
 //! bit-flipped frame is rejected instead of decoded into a wrong —
@@ -39,7 +47,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 /// The frame-format version this build speaks.
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 
 /// Upper bound on a frame payload. The largest legitimate payload is a
 /// protocol message with two maximal (`u16`-capped) strings — well
@@ -55,10 +63,14 @@ const K_BYE: u8 = 5;
 /// Everything that crosses a `caex-wire` socket.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
-    /// First frame on every connection: the sender's node id.
+    /// First frame on every connection: the sender's node id and the
+    /// link's incarnation (`0` at mesh formation, bumped per mid-run
+    /// redial — a higher incarnation marks the link as a reconnect).
     Hello {
         /// The connecting node.
         id: NodeId,
+        /// Dial generation of this link.
+        incarnation: u32,
     },
     /// Keep-alive, sent whenever the outbound link is otherwise idle.
     Heartbeat,
@@ -176,7 +188,12 @@ const fn crc_table() -> [u32; 256] {
 
 fn payload_of(frame: &Frame) -> (u8, Vec<u8>) {
     match frame {
-        Frame::Hello { id } => (K_HELLO, id.index().to_le_bytes().to_vec()),
+        Frame::Hello { id, incarnation } => {
+            let mut payload = Vec::with_capacity(8);
+            payload.extend_from_slice(&id.index().to_le_bytes());
+            payload.extend_from_slice(&incarnation.to_le_bytes());
+            (K_HELLO, payload)
+        }
         Frame::Heartbeat => (K_HEARTBEAT, Vec::new()),
         Frame::Ready => (K_READY, Vec::new()),
         Frame::Msg { from, sent_us, msg } => {
@@ -221,7 +238,15 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
         Ok(NodeId::new(u32::from_le_bytes(raw)))
     };
     match kind {
-        K_HELLO => Ok(Frame::Hello { id: node(payload)? }),
+        K_HELLO => {
+            if payload.len() != 8 {
+                return Err(FrameError::Malformed("hello is not id+incarnation (8 bytes)"));
+            }
+            Ok(Frame::Hello {
+                id: node(&payload[..4])?,
+                incarnation: u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes")),
+            })
+        }
         K_HEARTBEAT | K_READY | K_BYE => {
             if !payload.is_empty() {
                 return Err(FrameError::Malformed("control frame carries a payload"));
@@ -302,7 +327,7 @@ mod tests {
             exc: Exception::new(ExceptionId::new(7)).with_origin("O1"),
         };
         vec![
-            Frame::Hello { id: NodeId::new(3) },
+            Frame::Hello { id: NodeId::new(3), incarnation: 2 },
             Frame::Heartbeat,
             Frame::Ready,
             Frame::Msg { from: NodeId::new(1), sent_us: 12_345, msg },
@@ -343,7 +368,7 @@ mod tests {
 
     #[test]
     fn corrupted_payload_fails_the_crc() {
-        let mut bytes = encode_frame(&Frame::Hello { id: NodeId::new(9) });
+        let mut bytes = encode_frame(&Frame::Hello { id: NodeId::new(9), incarnation: 0 });
         let last = bytes.len() - 1;
         bytes[last] ^= 0x01;
         assert!(matches!(decode_frame(&bytes), Err(FrameError::BadCrc { .. })));

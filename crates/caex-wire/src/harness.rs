@@ -165,6 +165,10 @@ pub struct ParticipantOptions {
     /// suppressed) or [`CrashPoint::Commit`] (script plays, die at the
     /// commit broadcast). Only consulted when `crash_after` is set.
     pub crash_point: CrashPoint,
+    /// Transient-partition victim: `SIGSTOP` self right after the
+    /// barrier (script *not* suppressed, sockets open) and resume on
+    /// the coordinator's `SIGCONT` — the healed-partition experiment.
+    pub partition_hold: bool,
 }
 
 /// What one node did, as printed in its `CAEX-WIRE-REPORT` line.
@@ -477,7 +481,11 @@ fn drive_wire_node(
     // process rebuilds the scenario and takes only its own tables.
     let steps = if suppress_steps { Vec::new() } else { scenario.steps_for(id) };
     let mut notes: Vec<Note> = Vec::new();
-    let mut bridge = ObsBridge::new();
+    // The event-handle path and the note callback both need the bridge
+    // and the observer (the drive loop folds failure-detector effects
+    // in outside any event handle), so both live behind `RefCell`s.
+    let bridge = std::cell::RefCell::new(ObsBridge::new());
+    let obs = std::cell::RefCell::new(obs);
     // Anchor the wire's send-time stamps to the same epoch as the
     // observation clock, so peer skew estimates translate directly
     // into per-stream timestamp corrections.
@@ -489,7 +497,8 @@ fn drive_wire_node(
         start,
         idle_timeout,
         |p, ev, from| {
-            let fx = handle_observed(p, ev, from, &mut bridge, start, obs);
+            let fx =
+                handle_observed(p, ev, from, &mut bridge.borrow_mut(), start, *obs.borrow_mut());
             // Commit-point crash: the resolver dies the moment its
             // state machine decides to commit, before any `Commit`
             // leaves this process. A `Stop` victim freezes *here*,
@@ -513,8 +522,26 @@ fn drive_wire_node(
             }
             fx
         },
-        |n| notes.push(n),
+        |n| {
+            // Detector transitions reach this callback without passing
+            // through `ObsBridge::post` (the drive loop polls the
+            // transport directly); bridge them here. The translation
+            // is idempotent, so the engine's own proof-of-life rejoin
+            // — which *does* flow through `post` — never doubles.
+            if matches!(n, Note::PeerSuspected { .. } | Note::PeerRejoined { .. }) {
+                let wall = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                bridge.borrow_mut().note_out_of_band(
+                    id,
+                    &n,
+                    SimTime::from_micros(wall),
+                    Some(wall),
+                    *obs.borrow_mut(),
+                );
+            }
+            notes.push(n);
+        },
     );
+    let obs = obs.into_inner();
     let end = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
     obs.on_run_end(SimTime::from_micros(end));
     let stats = port.stats();
@@ -576,6 +603,18 @@ pub fn run_participant(opts: &ParticipantOptions) -> Result<(), String> {
     port.barrier(Duration::from_secs(15))?;
     let start = Instant::now();
 
+    if opts.partition_hold {
+        // The transient partition: freeze with the mesh formed and the
+        // script not yet started. Sockets stay open and heartbeats
+        // cease, so the peers' accrual detectors climb into Suspected
+        // — but, tuned for the outage, never Confirm. `crash_now`
+        // returns when the coordinator's `SIGCONT` heals the
+        // partition; every scenario step is then overdue and fires
+        // zero-clamped, the buffered inbound traffic drains, and the
+        // run completes as if the outage were one long latency spike.
+        crash_now(CrashMode::Stop);
+    }
+
     let barrier_crash = opts.crash_after.is_some() && opts.crash_point == CrashPoint::Barrier;
     let commit_crash = (opts.crash_after.is_some() && opts.crash_point == CrashPoint::Commit)
         .then_some(opts.crash_mode);
@@ -630,6 +669,14 @@ pub struct CoordinatorOptions {
     /// zombie-resolver experiment. The resumed victim finishes its
     /// drive loop and prints a report like any other node.
     pub resume_after: Option<Duration>,
+    /// Transient partition: `SIGSTOP` this node right after the
+    /// barrier and `SIGCONT` it after the outage. Unlike
+    /// [`CoordinatorOptions::crash`], the victim's script is *not*
+    /// suppressed and the run is assessed as a clean run — the §4.4
+    /// message law must hold after the heal and **no** deserter may be
+    /// reported, because with [`CoordinatorOptions::with_partition`]'s
+    /// detector tuning the outage only ever reaches `Suspected`.
+    pub partition: Option<(NodeId, Duration)>,
     /// Transport tuning handed to every child.
     pub config: WireConfig,
     /// Children's drive-loop idle timeout.
@@ -654,6 +701,7 @@ impl CoordinatorOptions {
             crash_point: CrashPoint::Barrier,
             crash_after: Duration::from_millis(150),
             resume_after: None,
+            partition: None,
             config: WireConfig::default(),
             idle_timeout: Duration::from_millis(300),
             deadline: Duration::from_secs(30),
@@ -662,16 +710,36 @@ impl CoordinatorOptions {
 
     /// Injects a crash: victim, mode, and tuned timeouts so survivors
     /// outlast detection (idle must exceed `crash_after` plus the
-    /// crash timeout, or they would quiesce before deserting the
-    /// victim).
+    /// confirmation latency, or they would quiesce before deserting
+    /// the victim). The legacy 400ms timeout on a 40ms heartbeat maps
+    /// to φ ≈ 4.3 via [`WireConfig::with_crash_timeout`].
     #[must_use]
     pub fn with_crash(mut self, victim: NodeId, mode: CrashMode) -> Self {
         self.crash = Some(victim);
         self.crash_mode = mode;
         self.obs = false;
         self.config.heartbeat_interval = Duration::from_millis(40);
-        self.config.crash_timeout = Duration::from_millis(400);
+        self.config = self.config.with_crash_timeout(Duration::from_millis(400));
         self.idle_timeout = Duration::from_millis(1500);
+        self
+    }
+
+    /// Injects a *transient* partition: `victim` is `SIGSTOP`ped right
+    /// after the barrier and `SIGCONT`ed after `outage`. The detector
+    /// is tuned so the outage crosses the suspicion threshold early
+    /// (the flap is observable) but confirmation would need 2.5× the
+    /// outage of silence — the healed peer rejoins, resolution
+    /// completes with every participant, and the §4.4 message law
+    /// still holds. Survivor idle timeouts are stretched past the
+    /// outage so nobody quiesces while the resolution waits for the
+    /// partitioned peer's ACK.
+    #[must_use]
+    pub fn with_partition(mut self, victim: NodeId, outage: Duration) -> Self {
+        self.partition = Some((victim, outage));
+        self.config.heartbeat_interval = Duration::from_millis(40);
+        self.config = self.config.with_crash_timeout(outage.mul_f64(2.5));
+        self.idle_timeout = outage + Duration::from_millis(1000);
+        self.deadline = self.deadline.max(outage.mul_f64(4.0) + Duration::from_secs(15));
         self
     }
 
@@ -907,12 +975,21 @@ pub fn run_coordinator(opts: &CoordinatorOptions) -> Result<RunSummary, String> 
             .arg(opts.idle_timeout.as_millis().to_string())
             .arg("--heartbeat-ms")
             .arg(opts.config.heartbeat_interval.as_millis().to_string())
-            .arg("--crash-timeout-ms")
-            .arg(opts.config.crash_timeout.as_millis().to_string())
+            .arg("--phi-suspect")
+            .arg(opts.config.phi_suspect.to_string())
+            .arg("--phi-confirm")
+            .arg(opts.config.phi_confirm.to_string())
+            .arg("--phi-window")
+            .arg(opts.config.phi_window.to_string())
+            .arg("--reconnect-backoff-ms")
+            .arg(opts.config.reconnect_backoff.as_millis().to_string())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit());
         if let Some(addr) = obs_addr {
             cmd.arg("--obs").arg(addr.to_string());
+        }
+        if opts.partition.is_some_and(|(victim, _)| victim == id) {
+            cmd.arg("--partition-hold").arg("1");
         }
         if opts.crash == Some(id) {
             cmd.arg("--crash-after-ms")
@@ -951,7 +1028,12 @@ pub fn run_coordinator(opts: &CoordinatorOptions) -> Result<RunSummary, String> 
         return Err(e);
     }
 
-    if let (Some(victim), Some(after)) = (opts.crash, opts.resume_after) {
+    let resume = match (opts.crash, opts.resume_after, opts.partition) {
+        (Some(victim), Some(after), _) => Some((victim, after)),
+        (_, _, Some((victim, outage))) => Some((victim, outage)),
+        _ => None,
+    };
+    if let Some((victim, after)) = resume {
         if let Some((_, child)) = children.iter().find(|(id, _)| *id == victim) {
             let pid = child.id().to_string();
             thread::spawn(move || {

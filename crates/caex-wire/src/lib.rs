@@ -14,11 +14,16 @@
 //!   that carries [`caex::Msg`] values (via the `caex::codec` payload
 //!   encoding) plus the control frames the mesh itself needs (hello,
 //!   heartbeat, ready, bye).
+//! - [`detector`] — the phi-accrual failure estimator: per-peer
+//!   heartbeat inter-arrival history scored as a continuous suspicion
+//!   level φ, with separate *suspect* and *confirm* thresholds.
 //! - [`wire`] — [`wire::WirePort`], a [`caex_net::FifoPort`]
 //!   implementation over the socket mesh: per-peer writer threads,
-//!   heartbeats, bounded-backoff reconnect, and crash detection that
-//!   surfaces a silent peer as a §4.2 *deserter* through
-//!   [`caex_net::FifoPort::take_crashed`].
+//!   heartbeats, reconnect-and-resume with incarnation-tagged
+//!   re-handshakes, and two-stage (`Suspected → Confirmed`) failure
+//!   detection that surfaces a confirmed-dead peer as a §4.2
+//!   *deserter* through [`caex_net::FifoPort::take_crashed`] and a
+//!   transient outage through `take_suspected` / `take_rejoined`.
 //! - [`scenario`] — the paper workloads (Examples 1 and 2, and the
 //!   general `(n, p, q)` family) re-packaged for wall-clock execution,
 //!   with the §4.4 message-count law attached where it applies.
@@ -31,11 +36,13 @@
 //! all of it from the command line; see the README's "Wire transport"
 //! walkthrough.
 
+pub mod detector;
 pub mod frame;
 pub mod harness;
 pub mod scenario;
 pub mod wire;
 
+pub use detector::PhiEstimator;
 pub use frame::{Frame, FrameError};
 pub use harness::{CoordinatorOptions, CrashMode, RunSummary, Transport};
 pub use scenario::WireScenario;

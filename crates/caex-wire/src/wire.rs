@@ -14,15 +14,41 @@
 //!
 //! Failure detection: an idle outbound link carries a
 //! [`Frame::Heartbeat`] every [`WireConfig::heartbeat_interval`]. The
-//! receiving side timestamps every frame; a peer silent for longer
-//! than [`WireConfig::crash_timeout`], or whose connection ends
-//! without a [`Frame::Bye`], is reported once by
-//! [`FifoPort::take_crashed`] — which the drive loop folds into
-//! [`caex::Participant::on_deserter`], so a crashed participant
-//! surfaces as a §4.2 *deserter* instead of hanging resolution.
-//! Writers that lose their connection re-dial with bounded
-//! exponential backoff before giving the peer up for dead.
+//! receiving side timestamps every frame and feeds the gaps to a
+//! per-peer [`PhiEstimator`]; the current silence is scored as a
+//! continuous suspicion level φ with **two** thresholds:
+//!
+//! - φ ≥ [`WireConfig::phi_suspect`] — the peer is *Suspected*:
+//!   reported (re-reportably) by [`FifoPort::take_suspected`], which
+//!   the drive loop folds into `Participant::on_suspect` — purely
+//!   informational, nothing is excluded. When the silence ends the
+//!   flap is reported by [`FifoPort::take_rejoined`] and the
+//!   participant re-forwards any commit the peer missed.
+//! - φ ≥ [`WireConfig::phi_confirm`] **on two successive detector
+//!   polls at least one heartbeat apart** — the peer is *Confirmed*
+//!   dead: reported once by [`FifoPort::take_crashed`], which the
+//!   drive loop folds into [`caex::Participant::on_deserter`], so a
+//!   crashed participant surfaces as a §4.2 *deserter* instead of
+//!   hanging resolution. The second poll protects a process resuming
+//!   from `SIGSTOP`: its `last_seen` clocks are uniformly stale until
+//!   its reader threads drain the buffered heartbeats, and one
+//!   heartbeat of grace is exactly the time that takes.
+//!
+//! Hard evidence skips the accrual: a connection that ends without a
+//! [`Frame::Bye`] (and without a newer-incarnation replacement link),
+//! or a writer whose redial rounds are exhausted, confirms
+//! immediately.
+//!
+//! Reconnect-and-resume: a writer that loses its connection re-dials
+//! with [`WireConfig::reconnect_backoff`] (doubling per round),
+//! re-handshakes with an incarnation-bumped [`Frame::Hello`], replays
+//! the in-flight frame, and carries on draining its FIFO — the
+//! outbound queue survives the outage. The accepting side sees the
+//! higher incarnation, stands its suspicion down, and reports the
+//! rejoin. Recovery traffic is accounted in [`NetStats`] under the
+//! `reconnect` / `suspicion_flap` / `replayed_frame` recovery kinds.
 
+use crate::detector::PhiEstimator;
 use crate::frame::{read_frame, write_frame, Frame};
 use caex::Event;
 use caex_net::{FifoPort, Kinded, NetStats, NodeId, RecvTimeoutError};
@@ -35,7 +61,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -88,8 +114,18 @@ pub struct WireConfig {
     pub dial_backoff: Duration,
     /// An idle outbound link sends a heartbeat this often.
     pub heartbeat_interval: Duration,
-    /// A peer silent for this long is reported crashed.
-    pub crash_timeout: Duration,
+    /// Suspicion threshold: φ at which a silent peer becomes
+    /// *Suspected* (informational, reversible).
+    pub phi_suspect: f64,
+    /// Confirmation threshold: φ at which a silent peer becomes
+    /// *Confirmed* dead (after holding for two polls one heartbeat
+    /// apart) and is reported as a §4.2 deserter.
+    pub phi_confirm: f64,
+    /// Inter-arrival samples kept per peer by the phi estimator.
+    pub phi_window: usize,
+    /// Backoff before a writer's first mid-run redial round; doubles
+    /// per round, [`WireConfig::dial_retries`] rounds total.
+    pub reconnect_backoff: Duration,
     /// Hard cap on any single blocking read (self-cleaning readers).
     pub read_timeout: Duration,
 }
@@ -101,9 +137,27 @@ impl Default for WireConfig {
             dial_retries: 6,
             dial_backoff: Duration::from_millis(25),
             heartbeat_interval: Duration::from_millis(50),
-            crash_timeout: Duration::from_millis(700),
+            phi_suspect: 1.0,
+            phi_confirm: 8.0,
+            phi_window: 64,
+            reconnect_backoff: Duration::from_millis(25),
             read_timeout: Duration::from_secs(10),
         }
+    }
+}
+
+impl WireConfig {
+    /// Maps a legacy fixed crash timeout onto the accrual detector:
+    /// sets [`WireConfig::phi_confirm`] so that, at nominal heartbeat
+    /// cadence, confirmation latency matches `timeout`. Call *after*
+    /// setting [`WireConfig::heartbeat_interval`].
+    #[must_use]
+    pub fn with_crash_timeout(mut self, timeout: Duration) -> Self {
+        self.phi_confirm = crate::detector::phi_for_timeout(
+            timeout.as_secs_f64(),
+            self.heartbeat_interval.as_secs_f64(),
+        );
+        self
     }
 }
 
@@ -175,7 +229,8 @@ impl Write for WireStream {
 }
 
 /// Shared liveness bookkeeping, updated by reader/writer threads and
-/// consumed by [`FifoPort::take_crashed`] and the barrier.
+/// consumed by the detector poll behind [`FifoPort::take_crashed`] /
+/// `take_suspected` / `take_rejoined`, and by the barrier.
 #[derive(Default)]
 struct MeshState {
     last_seen: HashMap<NodeId, Instant>,
@@ -183,6 +238,24 @@ struct MeshState {
     departed: HashSet<NodeId>,
     dead: HashSet<NodeId>,
     reported: HashSet<NodeId>,
+    /// Per-peer phi-accrual estimators, fed by reader threads.
+    estimators: HashMap<NodeId, PhiEstimator>,
+    /// Peers currently past the suspicion threshold.
+    suspected: HashSet<NodeId>,
+    /// First poll instant at which φ crossed the confirmation
+    /// threshold; confirmation needs a second crossing one heartbeat
+    /// later (see the module docs on `SIGSTOP` resume).
+    confirm_at: HashMap<NodeId, Instant>,
+    /// Highest Hello incarnation seen per peer. A higher re-handshake
+    /// marks a reconnect; a reader whose link breaks only marks the
+    /// peer dead if no newer link has handshaked since.
+    incarnations: HashMap<NodeId, u32>,
+    /// Undrained `Suspected` transitions for `take_suspected`.
+    suspect_events: Vec<NodeId>,
+    /// Undrained rejoin transitions for `take_rejoined`.
+    rejoin_events: Vec<NodeId>,
+    /// Undrained `Confirmed` transitions for `take_crashed`.
+    crashed_events: Vec<NodeId>,
     /// Per-peer minimum observed `recv_local_us − sent_us` over all
     /// protocol frames: one-way delay plus clock offset. The minimum
     /// is the tightest upper bound on the peer's clock being *behind*
@@ -266,26 +339,33 @@ impl WireBound {
         let stats = Arc::new(Mutex::new(NetStats::default()));
         let shutdown = Arc::new(AtomicBool::new(false));
         let epoch = Arc::new(Mutex::new(Instant::now()));
+        // Dial generation, shared by every writer: 0 at mesh
+        // formation, bumped per mid-run redial so acceptors can tell a
+        // reconnect from a stale or duplicate link.
+        let incarnation = Arc::new(AtomicU32::new(0));
         let (inbox_tx, inbox_rx) = channel::unbounded();
 
         // Inbound half: accept until shutdown, one reader per link.
         listener.set_nonblocking(true)?;
         {
             let state = Arc::clone(&state);
+            let stats = Arc::clone(&stats);
             let shutdown = Arc::clone(&shutdown);
             let inbox_tx: Sender<(NodeId, Event)> = inbox_tx.clone();
             let epoch = Arc::clone(&epoch);
-            let read_timeout = config.read_timeout;
+            let config_cl = config.clone();
             thread::spawn(move || {
                 while !shutdown.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok(stream) => {
-                            stream.tune(read_timeout);
+                            stream.tune(config_cl.read_timeout);
                             let state = Arc::clone(&state);
+                            let stats = Arc::clone(&stats);
                             let inbox_tx = inbox_tx.clone();
                             let epoch = Arc::clone(&epoch);
+                            let config_cl = config_cl.clone();
                             thread::spawn(move || {
-                                reader_loop(stream, &state, &inbox_tx, &epoch);
+                                reader_loop(stream, &state, &stats, &inbox_tx, &epoch, &config_cl);
                             });
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -305,13 +385,25 @@ impl WireBound {
             if peer == id {
                 continue;
             }
-            let stream = dial(peer_addr, &config, id)?;
+            let stream = dial(peer_addr, &config, id, 0)?;
             let (tx, rx) = channel::unbounded();
             let peer_addr = peer_addr.clone();
             let config_cl = config.clone();
             let state_cl = Arc::clone(&state);
+            let stats_cl = Arc::clone(&stats);
+            let incarnation_cl = Arc::clone(&incarnation);
             writers.push(thread::spawn(move || {
-                writer_loop(id, peer, stream, &peer_addr, &config_cl, &rx, &state_cl);
+                writer_loop(
+                    id,
+                    peer,
+                    stream,
+                    &peer_addr,
+                    &config_cl,
+                    &rx,
+                    &state_cl,
+                    &stats_cl,
+                    &incarnation_cl,
+                );
             }));
             senders.insert(peer, tx);
         }
@@ -343,8 +435,14 @@ impl WireBound {
 }
 
 /// Dials `addr` with bounded exponential backoff, sending the
-/// identifying [`Frame::Hello`] on success.
-fn dial(addr: &WireAddr, config: &WireConfig, hello_as: NodeId) -> io::Result<WireStream> {
+/// identifying [`Frame::Hello`] (tagged with the link's dial
+/// generation) on success.
+fn dial(
+    addr: &WireAddr,
+    config: &WireConfig,
+    hello_as: NodeId,
+    incarnation: u32,
+) -> io::Result<WireStream> {
     let mut last_err = io::Error::other("no dial attempt made");
     for attempt in 0..=config.dial_retries {
         if attempt > 0 {
@@ -359,7 +457,7 @@ fn dial(addr: &WireAddr, config: &WireConfig, hello_as: NodeId) -> io::Result<Wi
         match connected {
             Ok(mut stream) => {
                 stream.tune(config.read_timeout);
-                match write_frame(&mut stream, &Frame::Hello { id: hello_as }) {
+                match write_frame(&mut stream, &Frame::Hello { id: hello_as, incarnation }) {
                     Ok(()) => return Ok(stream),
                     Err(e) => last_err = e,
                 }
@@ -370,27 +468,84 @@ fn dial(addr: &WireAddr, config: &WireConfig, hello_as: NodeId) -> io::Result<Wi
     Err(last_err)
 }
 
+/// Registers a Hello on the accepting side. A strictly higher
+/// incarnation than the recorded one is a mid-run reconnect: the peer
+/// survived its outage and is resuming, so any death evidence the
+/// silence accrued is withdrawn and the rejoin is queued (the drive
+/// loop turns it into a commit-forwarding round). Returns the link's
+/// incarnation for the reader to remember.
+fn register_hello(
+    state: &Mutex<MeshState>,
+    stats: &Mutex<NetStats>,
+    peer: NodeId,
+    incarnation: u32,
+) -> u32 {
+    let mut reconnected = false;
+    {
+        let mut st = state.lock();
+        st.last_seen.insert(peer, Instant::now());
+        let prev = st.incarnations.get(&peer).copied();
+        if prev.is_none_or(|p| incarnation > p) {
+            st.incarnations.insert(peer, incarnation);
+        }
+        if prev.is_some_and(|p| incarnation > p) {
+            reconnected = true;
+            st.dead.remove(&peer);
+            st.confirm_at.remove(&peer);
+            let was_reported = st.reported.remove(&peer);
+            if st.suspected.remove(&peer) || was_reported {
+                st.rejoin_events.push(peer);
+            }
+        }
+    }
+    if reconnected {
+        stats.lock().record_recovery("reconnect");
+    }
+    incarnation
+}
+
 /// Inbound link: identify the peer from its Hello, then timestamp and
-/// dispatch every frame. A link ending without a Bye marks the peer
-/// dead; Bye marks it departed.
+/// dispatch every frame, feeding inter-arrival gaps to the peer's phi
+/// estimator. A link ending without a Bye marks the peer dead — unless
+/// a newer-incarnation link has handshaked since, in which case this
+/// is just the old link of a completed reconnect being torn down. Bye
+/// marks the peer departed.
 fn reader_loop(
     mut stream: WireStream,
     state: &Mutex<MeshState>,
+    stats: &Mutex<NetStats>,
     inbox: &Sender<(NodeId, Event)>,
     epoch: &Mutex<Instant>,
+    config: &WireConfig,
 ) {
-    let peer = match read_frame(&mut stream) {
-        Ok(Frame::Hello { id }) => id,
+    let (peer, link_incarnation) = match read_frame(&mut stream) {
+        Ok(Frame::Hello { id, incarnation }) => {
+            (id, register_hello(state, stats, id, incarnation))
+        }
         _ => return, // not a mesh peer; drop the connection
     };
-    state.lock().last_seen.insert(peer, Instant::now());
+    let window = config.phi_window;
+    let floor = config.heartbeat_interval.as_secs_f64();
     loop {
         match read_frame(&mut stream) {
             Ok(frame) => {
                 let recv_us = i64::try_from(epoch.lock().elapsed().as_micros())
                     .unwrap_or(i64::MAX);
+                if let Frame::Hello { id, incarnation } = &frame {
+                    // A repeated Hello on an open link: keep the
+                    // bookkeeping current but nothing else changes.
+                    register_hello(state, stats, *id, *incarnation);
+                    continue;
+                }
+                let now = Instant::now();
                 let mut st = state.lock();
-                st.last_seen.insert(peer, Instant::now());
+                if let Some(prev) = st.last_seen.insert(peer, now) {
+                    let gap = now.saturating_duration_since(prev).as_secs_f64();
+                    st.estimators
+                        .entry(peer)
+                        .or_insert_with(|| PhiEstimator::new(window, floor))
+                        .observe(gap);
+                }
                 match frame {
                     Frame::Msg { from, sent_us, msg } => {
                         // One skew sample per protocol frame: one-way
@@ -419,7 +574,11 @@ fn reader_loop(
             }
             Err(_) => {
                 let mut st = state.lock();
-                if !st.departed.contains(&peer) {
+                let superseded = st
+                    .incarnations
+                    .get(&peer)
+                    .is_some_and(|cur| *cur > link_incarnation);
+                if !st.departed.contains(&peer) && !superseded {
                     st.dead.insert(peer);
                 }
                 return;
@@ -429,8 +588,18 @@ fn reader_loop(
 }
 
 /// Outbound link: drain the FIFO channel into the stream, heartbeat
-/// when idle, reconnect with bounded backoff on a broken pipe, and
-/// exit after writing Bye (explicit or on channel close).
+/// when idle, reconnect-and-resume on a broken pipe, and exit after
+/// writing Bye (explicit or on channel close).
+///
+/// The reconnect rounds back off from [`WireConfig::reconnect_backoff`]
+/// (doubling, [`WireConfig::dial_retries`] rounds); each successful
+/// redial re-handshakes with a bumped-incarnation Hello and *replays
+/// the in-flight frame*, then resumes draining the FIFO — the
+/// undelivered outbound queue survives the outage intact, preserving
+/// per-sender FIFO across the reconnect. Exhausting every round is
+/// hard death evidence: the peer is marked dead for immediate
+/// confirmation.
+#[allow(clippy::too_many_arguments)]
 fn writer_loop(
     own_id: NodeId,
     peer: NodeId,
@@ -439,6 +608,8 @@ fn writer_loop(
     config: &WireConfig,
     rx: &Receiver<Frame>,
     state: &Mutex<MeshState>,
+    stats: &Mutex<NetStats>,
+    incarnation: &AtomicU32,
 ) {
     loop {
         let frame = match rx.recv_timeout(config.heartbeat_interval) {
@@ -448,19 +619,47 @@ fn writer_loop(
         };
         let ending = matches!(frame, Frame::Bye);
         if write_frame(&mut stream, &frame).is_err() {
-            match dial(peer_addr, config, own_id) {
-                Ok(s) => {
-                    stream = s;
-                    if write_frame(&mut stream, &frame).is_err() {
-                        state.lock().dead.insert(peer);
-                        return;
-                    }
-                }
-                Err(_) => {
-                    // Reconnect exhausted: the peer is gone for good.
+            // No point resuming a link whose peer is already known
+            // gone (reader EOF, departure, or a confirmed report) —
+            // reconnect rounds are for peers that might come back.
+            let gone = {
+                let st = state.lock();
+                st.departed.contains(&peer)
+                    || st.dead.contains(&peer)
+                    || st.reported.contains(&peer)
+            };
+            if gone {
+                if !ending {
                     state.lock().dead.insert(peer);
-                    return;
                 }
+                return;
+            }
+            let mut replayed = false;
+            for round in 0..=config.dial_retries {
+                thread::sleep(config.reconnect_backoff * 2u32.saturating_pow(round));
+                let generation = incarnation.fetch_add(1, Ordering::Relaxed) + 1;
+                // Single-attempt redial per round; the round loop owns
+                // the backoff schedule.
+                let single = WireConfig { dial_retries: 0, ..config.clone() };
+                let Ok(mut s) = dial(peer_addr, &single, own_id, generation) else {
+                    continue;
+                };
+                if write_frame(&mut s, &frame).is_ok() {
+                    stream = s;
+                    replayed = true;
+                    let mut stats = stats.lock();
+                    stats.record_recovery("reconnect");
+                    if !matches!(frame, Frame::Heartbeat) {
+                        stats.record_recovery("replayed_frame");
+                    }
+                    break;
+                }
+            }
+            if !replayed {
+                // Every reconnect round exhausted: hard evidence the
+                // peer is gone for good.
+                state.lock().dead.insert(peer);
+                return;
             }
         }
         if ending {
@@ -623,6 +822,82 @@ impl WirePort {
         v
     }
 
+    /// One failure-detector poll: scores every monitored peer's
+    /// current silence as φ and walks the `Alive → Suspected →
+    /// Confirmed` ladder, queueing the transitions for the three
+    /// `take_*` drains.
+    ///
+    /// Confirmation requires hard death evidence (reader EOF without a
+    /// Bye, or a writer's reconnect rounds exhausted) *or* φ ≥
+    /// [`WireConfig::phi_confirm`] held across two polls at least one
+    /// heartbeat apart — a freshly `SIGCONT`ed process polls with
+    /// uniformly stale `last_seen` clocks, and the grace poll gives
+    /// its readers one heartbeat to drain the buffered evidence that
+    /// everyone is actually fine.
+    fn poll_detector(&self) {
+        let now = Instant::now();
+        let hb = self.config.heartbeat_interval;
+        let floor = hb.as_secs_f64();
+        let mut flaps = 0u64;
+        {
+            let mut st = self.state.lock();
+            for peer in self.senders.keys() {
+                if st.departed.contains(peer) || st.reported.contains(peer) {
+                    continue;
+                }
+                let hard_dead = st.dead.contains(peer);
+                let silence = st
+                    .last_seen
+                    .get(peer)
+                    .map(|seen| now.duration_since(*seen).as_secs_f64())
+                    .unwrap_or(0.0);
+                let phi = st
+                    .estimators
+                    .get(peer)
+                    .map_or(silence / (floor * std::f64::consts::LN_10), |e| {
+                        e.phi(silence)
+                    });
+                // Suspicion level: informational, fully reversible.
+                if hard_dead || phi >= self.config.phi_suspect {
+                    if st.suspected.insert(*peer) {
+                        st.suspect_events.push(*peer);
+                    }
+                } else if st.suspected.remove(peer) {
+                    st.rejoin_events.push(*peer);
+                    flaps += 1;
+                }
+                // Confirmation: hard evidence now, accrual on the
+                // second poll.
+                let confirmed = if hard_dead {
+                    true
+                } else if phi >= self.config.phi_confirm {
+                    match st.confirm_at.get(peer) {
+                        Some(first) => now.duration_since(*first) >= hb,
+                        None => {
+                            st.confirm_at.insert(*peer, now);
+                            false
+                        }
+                    }
+                } else {
+                    st.confirm_at.remove(peer);
+                    false
+                };
+                if confirmed {
+                    st.reported.insert(*peer);
+                    st.suspected.remove(peer);
+                    st.confirm_at.remove(peer);
+                    st.crashed_events.push(*peer);
+                }
+            }
+        }
+        if flaps > 0 {
+            let mut stats = self.stats.lock();
+            for _ in 0..flaps {
+                stats.record_recovery("suspicion_flap");
+            }
+        }
+    }
+
     fn recv_event(&self, timeout: Duration) -> Result<(NodeId, Event), RecvTimeoutError> {
         match self.inbox_rx.recv_timeout(timeout) {
             Ok((from, event)) => {
@@ -653,24 +928,24 @@ impl FifoPort<Event> for WirePort {
     }
 
     fn take_crashed(&self) -> Vec<NodeId> {
-        let now = Instant::now();
-        let mut st = self.state.lock();
-        let mut crashed = Vec::new();
-        for peer in self.senders.keys() {
-            if st.reported.contains(peer) || st.departed.contains(peer) {
-                continue;
-            }
-            let silent = st
-                .last_seen
-                .get(peer)
-                .is_some_and(|seen| now.duration_since(*seen) > self.config.crash_timeout);
-            if st.dead.contains(peer) || silent {
-                st.reported.insert(*peer);
-                crashed.push(*peer);
-            }
-        }
+        self.poll_detector();
+        let mut crashed = std::mem::take(&mut self.state.lock().crashed_events);
         crashed.sort_unstable();
         crashed
+    }
+
+    fn take_suspected(&self) -> Vec<NodeId> {
+        self.poll_detector();
+        let mut suspected = std::mem::take(&mut self.state.lock().suspect_events);
+        suspected.sort_unstable();
+        suspected
+    }
+
+    fn take_rejoined(&self) -> Vec<NodeId> {
+        self.poll_detector();
+        let mut rejoined = std::mem::take(&mut self.state.lock().rejoin_events);
+        rejoined.sort_unstable();
+        rejoined
     }
 
     fn drain_undelivered(&self) -> usize {

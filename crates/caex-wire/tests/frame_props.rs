@@ -76,7 +76,8 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        any::<u32>().prop_map(|id| Frame::Hello { id: NodeId::new(id) }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(id, incarnation)| Frame::Hello { id: NodeId::new(id), incarnation }),
         Just(Frame::Heartbeat),
         Just(Frame::Ready),
         (any::<u32>(), any::<u64>(), arb_msg())

@@ -95,6 +95,30 @@ fn frozen_participant_is_detected_by_heartbeat_timeout() {
 }
 
 #[test]
+fn transient_partition_heals_with_full_agreement_and_zero_deserters() {
+    // Node 3 SIGSTOPs itself right after the barrier and is SIGCONTed
+    // by the coordinator after a full second — well past the old fixed
+    // 700ms crash timeout that would have amputated it. The phi
+    // detector (tuned by `with_partition` so the outage only reaches
+    // the *suspect* stage) must ride out the outage: the run is
+    // assessed as a clean run, so the §4.4 message law, the exactly-one
+    // -handler-per-participant check, and the zero-deserter check all
+    // apply to the healed mesh.
+    let opts = CoordinatorOptions::new("example1", wire_binary())
+        .with_partition(NodeId::new(3), std::time::Duration::from_millis(1000));
+    let summary = run_coordinator(&opts).expect("coordinated partition run");
+    assert!(summary.ok(), "failures: {:?}", summary.failures);
+    assert_eq!(summary.total_sent, 10, "§4.4 law must hold across the healed partition");
+    assert!(
+        summary.deserters.is_empty(),
+        "a healed partition must never surface a deserter: {:?}",
+        summary.deserters
+    );
+    let baseline = WireScenario::sim_baseline("example1").expect("sim oracle");
+    assert_eq!(summary.resolved, baseline.agreed.map(|e| e.index()));
+}
+
+#[test]
 fn resolver_killed_at_the_commit_point_fails_over() {
     // Node 2 is Example 1's max raiser, hence the elected §4.2
     // resolver. A commit-point crash kills it after it has collected

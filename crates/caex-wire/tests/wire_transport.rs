@@ -108,13 +108,12 @@ fn example1_over_unix_sockets_matches_the_simulator() {
     assert_eq!(outcome.resolved, baseline.agreed);
 }
 
-/// Short liveness clocks so the silence tests finish fast.
+/// Short liveness clocks so the silence tests finish fast: 30ms
+/// heartbeats with the legacy alias mapping 150ms of silence to the
+/// confirm threshold (φ ≈ 2.17 at the empty-history floor).
 fn twitchy_config() -> WireConfig {
-    WireConfig {
-        heartbeat_interval: Duration::from_millis(30),
-        crash_timeout: Duration::from_millis(150),
-        ..WireConfig::default()
-    }
+    WireConfig { heartbeat_interval: Duration::from_millis(30), ..WireConfig::default() }
+        .with_crash_timeout(Duration::from_millis(150))
 }
 
 /// A fake peer occupying node id 1: a raw listener (so the port under
@@ -128,7 +127,8 @@ fn port_with_fake_peer(config: &WireConfig) -> (WirePort, TcpStream) {
     let port = bound.connect(&[real_addr.clone(), fake_addr]).expect("mesh");
     let WireAddr::Tcp(real_sock) = real_addr else { unreachable!("bound tcp") };
     let mut inbound = TcpStream::connect(real_sock).expect("fake dials in");
-    write_frame(&mut inbound, &Frame::Hello { id: NodeId::new(1) }).expect("fake hello");
+    write_frame(&mut inbound, &Frame::Hello { id: NodeId::new(1), incarnation: 0 })
+        .expect("fake hello");
     (port, inbound)
 }
 
@@ -152,9 +152,9 @@ fn silent_peer_is_detected_by_heartbeat_timeout() {
     let (port, _inbound) = port_with_fake_peer(&config);
     // The fake said Hello and then went silent: no heartbeats, no Bye.
     let crashed = poll_crashed(&port, Duration::from_secs(5));
-    assert_eq!(crashed, vec![NodeId::new(1)], "silence past crash_timeout is a crash");
+    assert_eq!(crashed, vec![NodeId::new(1)], "silence past the confirm threshold is a crash");
     // Exactly-once reporting: the same peer never surfaces again.
-    thread::sleep(config.crash_timeout + Duration::from_millis(50));
+    thread::sleep(Duration::from_millis(200));
     assert!(port.take_crashed().is_empty());
 }
 
@@ -164,7 +164,7 @@ fn goodbye_is_a_departure_not_a_crash() {
     let (port, mut inbound) = port_with_fake_peer(&config);
     write_frame(&mut inbound, &Frame::Bye).expect("fake bye");
     drop(inbound); // close the socket — with a Bye first, this is graceful
-    thread::sleep(config.crash_timeout * 3);
+    thread::sleep(Duration::from_millis(450));
     assert!(
         port.take_crashed().is_empty(),
         "a peer that says Bye must never be reported crashed"
@@ -178,4 +178,35 @@ fn abrupt_disconnect_without_bye_is_a_crash() {
     drop(inbound); // EOF with no Bye: the link died
     let crashed = poll_crashed(&port, Duration::from_secs(5));
     assert_eq!(crashed, vec![NodeId::new(1)]);
+}
+
+/// The two-stage detector: a latency spike long enough to cross the
+/// *suspect* threshold but healed before the *confirm* threshold
+/// surfaces through `take_suspected` / `take_rejoined`, never through
+/// `take_crashed`.
+#[test]
+fn latency_spike_is_suspected_then_rejoined_not_crashed() {
+    let config = twitchy_config();
+    let (port, mut inbound) = port_with_fake_peer(&config);
+    // φ crosses the suspect threshold (1.0) at ~69ms of silence at the
+    // empty-history floor; the confirm threshold needs ~150ms.
+    thread::sleep(Duration::from_millis(100));
+    let suspected = port.take_suspected();
+    assert_eq!(suspected, vec![NodeId::new(1)], "a 100ms spike must raise suspicion");
+    assert!(port.take_crashed().is_empty(), "suspicion alone must never confirm");
+
+    // The spike heals: one heartbeat clears φ back below the bar.
+    write_frame(&mut inbound, &Frame::Heartbeat).expect("fake heartbeat");
+    let until = Instant::now() + Duration::from_secs(5);
+    let mut rejoined = Vec::new();
+    while Instant::now() < until && rejoined.is_empty() {
+        rejoined = port.take_rejoined();
+        thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(rejoined, vec![NodeId::new(1)], "a healed spike must surface as a rejoin");
+    assert!(port.take_crashed().is_empty(), "the flap must never be reported as a crash");
+    assert!(
+        port.stats().lock().recovery_of_kind("suspicion_flap") >= 1,
+        "the flap must be accounted in NetStats"
+    );
 }

@@ -10,7 +10,12 @@
 //! into the port, and folds the transport's failure detector into the
 //! protocol by turning [`FifoPort::take_crashed`] reports into
 //! [`Participant::on_deserter`] calls — so a crashed peer surfaces as
-//! a *deserter* instead of hanging resolution.
+//! a *deserter* instead of hanging resolution. Accrual detectors
+//! additionally surface [`FifoPort::take_suspected`] /
+//! [`FifoPort::take_rejoined`] transitions, which map onto
+//! [`Participant::on_suspect`] / [`Participant::on_rejoin`] — the
+//! rejoin path re-forwards any commit the peer missed while it was
+//! unreachable.
 //!
 //! Timer semantics: due local events always fire before the next
 //! receive. Two nodes that schedule steps at the same offset from a
@@ -160,7 +165,18 @@ where
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
-        // Fold failure-detector reports into the protocol.
+        // Fold failure-detector reports into the protocol. Suspicions
+        // first (informational), then rejoins (commit re-forwarding),
+        // then confirmations (exclusion) — so a peer that flapped and
+        // died in one poll window is handled in causal order.
+        for peer in port.take_suspected() {
+            effects.extend(participant.on_suspect(peer));
+            last_activity = Instant::now();
+        }
+        for peer in port.take_rejoined() {
+            effects.extend(participant.on_rejoin(peer));
+            last_activity = Instant::now();
+        }
         for peer in port.take_crashed() {
             effects.extend(participant.on_deserter(peer));
             summary.deserted += 1;

@@ -210,6 +210,27 @@ pub enum Note {
         /// The crashed peer.
         peer: NodeId,
     },
+    /// The accrual failure detector suspects a peer (silence beyond the
+    /// suspicion threshold φ) without confirming its death: no
+    /// obligation is waived, no exclusion happens — a latency spike or
+    /// transient partition must not amputate a healthy peer. Either a
+    /// [`Note::PeerRejoined`] (the peer returned) or a
+    /// [`Note::Deserted`] (the detector confirmed) follows.
+    PeerSuspected {
+        /// The observing object.
+        object: NodeId,
+        /// The suspected peer.
+        peer: NodeId,
+    },
+    /// A previously suspected peer was heard from again (the suspicion
+    /// flapped — the partition healed). The observer re-forwards any
+    /// commit the peer may have missed while unreachable.
+    PeerRejoined {
+        /// The observing object.
+        object: NodeId,
+        /// The returning peer.
+        peer: NodeId,
+    },
     /// The failure detector reported the *elected resolver* of an
     /// in-flight resolution as dead: the survivor drops the deserter's
     /// raised exceptions and (with failover enabled) falls back to the

@@ -201,6 +201,23 @@ pub enum Event {
         /// The object the failure detector gave up on.
         peer: NodeId,
     },
+    /// Internal: the accrual failure detector *suspects* `peer` (φ
+    /// crossed the suspicion threshold) but has not confirmed its
+    /// death. Folded into
+    /// [`Participant::on_suspect`](crate::Participant::on_suspect) —
+    /// informational, no obligations are waived.
+    PeerSuspected {
+        /// The suspected object.
+        peer: NodeId,
+    },
+    /// Internal: a previously suspected `peer` was heard from again
+    /// (the partition healed). Folded into
+    /// [`Participant::on_rejoin`](crate::Participant::on_rejoin),
+    /// which re-forwards any commit the peer may have missed.
+    PeerRejoined {
+        /// The returning object.
+        peer: NodeId,
+    },
 }
 
 impl Kinded for Event {
@@ -214,6 +231,8 @@ impl Kinded for Event {
             Event::AbortionDone { .. } => "local_abortion_done",
             Event::HandlerDone { .. } => "local_handler_done",
             Event::DeserterSuspected { .. } => "local_deserter_suspected",
+            Event::PeerSuspected { .. } => "local_peer_suspected",
+            Event::PeerRejoined { .. } => "local_peer_rejoined",
         }
     }
 

@@ -68,6 +68,12 @@ struct RoundState {
 pub struct ObsBridge {
     rounds: HashMap<ActionId, RoundState>,
     open_handlers: HashMap<NodeId, ActionId>,
+    /// Peers currently observed as suspected, keyed on the emitted
+    /// events — makes the suspicion translations idempotent, since a
+    /// suspicion can surface twice (once through the drive loop's
+    /// detector polling, once through the engine's own proof-of-life
+    /// path inside an event handle).
+    suspected_peers: std::collections::HashSet<NodeId>,
 }
 
 impl ObsBridge {
@@ -270,6 +276,30 @@ impl ObsBridge {
         }
     }
 
+    /// Streams one note produced *outside* an event handle — the drive
+    /// loops poll the transport's failure detector directly and fold
+    /// [`Participant::on_suspect`] / [`Participant::on_rejoin`] /
+    /// [`Participant::on_deserter`] effects in without going through
+    /// [`ObsBridge::post`]. The suspicion translations are idempotent,
+    /// so a note that also flowed through `post` is not emitted twice.
+    pub fn note_out_of_band(
+        &mut self,
+        object: NodeId,
+        note: &Note,
+        at: SimTime,
+        wall: Option<u64>,
+        obs: &mut dyn Observer,
+    ) {
+        let mk = |action: ActionId, round: u32, kind: ObsKind| ObsEvent {
+            at,
+            wall_micros: wall,
+            object,
+            span: CorrelationId { action, round },
+            kind,
+        };
+        self.translate_note(note, &mk, obs);
+    }
+
     fn translate_note(
         &mut self,
         note: &Note,
@@ -359,6 +389,30 @@ impl ObsBridge {
                     *action,
                     self.round_of(*action),
                     ObsKind::ResolverSuspected { resolver: *peer },
+                ));
+            }
+            // Suspicion is a node-level observation with no action
+            // span of its own; the zero action is the span-less
+            // convention (round 0 keeps it out of the law checks).
+            // The guards make translation idempotent: notes can reach
+            // the bridge both through an event handle and out-of-band
+            // from a drive loop, and only the first sighting counts.
+            Note::PeerSuspected { peer, .. }
+                if self.suspected_peers.insert(*peer) =>
+            {
+                obs.on_event(&mk(
+                    ActionId::new(0),
+                    0,
+                    ObsKind::PeerSuspected { peer: *peer },
+                ));
+            }
+            Note::PeerRejoined { peer, .. }
+                if self.suspected_peers.remove(peer) =>
+            {
+                obs.on_event(&mk(
+                    ActionId::new(0),
+                    0,
+                    ObsKind::PeerRejoined { peer: *peer },
                 ));
             }
             Note::ResolverReelected { action, resolver, replaced } => {

@@ -150,6 +150,20 @@ pub struct Participant {
     /// Peers reported crashed by the transport's failure detector;
     /// permanently excluded from every peer set (see [`Self::on_deserter`]).
     deserters: HashSet<NodeId>,
+    /// Peers the transport's accrual detector currently *suspects*
+    /// (silence past the suspicion threshold, not yet confirmed dead).
+    /// Unlike `deserters` this set shrinks again when the peer is heard
+    /// from ([`Self::on_rejoin`]); a suspect keeps all its obligations.
+    suspects: HashSet<NodeId>,
+    /// Resolutions that committed here while some participant was
+    /// suspected: the suspects that may have missed the commit, per
+    /// action. Drained by [`Self::on_rejoin`]'s commit-forwarding round.
+    missed_commits: HashMap<ActionId, BTreeSet<NodeId>>,
+    /// Actions whose orphaned resolution context this object discarded
+    /// (`stand_down_if_orphaned`) without learning the outcome. A
+    /// forwarded `Commit` for such an action is still accepted — the
+    /// close of the p = 1 partial-commit hole.
+    stood_down: HashSet<ActionId>,
     /// Actions whose committed resolution was re-broadcast once in
     /// answer to a crash-orphaned peer's probe; at most one announce
     /// per action keeps the recovery traffic bounded.
@@ -197,6 +211,9 @@ impl Participant {
             leave_requested: HashSet::new(),
             leave_ready: HashMap::new(),
             deserters: HashSet::new(),
+            suspects: HashSet::new(),
+            missed_commits: HashMap::new(),
+            stood_down: HashSet::new(),
             recovery_announced: HashSet::new(),
             failover: true,
         }
@@ -337,6 +354,16 @@ impl Participant {
         d
     }
 
+    /// The peers currently suspected (reported via [`Self::on_suspect`]
+    /// and not yet cleared by [`Self::on_rejoin`] or promoted by
+    /// [`Self::on_deserter`]).
+    #[must_use]
+    pub fn suspects(&self) -> Vec<NodeId> {
+        let mut s: Vec<NodeId> = self.suspects.iter().copied().collect();
+        s.sort_unstable();
+        s
+    }
+
     /// Feeds a canonical digest of this participant's protocol-visible
     /// state — `SA`, `LE`, `LO`, pending acknowledgements, buffered
     /// belated messages, abortion progress, leave bookkeeping and
@@ -365,6 +392,12 @@ impl Participant {
         resolved.sort_unstable();
         resolved.hash(h);
         sorted(&self.recovery_announced).hash(h);
+        sorted(&self.stood_down).hash(h);
+        sorted(&self.suspects).hash(h);
+        let mut missed: Vec<(ActionId, &BTreeSet<NodeId>)> =
+            self.missed_commits.iter().map(|(a, s)| (*a, s)).collect();
+        missed.sort_unstable_by_key(|(a, _)| *a);
+        missed.hash(h);
         sorted(&self.deferred_completes).hash(h);
         let mut buffered: Vec<(ActionId, &Vec<Msg>)> = self.buffered.iter().map(|(a, m)| (*a, m)).collect();
         buffered.sort_unstable_by_key(|(a, _)| *a);
@@ -439,6 +472,9 @@ impl Participant {
             leave_requested: self.leave_requested.clone(),
             leave_ready: self.leave_ready.clone(),
             deserters: self.deserters.clone(),
+            suspects: self.suspects.clone(),
+            missed_commits: self.missed_commits.clone(),
+            stood_down: self.stood_down.clone(),
             recovery_announced: self.recovery_announced.clone(),
             failover: self.failover,
         })
@@ -470,6 +506,12 @@ impl Participant {
             // reported deserter is discarded with a note and mutates
             // nothing. Monotone premise: `deserters` only grows.
             return Some(Silence::Always);
+        }
+        if self.suspects.contains(&msg.sender()) {
+            // Proof of life: the delivery clears the sender's
+            // suspicion (and may forward an owed commit) no matter
+            // what the message itself says — never silent.
+            return None;
         }
         if self.resolved.contains_key(&action) {
             // Stale post-commit traffic — silent unless it is about to
@@ -624,12 +666,46 @@ impl Participant {
         if peer == self.id || !self.deserters.insert(peer) {
             return fx;
         }
+        // A confirmation subsumes any open suspicion of the same peer.
+        self.suspects.remove(&peer);
         fx.push(Effect::Note(Note::Deserted {
             object: self.id,
             peer,
         }));
         if !self.failover {
             return fx;
+        }
+        // Commit forwarding: the deserter may have been a sole raiser
+        // that committed to only part of the action before dying (the
+        // p = 1 partial commit). A survivor already holding the
+        // decision re-forwards it once, so orphans that stood down —
+        // and will never send the traffic that triggers the stale-probe
+        // rebroadcast — still converge on the committed exception.
+        let mut forwards: Vec<(ActionId, Exception)> = self
+            .resolved
+            .iter()
+            .filter(|(a, _)| {
+                self.registry
+                    .scope(**a)
+                    .is_ok_and(|s| s.is_participant(peer))
+            })
+            .map(|(a, e)| (*a, e.clone()))
+            .collect();
+        forwards.sort_unstable_by_key(|(a, _)| *a);
+        for (action, exc) in forwards {
+            if !self.recovery_announced.insert(action) {
+                continue;
+            }
+            for to in self.peers(action) {
+                fx.push(Effect::Send {
+                    to,
+                    msg: Msg::Commit {
+                        action,
+                        from: self.id,
+                        exc: exc.clone(),
+                    },
+                });
+            }
         }
         if let Some(res) = &mut self.res {
             res.pending_acks.remove(&peer);
@@ -716,6 +792,75 @@ impl Participant {
         fx
     }
 
+    /// Records that the transport's accrual detector *suspects* `peer`
+    /// (silence beyond the suspicion threshold φ, not yet confirmed).
+    ///
+    /// Unlike [`Self::on_deserter`] this changes no protocol state: a
+    /// suspect keeps every obligation (its ACKs are still awaited, its
+    /// raises still vote) because a latency spike or transient
+    /// partition must not amputate a healthy peer. The suspicion is
+    /// remembered so a commit fanned out in the meantime can be
+    /// re-forwarded when the peer returns ([`Self::on_rejoin`]).
+    pub fn on_suspect(&mut self, peer: NodeId) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if peer == self.id || self.deserters.contains(&peer) || !self.suspects.insert(peer) {
+            return fx;
+        }
+        fx.push(Effect::Note(Note::PeerSuspected {
+            object: self.id,
+            peer,
+        }));
+        fx
+    }
+
+    /// Clears a suspicion: `peer` was heard from again (a suspicion
+    /// flap — the partition healed, the latency spike passed).
+    ///
+    /// Runs the commit-forwarding round toward the returning peer: any
+    /// resolution that committed here while `peer` was suspected is
+    /// re-sent as a `Commit` directly to it, in case the original
+    /// fan-out was swallowed by the partition. The duplicate-commit
+    /// path absorbs the re-send idempotently if the peer already knows.
+    pub fn on_rejoin(&mut self, peer: NodeId) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if !self.suspects.remove(&peer) {
+            return fx;
+        }
+        fx.push(Effect::Note(Note::PeerRejoined {
+            object: self.id,
+            peer,
+        }));
+        if !self.failover {
+            return fx;
+        }
+        let mut owed: Vec<ActionId> = self
+            .missed_commits
+            .iter()
+            .filter(|(_, missed)| missed.contains(&peer))
+            .map(|(a, _)| *a)
+            .collect();
+        owed.sort_unstable();
+        for action in owed {
+            if let Some(exc) = self.resolved.get(&action).cloned() {
+                fx.push(Effect::Send {
+                    to: peer,
+                    msg: Msg::Commit {
+                        action,
+                        from: self.id,
+                        exc,
+                    },
+                });
+            }
+            if let Some(missed) = self.missed_commits.get_mut(&action) {
+                missed.remove(&peer);
+                if missed.is_empty() {
+                    self.missed_commits.remove(&action);
+                }
+            }
+        }
+        fx
+    }
+
     /// Main entry point: consume one event, emit the resulting effects.
     ///
     /// # Panics
@@ -738,6 +883,8 @@ impl Participant {
             } => self.on_abortion_done(action, signal, epoch, &mut fx),
             Event::HandlerDone { action, signal } => self.on_handler_done(action, signal, &mut fx),
             Event::DeserterSuspected { peer } => fx.extend(self.on_deserter(peer)),
+            Event::PeerSuspected { peer } => fx.extend(self.on_suspect(peer)),
+            Event::PeerRejoined { peer } => fx.extend(self.on_rejoin(peer)),
         }
         fx
     }
@@ -945,6 +1092,15 @@ impl Participant {
                 msg,
             }));
             return;
+        }
+        // Proof of life: a protocol message from a merely *suspected*
+        // peer clears the suspicion before the message is interpreted,
+        // so a commit triggered by this very message cannot count its
+        // own sender as a suspect that "missed" it. Any commit the
+        // peer genuinely missed while suspected is forwarded here.
+        if self.suspects.contains(&msg.sender()) {
+            let rejoin = self.on_rejoin(msg.sender());
+            fx.extend(rejoin);
         }
         if let Some(exc) = self.resolved.get(&action).cloned() {
             // The resolution here already committed. A peer still
@@ -1298,6 +1454,10 @@ impl Participant {
             && res.state != PState::Exceptional
             && !res.aborting
         {
+            // Remember the abandoned resolution: if some survivor got
+            // the dead raiser's commit after all, its forwarded
+            // `Commit` is still welcome (see `accept_commit`).
+            self.stood_down.insert(res.action);
             self.res = None;
         }
     }
@@ -1384,15 +1544,42 @@ impl Participant {
     /// Common commit path for the resolver itself and for `Commit`
     /// receivers: empty the lists and start the handler for `E`.
     fn accept_commit(&mut self, action: ActionId, from: NodeId, exc: Exception, fx: &mut Vec<Effect>) {
-        if self.res.as_ref().map(|r| r.action) != Some(action) {
+        // A stood-down orphan (every known raiser deserted before the
+        // outcome arrived) resumed normal computation without the
+        // resolution context; a commit forwarded by a better-informed
+        // survivor still applies as long as the action is the active
+        // one. This closes the p = 1 partial-commit hole: without it
+        // the forwarded decision would bounce off as stale and the
+        // orphan would complete normally while its peers handle an
+        // exception.
+        let resumable = self.failover
+            && self.res.is_none()
+            && self.stood_down.contains(&action)
+            && self.active_action() == Some(action);
+        if self.res.as_ref().map(|r| r.action) != Some(action) && !resumable {
             fx.push(Effect::Note(Note::StaleMessage {
                 object: self.id,
                 msg: Msg::Commit { action, from, exc },
             }));
             return;
         }
+        self.stood_down.remove(&action);
         self.res = None;
         self.resolved.insert(action, exc.clone());
+        // Suspected peers were not excluded from the fan-out (their
+        // obligations stand), but a transient partition may well have
+        // swallowed the commit on the wire: remember whom to re-send it
+        // to when the detector reports them back (`on_rejoin`).
+        if self.failover && !self.suspects.is_empty() {
+            let missed: BTreeSet<NodeId> = self
+                .peers(action)
+                .into_iter()
+                .filter(|p| self.suspects.contains(p))
+                .collect();
+            if !missed.is_empty() {
+                self.missed_commits.insert(action, missed);
+            }
+        }
         let (outcome, cost) = self.handler_table(action).invoke(&exc);
         let signal = match outcome {
             HandlerOutcome::Recovered => None,
@@ -2047,5 +2234,126 @@ mod tests {
         let again = p.on_deserter(NodeId::new(2));
         assert!(again.is_empty());
         assert_eq!(p.deserters(), vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn suspicion_is_informational_and_confirmable() {
+        let (mut p, a) = single_action(3);
+        p.handle(Event::Raise(Exception::new(ExceptionId::new(1))));
+        assert_eq!(p.state(), Some(PState::Exceptional));
+        let fx = p.on_suspect(NodeId::new(1));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Note(Note::PeerSuspected { peer, .. }) if *peer == NodeId::new(1))));
+        // A suspect keeps every obligation: the raiser still waits for
+        // its ACK, no commit fires, no exclusion happens.
+        assert_eq!(p.state(), Some(PState::Exceptional));
+        assert_eq!(p.suspects(), vec![NodeId::new(1)]);
+        assert!(p.on_suspect(NodeId::new(1)).is_empty(), "re-suspect is inert");
+        // Confirmation subsumes the suspicion.
+        p.on_deserter(NodeId::new(1));
+        assert!(p.suspects().is_empty());
+        assert_eq!(p.deserters(), vec![NodeId::new(1)]);
+        // A confirmed deserter can no longer be suspected.
+        assert!(p.on_suspect(NodeId::new(1)).is_empty());
+        let _ = a;
+    }
+
+    #[test]
+    fn stood_down_orphan_accepts_a_forwarded_commit() {
+        // The p = 1 partial-commit hole: the sole raiser O2 committed
+        // to part of the action and died; this object only ever held
+        // O2's exception as a ghost and stood down. A commit forwarded
+        // by a better-informed survivor must still be accepted.
+        let (mut p, a) = single_action(3);
+        p.handle(Event::Msg(Msg::Exception {
+            action: a,
+            from: NodeId::new(2),
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        p.on_deserter(NodeId::new(2));
+        assert!(p.is_normal(), "orphan stands down first");
+        let fx = p.handle(Event::Msg(Msg::Commit {
+            action: a,
+            from: NodeId::new(1),
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        assert!(
+            fx.iter()
+                .any(|e| matches!(e, Effect::Note(Note::HandlerStarted { .. }))),
+            "forwarded commit must start the handler, got {fx:?}"
+        );
+        // Idempotence: a second forward is absorbed as stale.
+        let again = p.handle(Event::Msg(Msg::Commit {
+            action: a,
+            from: NodeId::new(1),
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        assert!(again
+            .iter()
+            .all(|e| !matches!(e, Effect::Note(Note::HandlerStarted { .. }))));
+    }
+
+    #[test]
+    fn survivor_holding_the_commit_forwards_it_on_desertion() {
+        // This object got the sole raiser's commit before the crash; on
+        // the desertion report it must re-forward the decision so
+        // stood-down orphans converge.
+        let (mut p, a) = single_action(3);
+        p.handle(Event::Msg(Msg::Exception {
+            action: a,
+            from: NodeId::new(2),
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        p.handle(Event::Msg(Msg::Commit {
+            action: a,
+            from: NodeId::new(2),
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        assert!(p.is_normal());
+        let fx = p.on_deserter(NodeId::new(2));
+        let sent = sends(&fx);
+        assert!(
+            sent.iter()
+                .any(|(to, msg)| **to == NodeId::new(1) && matches!(msg, Msg::Commit { .. })),
+            "commit must be forwarded to the surviving peer, got {sent:?}"
+        );
+        assert!(
+            sent.iter().all(|(to, _)| **to != NodeId::new(2)),
+            "never forwarded to the deserter itself"
+        );
+    }
+
+    #[test]
+    fn rejoining_suspect_receives_the_commit_it_missed() {
+        let (mut p, a) = single_action(3);
+        // O1 goes silent behind a partition; suspicion is raised.
+        p.on_suspect(NodeId::new(1));
+        // Meanwhile the resolution commits here.
+        p.handle(Event::Msg(Msg::Exception {
+            action: a,
+            from: NodeId::new(2),
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        p.handle(Event::Msg(Msg::Commit {
+            action: a,
+            from: NodeId::new(2),
+            exc: Exception::new(ExceptionId::new(2)),
+        }));
+        // The partition heals: the returning peer is owed the commit.
+        let fx = p.on_rejoin(NodeId::new(1));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Note(Note::PeerRejoined { peer, .. }) if *peer == NodeId::new(1))));
+        let sent = sends(&fx);
+        assert_eq!(sent.len(), 1);
+        assert!(matches!(
+            sent[0],
+            (to, Msg::Commit { .. }) if *to == NodeId::new(1)
+        ));
+        // The debt is settled: a second flap forwards nothing.
+        p.on_suspect(NodeId::new(1));
+        let again = p.on_rejoin(NodeId::new(1));
+        assert!(sends(&again).is_empty());
     }
 }

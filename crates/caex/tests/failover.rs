@@ -149,6 +149,77 @@ fn reelected_resolver_commits_the_dead_resolvers_exception() {
 }
 
 #[test]
+fn sole_raiser_partial_commit_converges_via_forwarding() {
+    // The p = 1 soft spot: O3 is the only raiser of general(4,1,0), so
+    // the whole raised set dies with it. A partition window drops the
+    // commit O3 sends to O0 at t=202µs (exception t=2 → ACKs t=102 →
+    // commit t=202 under 100µs links), then O3 crashes. O1 and O2
+    // handled the commit; O0 holds only a ghost entry and stands down.
+    // Pre-forwarding, the run "terminated" with O0 silently completing
+    // normally while its peers handled an exception. Now the desertion
+    // report makes the informed survivors re-forward the decision, and
+    // the stood-down O0 accepts it: all three survivors handle.
+    let victim = NodeId::new(3);
+    let config = NetConfig::default()
+        .with_latency(LatencyModel::Constant(SimTime::from_micros(100)))
+        .with_faults(
+            FaultPlan::none()
+                .with_partition(
+                    [NodeId::new(0)],
+                    SimTime::from_micros(150),
+                    SimTime::from_micros(250),
+                )
+                .with_crash(victim, SimTime::from_micros(400)),
+        );
+    let workload = workloads::general(4, 1, 0, config);
+    let action = workload.action;
+    let report = workload.run();
+    assert_survivors_terminated(&report, victim, "p=1 partial commit");
+    assert_eq!(report.resolutions.len(), 1);
+    let handlers: Vec<NodeId> = report
+        .handlers_for(action)
+        .iter()
+        .map(|h| h.object)
+        .collect();
+    for survivor in (0..3).map(NodeId::new) {
+        assert!(
+            handlers.contains(&survivor),
+            "{survivor} must handle the forwarded commit; handlers: {handlers:?}"
+        );
+    }
+    // Agreement over the forwarded decision is part of
+    // assert_survivors_terminated; pin the exception too.
+    let agreed = report.agreed_exception(action).expect("resolved");
+    assert_eq!(agreed.id(), ExceptionId::new(1));
+}
+
+#[test]
+fn healing_partition_stalls_but_never_amputates() {
+    // The same topology under a *healing* partition and no crash: O0
+    // is unreachable while the resolution wants its ACK, the traffic
+    // is deferred (not dropped) to the heal time, and the run must
+    // finish with every participant handling — zero deserters, zero
+    // resolutions lost.
+    let config = NetConfig::default()
+        .with_latency(LatencyModel::Constant(SimTime::from_micros(100)))
+        .with_faults(FaultPlan::none().with_healing_partition(
+            [NodeId::new(0)],
+            SimTime::ZERO,
+            SimTime::from_millis(2),
+        ));
+    let workload = workloads::general(4, 1, 0, config);
+    let action = workload.action;
+    let report = workload.run();
+    assert!(report.is_clean(), "healed run must be clean");
+    assert_eq!(report.resolutions.len(), 1);
+    assert_eq!(
+        report.handlers_for(action).len(),
+        4,
+        "every participant handles after the heal"
+    );
+}
+
+#[test]
 fn thread_engine_crash_injection_fails_over_on_real_threads() {
     // The same failover on the threaded engine: node 2 raises, wins
     // the election, and is halted abruptly mid-protocol; the scripted
