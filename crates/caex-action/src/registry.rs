@@ -40,6 +40,10 @@ use caex_net::NodeId;
 #[derive(Debug, Clone, Default)]
 pub struct ActionRegistry {
     actions: Vec<ActionScope>,
+    /// First [`ActionId`] this registry hands out. Non-zero bases let
+    /// many independent registries coexist in one process (a fleet of
+    /// actions multiplexed by one engine) without id collisions.
+    base: u32,
 }
 
 impl ActionRegistry {
@@ -47,6 +51,49 @@ impl ActionRegistry {
     #[must_use]
     pub fn new() -> Self {
         ActionRegistry::default()
+    }
+
+    /// Creates an empty registry whose ids start at `base` instead of 0.
+    ///
+    /// Protocol state downstream is keyed by `(ActionId, round)`, so
+    /// distinct bases are what keep a fleet's actions disjoint in
+    /// metrics, observability and the resolution machine itself.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use caex_action::{ActionRegistry, ActionScope};
+    /// use caex_net::NodeId;
+    /// use caex_tree::chain_tree;
+    /// use std::sync::Arc;
+    ///
+    /// let mut reg = ActionRegistry::with_base(7);
+    /// let id = reg
+    ///     .declare(ActionScope::top_level(
+    ///         "A", [NodeId::new(0)], Arc::new(chain_tree(2)),
+    ///     ))
+    ///     .unwrap();
+    /// assert_eq!(id.index(), 7);
+    /// assert!(reg.scope(id).is_ok());
+    /// ```
+    #[must_use]
+    pub fn with_base(base: u32) -> Self {
+        ActionRegistry {
+            actions: Vec::new(),
+            base,
+        }
+    }
+
+    /// The first id this registry hands out (0 for [`ActionRegistry::new`]).
+    #[must_use]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Maps a (possibly offset) id to a slot in `actions`, if declared.
+    fn slot(&self, id: ActionId) -> Option<usize> {
+        let rel = id.index().checked_sub(self.base)? as usize;
+        (rel < self.actions.len()).then_some(rel)
     }
 
     /// Number of declared actions.
@@ -74,11 +121,11 @@ impl ActionRegistry {
         if scope.participants().is_empty() {
             return Err(ActionError::NoParticipants);
         }
-        let id = ActionId::new(self.actions.len() as u32);
+        let id = ActionId::new(self.base + self.actions.len() as u32);
         if let Some(parent) = scope.parent() {
             let parent_scope = self
-                .actions
-                .get(parent.index() as usize)
+                .slot(parent)
+                .map(|i| &self.actions[i])
                 .ok_or(ActionError::UnknownParent(parent))?;
             for &p in scope.participants() {
                 if !parent_scope.is_participant(p) {
@@ -99,8 +146,8 @@ impl ActionRegistry {
     ///
     /// Returns [`ActionError::UnknownAction`] for an undeclared id.
     pub fn scope(&self, id: ActionId) -> Result<&ActionScope, ActionError> {
-        self.actions
-            .get(id.index() as usize)
+        self.slot(id)
+            .map(|i| &self.actions[i])
             .ok_or(ActionError::UnknownAction(id))
     }
 
@@ -109,7 +156,7 @@ impl ActionRegistry {
         self.actions
             .iter()
             .enumerate()
-            .map(|(i, s)| (ActionId::new(i as u32), s))
+            .map(|(i, s)| (ActionId::new(self.base + i as u32), s))
     }
 
     /// Nesting depth of `id` (top-level actions have depth 0).
@@ -371,6 +418,47 @@ mod tests {
         assert_eq!(reg.children(a1).unwrap(), vec![a2]);
         assert_eq!(reg.children(a2).unwrap(), vec![a3]);
         assert!(reg.children(a3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn based_registry_offsets_ids_and_rejects_below_base() {
+        let t = tree();
+        let mut reg = ActionRegistry::with_base(10);
+        let a1 = reg
+            .declare(ActionScope::top_level(
+                "A1",
+                (0..3).map(NodeId::new),
+                Arc::clone(&t),
+            ))
+            .unwrap();
+        let a2 = reg
+            .declare(ActionScope::nested(
+                "A2",
+                [NodeId::new(1)],
+                Arc::clone(&t),
+                a1,
+            ))
+            .unwrap();
+        assert_eq!(a1, ActionId::new(10));
+        assert_eq!(a2, ActionId::new(11));
+        assert_eq!(reg.base(), 10);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.depth(a2).unwrap(), 1);
+        assert_eq!(reg.top_level(), vec![a1]);
+        assert_eq!(reg.children(a1).unwrap(), vec![a2]);
+        assert_eq!(reg.actions_of(NodeId::new(1)), vec![a1, a2]);
+        // Ids below the base (another instance's range) are unknown here.
+        assert!(matches!(
+            reg.scope(ActionId::new(3)),
+            Err(ActionError::UnknownAction(_))
+        ));
+        // A parent id from a foreign range is rejected at declaration.
+        let foreign = ActionScope::nested("X", [NodeId::new(1)], t, ActionId::new(2));
+        let mut reg2 = ActionRegistry::with_base(10);
+        assert!(matches!(
+            reg2.declare(foreign),
+            Err(ActionError::UnknownParent(_))
+        ));
     }
 
     #[test]

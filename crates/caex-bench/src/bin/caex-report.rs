@@ -9,13 +9,15 @@
 //! # `caex-wire --obs-out` trace of a multi-process run):
 //! caex-report analyze --in ex2.jsonl --table
 //! caex-report analyze --in ex2.jsonl --json report.json --folded ex2.folded
+//! caex-report analyze --in ex2.jsonl --folded-round 1 | flamegraph.pl
 //! caex-report analyze --in ex2.jsonl --check
 //! ```
 //!
 //! `--table` prints the per-round critical-path table (one row per
 //! `(action, round)`, phase columns summing to the total); `--json`
 //! writes the full report document; `--folded` writes folded flame
-//! stacks consumable by `flamegraph.pl` / speedscope; `--check`
+//! stacks consumable by `flamegraph.pl` / speedscope (`--folded-round
+//! <r>` prints one resolution round's stacks to stdout); `--check`
 //! verifies the causal invariants (acyclic happens-before graph, every
 //! receive matched to a send, phase attribution summing exactly to
 //! end-to-end latency) and exits nonzero on violation.
@@ -175,7 +177,7 @@ fn analyze_main(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("writing {out}: {e}"))?;
         produced = true;
     }
-    if let Some(out) = args.get("folded") {
+    if args.get("folded").is_some() || args.get("folded-round").is_some() {
         let mut flame = FlameBuilder::new();
         for event in &events {
             flame.on_event(event);
@@ -183,8 +185,29 @@ fn analyze_main(args: &Args) -> Result<(), String> {
         if let Some(last) = events.iter().map(|e| e.at).max() {
             flame.on_run_end(last);
         }
-        std::fs::write(out, flame.folded()).map_err(|e| format!("writing {out}: {e}"))?;
-        produced = true;
+        if let Some(out) = args.get("folded") {
+            std::fs::write(out, flame.folded()).map_err(|e| format!("writing {out}: {e}"))?;
+            produced = true;
+        }
+        // `--folded-round <r>` prints one round's folded stacks to
+        // stdout (round 0 is dwell outside any resolution), for piping
+        // straight into flamegraph tooling.
+        if let Some(round) = args.get("folded-round") {
+            let round: u32 = round
+                .parse()
+                .map_err(|_| format!("bad --folded-round value `{round}`"))?;
+            if !flame.rounds().contains(&round) {
+                return Err(format!(
+                    "round {round} accumulated no dwell (rounds seen: {:?})",
+                    flame.rounds()
+                ));
+            }
+            let mut stdout = std::io::stdout().lock();
+            stdout
+                .write_all(flame.folded_for_round(round).as_bytes())
+                .map_err(|e| format!("writing folded stacks: {e}"))?;
+            produced = true;
+        }
     }
     if args.has("check") {
         check(&graph).map_err(|e| format!("check failed: {e}"))?;

@@ -12,6 +12,11 @@
 //! (happens-before DAGs and critical-path attribution over the worked
 //! examples and baselines) and writes `BENCH_PR7.json`-format output,
 //! exiting nonzero if a DAG or phase-sum invariant fails.
+//!
+//! `--load-json <path>` runs the E21 saturation study (open-loop
+//! Poisson load through the sharded fleet engine vs the `central` and
+//! `cr` baselines) and writes `BENCH_PR10.json`-format output, exiting
+//! nonzero if the study's structure or a per-action §4.4 law fails.
 
 use caex_bench::{
     render_table, table_abort_depth, table_case1, table_case2, table_case3,
@@ -373,6 +378,25 @@ fn main() {
                 }
                 Err(why) => {
                     eprintln!("bench json validation FAILED: {why}");
+                    std::process::exit(1);
+                }
+            }
+        } else if arg == "--load-json" {
+            let path = args.next().expect("--load-json requires a path");
+            let cells = caex_load::suite::bench_pr10();
+            let doc = caex_load::suite::bench_pr10_json(&cells);
+            match caex_load::suite::validate_bench_pr10(&doc) {
+                Ok(count) => {
+                    eprint!("{}", caex_load::suite::render_saturation_table(&doc));
+                    let mut text = doc.to_string();
+                    text.push('\n');
+                    std::fs::write(&path, text).expect("failed to write load json");
+                    eprintln!(
+                        "load json ({count} cells, saturation + §4.4 laws ok) written to {path}"
+                    );
+                }
+                Err(why) => {
+                    eprintln!("load json validation FAILED: {why}");
                     std::process::exit(1);
                 }
             }

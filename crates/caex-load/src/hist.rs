@@ -1,0 +1,227 @@
+//! An hdrhistogram-style log-bucketed latency recorder.
+//!
+//! [`LogHistogram`] keeps exact counts for values below 64 and
+//! logarithmic buckets with 32 linear sub-buckets per octave above
+//! that, bounding relative quantile error at ~3% across the full `u64`
+//! range — the classic High Dynamic Range histogram layout. Unlike
+//! [`caex_obs::MetricsRegistry`]'s fixed-bound histograms (whose
+//! buckets must be declared up front), this recorder needs no a-priori
+//! knowledge of the latency range, which is exactly what an open-loop
+//! saturation sweep requires: under overload, latencies grow without
+//! bound.
+
+/// Log-bucketed histogram of `u64` values (microseconds, by
+/// convention). Recording is O(1); quantiles are nearest-rank over the
+/// bucket array, reported as the bucket's upper bound clamped to the
+/// observed maximum.
+#[derive(Debug, Clone, Default)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Values below this are their own bucket (exact); above, each octave
+/// splits into `LINEAR` sub-buckets.
+const EXACT: u64 = 64;
+const LINEAR: usize = 32;
+
+fn index_of(v: u64) -> usize {
+    if v < EXACT {
+        return v as usize;
+    }
+    // Shift so the value lands in [32, 64): `shift` is the octave
+    // above the exact range, the shifted value the sub-bucket.
+    let shift = 63 - u64::from(v.leading_zeros()) - 5;
+    #[allow(clippy::cast_possible_truncation)]
+    let sub = (v >> shift) as usize;
+    shift as usize * LINEAR + sub
+}
+
+fn upper_bound_of(index: usize) -> u64 {
+    if index < EXACT as usize {
+        return index as u64;
+    }
+    let shift = index / LINEAR - 1;
+    let sub = (index - shift * LINEAR) as u64;
+    ((sub + 1) << shift) - 1
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = index_of(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if self.count == 1 {
+            self.min = v;
+        }
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 if empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded value (0 if empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 if empty).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// The nearest-rank `q`-quantile (`0 < q <= 1`), reported as the
+    /// containing bucket's upper bound, clamped to the recorded
+    /// maximum. Returns 0 when empty.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return upper_bound_of(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// The 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// The 99.9th percentile.
+    #[must_use]
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotonic() {
+        let mut prev = 0;
+        for v in [0u64, 1, 63, 64, 65, 127, 128, 1000, 65_535, 1 << 40] {
+            let idx = index_of(v);
+            assert!(idx >= prev, "index not monotonic at {v}");
+            assert!(upper_bound_of(idx) >= v, "upper bound below value at {v}");
+            // Relative error of the upper bound is under 1/32.
+            assert!(
+                upper_bound_of(idx) - v <= v / 32 + 1,
+                "bucket too wide at {v}: ub {}",
+                upper_bound_of(idx)
+            );
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), 31);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.count(), 64);
+    }
+
+    #[test]
+    fn percentiles_bound_relative_error() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 10); // 10us .. 100ms
+        }
+        for (q, exact) in [(0.50, 50_000u64), (0.99, 99_000), (0.999, 99_900)] {
+            let got = h.percentile(q);
+            let err = got.abs_diff(exact) as f64 / exact as f64;
+            assert!(err < 0.04, "q={q}: got {got}, exact {exact}, err {err}");
+        }
+        assert_eq!(h.percentile(1.0), 100_000);
+    }
+
+    #[test]
+    fn outlier_clamps_to_max_and_merge_sums() {
+        let mut a = LogHistogram::new();
+        a.record(100);
+        let mut b = LogHistogram::new();
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.p999(), 1_000_000, "p999 clamps to the recorded max");
+        assert_eq!(a.p50(), upper_bound_of(index_of(100)));
+    }
+}

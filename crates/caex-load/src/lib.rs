@@ -1,0 +1,53 @@
+//! Open-loop load generation and the saturation study for the caex
+//! resolution engines.
+//!
+//! The paper analyses one resolution at a time: §4.4 prices a single
+//! action's concurrent-exception round at `(N−1)(2P+3Q+1)` messages.
+//! This crate asks the systems question that analysis leaves open:
+//! what happens when a *stream* of independent actions hits one
+//! resolution engine faster than it drains?
+//!
+//! Three pieces:
+//!
+//! - [`arrivals`] — seeded open-loop arrival processes
+//!   (`poisson:<rate>`, `burst:<n>@<ms>`);
+//! - [`hist`] — an hdrhistogram-style log-bucketed latency recorder
+//!   (p50/p99/p999 with ~3% relative error, no a-priori bounds);
+//! - [`suite`] — the saturation study itself: the paper's engine
+//!   (via [`caex::shard::FleetEngine`]) against the `central` and
+//!   `cr` baselines across offered rates and worker concurrency,
+//!   rendered as the pinned `BENCH_PR10.json`.
+//!
+//! Everything is virtual-time deterministic: the same seed produces
+//! bit-identical schedules, latencies and JSON, which is how the
+//! checked-in study document can be enforced by a test.
+//!
+//! # Example
+//!
+//! One low-load cell through the paper's engine:
+//!
+//! ```
+//! use caex_load::arrivals::ArrivalSpec;
+//! use caex_load::suite::{run_load, Engine, LoadConfig};
+//!
+//! let outcome = run_load(&LoadConfig {
+//!     engine: Engine::Sim,
+//!     arrivals: ArrivalSpec::parse("poisson:200").unwrap(),
+//!     actions: 40,
+//!     ..Default::default()
+//! });
+//! assert_eq!(outcome.completed, 40);
+//! assert_eq!(outcome.law_holds, Some(true));
+//! assert_eq!(outcome.deadline_misses, 0);
+//! ```
+
+pub mod arrivals;
+pub mod hist;
+pub mod suite;
+
+pub use arrivals::ArrivalSpec;
+pub use hist::LogHistogram;
+pub use suite::{
+    bench_pr10, bench_pr10_json, render_saturation_table, run_load, validate_bench_pr10, Engine,
+    LoadConfig, LoadOutcome, SaturationCell,
+};

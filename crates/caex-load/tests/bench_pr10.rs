@@ -1,0 +1,90 @@
+//! Pins the checked-in `BENCH_PR10.json` to a live regeneration: the
+//! load generator, the fleet engine and the baseline replays are all
+//! virtual-time-deterministic, so the saturation study at the repo
+//! root must match what the code produces today, bit for bit.
+
+use caex_load::suite::{bench_pr10, bench_pr10_json, validate_bench_pr10};
+use caex_obs::JsonValue;
+
+fn checked_in() -> JsonValue {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_PR10.json exists at the repo root");
+    caex_obs::json::parse(&text).expect("BENCH_PR10.json parses")
+}
+
+#[test]
+fn checked_in_saturation_study_validates() {
+    assert_eq!(validate_bench_pr10(&checked_in()), Ok(27));
+}
+
+#[test]
+fn checked_in_saturation_study_matches_live_regeneration() {
+    let live = bench_pr10_json(&bench_pr10());
+    assert_eq!(
+        checked_in(),
+        live,
+        "BENCH_PR10.json is stale — regenerate with \
+         `cargo run -p caex-load --bin caex-load -- saturation --out BENCH_PR10.json`"
+    );
+}
+
+#[test]
+fn sim_rows_hold_the_law_and_baselines_are_marked_inapplicable() {
+    let doc = checked_in();
+    let rows = doc.get("rows").and_then(JsonValue::as_array).unwrap();
+    let law = doc
+        .get("workload")
+        .and_then(|w| w.get("law_messages"))
+        .and_then(JsonValue::as_u64)
+        .unwrap();
+    assert_eq!(law, 24, "(N-1)(2P+3Q+1) with N=4, P=2, Q=1");
+    for row in rows {
+        match row.get("engine").and_then(JsonValue::as_str).unwrap() {
+            "sim" => {
+                assert_eq!(row.get("law_holds").and_then(JsonValue::as_bool), Some(true));
+                assert_eq!(
+                    row.get("messages_per_action").and_then(JsonValue::as_u64),
+                    Some(law)
+                );
+            }
+            _ => assert_eq!(row.get("law_holds"), Some(&JsonValue::Null)),
+        }
+    }
+}
+
+#[test]
+fn low_load_rows_miss_no_deadlines() {
+    let doc = checked_in();
+    let rows = doc.get("rows").and_then(JsonValue::as_array).unwrap();
+    for row in rows {
+        let offered = row.get("offered_per_sec").and_then(JsonValue::as_f64).unwrap();
+        if offered <= 800.0 {
+            assert_eq!(
+                row.get("deadline_misses").and_then(JsonValue::as_u64),
+                Some(0),
+                "low-load cell missed deadlines: {row}"
+            );
+        }
+    }
+}
+
+#[test]
+fn saturation_caps_achieved_throughput_below_offered() {
+    // The saturated cells are the study's point: at 12800/s offered
+    // over one 2-slot shard, every engine's achieved throughput must
+    // fall visibly short of the offered rate.
+    let doc = checked_in();
+    let rows = doc.get("rows").and_then(JsonValue::as_array).unwrap();
+    for row in rows {
+        let offered = row.get("offered_per_sec").and_then(JsonValue::as_f64).unwrap();
+        let shards = row.get("shards").and_then(JsonValue::as_u64).unwrap();
+        let capacity = row.get("capacity").and_then(JsonValue::as_u64).unwrap();
+        let achieved = row.get("achieved_per_sec").and_then(JsonValue::as_f64).unwrap();
+        if offered >= 12_800.0 && shards == 1 && capacity == 2 {
+            assert!(
+                achieved < 0.8 * offered,
+                "expected saturation at (1,2) offered {offered}: achieved {achieved}"
+            );
+        }
+    }
+}

@@ -86,6 +86,15 @@ pub trait Kinded {
     fn wire_len(&self) -> usize {
         16
     }
+
+    /// The index of the action this payload belongs to, if any — used
+    /// by [`NetStats`] to break counters down per action when many
+    /// actions multiplex one network. The default (`None`) keeps
+    /// single-action payloads and non-protocol traffic out of the
+    /// per-action tables.
+    fn action_index(&self) -> Option<u32> {
+        None
+    }
 }
 
 impl Kinded for &'static str {

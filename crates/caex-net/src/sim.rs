@@ -394,12 +394,19 @@ impl<M: Kinded + Clone> SimNet<M> {
 
         self.stats.record_send(kind);
         self.stats.record_channel(from, to);
+        let action = payload.action_index();
+        if let Some(a) = action {
+            self.stats.record_action_send(a);
+        }
         self.record(self.now, TraceEventKind::Sent, from, to, kind);
 
         // Partitions sever at send time: messages already in flight
         // when a partition begins still arrive (they left the sender).
         if self.config.faults.is_partitioned(from, to, self.now) {
             self.stats.record_drop(kind);
+            if let Some(a) = action {
+                self.stats.record_action_drop(a);
+            }
             self.stats.record_fault(FaultEvent::Partitioned.label());
             self.record(
                 self.now,
@@ -415,6 +422,9 @@ impl<M: Kinded + Clone> SimNet<M> {
             && self.rng.gen_bool(self.config.faults.drop_probability())
         {
             self.stats.record_drop(kind);
+            if let Some(a) = action {
+                self.stats.record_action_drop(a);
+            }
             self.stats.record_fault(FaultEvent::Dropped.label());
             self.record(
                 self.now,
@@ -580,6 +590,9 @@ impl<M: Kinded + Clone> SimNet<M> {
             if let DeliverySource::Remote(from) = ev.source {
                 if self.is_crashed(ev.to) {
                     self.stats.record_drop(ev.label);
+                    if let Some(a) = ev.payload.action_index() {
+                        self.stats.record_action_drop(a);
+                    }
                     self.stats
                         .record_fault(FaultEvent::DestinationCrashed.label());
                     self.record(
@@ -592,6 +605,9 @@ impl<M: Kinded + Clone> SimNet<M> {
                     continue;
                 }
                 self.stats.record_delivery(ev.label);
+                if let Some(a) = ev.payload.action_index() {
+                    self.stats.record_action_delivery(a);
+                }
                 self.record(ev.at, TraceEventKind::Delivered, from, ev.to, ev.label);
             } else {
                 if self.is_crashed(ev.to) {

@@ -41,6 +41,21 @@ pub struct NetStats {
     /// than suffering one.
     #[serde(default)]
     recovery: BTreeMap<String, u64>,
+    /// Per-action counters, keyed by action index, for networks shared
+    /// by a fleet of actions (see [`Kinded::action_index`](crate::Kinded::action_index)).
+    #[serde(default)]
+    per_action: BTreeMap<u32, ActionCounters>,
+}
+
+/// Send/delivery/drop counters for one action sharing a network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionCounters {
+    /// Messages sent on behalf of this action.
+    pub sent: u64,
+    /// Messages delivered on behalf of this action.
+    pub delivered: u64,
+    /// Messages dropped (faults, crashed destinations) for this action.
+    pub dropped: u64,
 }
 
 impl NetStats {
@@ -99,6 +114,32 @@ impl NetStats {
     /// Records one drop of a message of `kind`.
     pub fn record_drop(&mut self, kind: &str) {
         *self.dropped.entry(kind.to_owned()).or_default() += 1;
+    }
+
+    /// Records one send attributed to action `action`.
+    pub fn record_action_send(&mut self, action: u32) {
+        self.per_action.entry(action).or_default().sent += 1;
+    }
+
+    /// Records one delivery attributed to action `action`.
+    pub fn record_action_delivery(&mut self, action: u32) {
+        self.per_action.entry(action).or_default().delivered += 1;
+    }
+
+    /// Records one drop attributed to action `action`.
+    pub fn record_action_drop(&mut self, action: u32) {
+        self.per_action.entry(action).or_default().dropped += 1;
+    }
+
+    /// Counters for one action, zeroed if the action never used this net.
+    #[must_use]
+    pub fn action_counters(&self, action: u32) -> ActionCounters {
+        self.per_action.get(&action).copied().unwrap_or_default()
+    }
+
+    /// Iterates `(action index, counters)` pairs in action order.
+    pub fn actions_seen(&self) -> impl Iterator<Item = (u32, ActionCounters)> + '_ {
+        self.per_action.iter().map(|(&a, &c)| (a, c))
     }
 
     /// Updates the high-water mark of simultaneously in-flight messages.
@@ -210,6 +251,12 @@ impl NetStats {
         for (k, v) in &other.recovery {
             *self.recovery.entry(k.clone()).or_default() += v;
         }
+        for (&a, c) in &other.per_action {
+            let mine = self.per_action.entry(a).or_default();
+            mine.sent += c.sent;
+            mine.delivered += c.delivered;
+            mine.dropped += c.dropped;
+        }
         self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
     }
 }
@@ -241,6 +288,17 @@ impl fmt::Display for NetStats {
                 self.delivered_of_kind(kind),
                 self.dropped_of_kind(kind)
             )?;
+        }
+        // Per-action rows only earn space when the net is actually
+        // shared: a single action's row would repeat the totals.
+        if self.per_action.len() > 1 {
+            for (a, c) in &self.per_action {
+                writeln!(
+                    f,
+                    "  A{a}: sent {} delivered {} dropped {}",
+                    c.sent, c.delivered, c.dropped
+                )?;
+            }
         }
         for (kind, count) in &self.faults {
             writeln!(f, "  fault {kind}: {count}")?;
@@ -383,6 +441,42 @@ mod tests {
         let text = a.to_string();
         assert!(text.contains("recovery reconnect: 2"), "{text}");
         assert!(text.contains("recovery suspicion_flap: 1"), "{text}");
+    }
+
+    #[test]
+    fn per_action_counters_accumulate_and_merge() {
+        let mut a = NetStats::default();
+        a.record_action_send(0);
+        a.record_action_send(0);
+        a.record_action_delivery(0);
+        a.record_action_send(3);
+        a.record_action_drop(3);
+        let mut b = NetStats::default();
+        b.record_action_send(3);
+        a.merge(&b);
+        assert_eq!(a.action_counters(0).sent, 2);
+        assert_eq!(a.action_counters(0).delivered, 1);
+        assert_eq!(a.action_counters(3).sent, 2);
+        assert_eq!(a.action_counters(3).dropped, 1);
+        assert_eq!(a.action_counters(7), ActionCounters::default());
+        let seen: Vec<u32> = a.actions_seen().map(|(i, _)| i).collect();
+        assert_eq!(seen, vec![0, 3]);
+    }
+
+    #[test]
+    fn display_lists_actions_only_when_net_is_shared() {
+        let mut solo = NetStats::default();
+        solo.record_action_send(0);
+        assert!(!solo.to_string().contains("A0:"), "{solo}");
+
+        let mut shared = NetStats::default();
+        shared.record_action_send(0);
+        shared.record_action_delivery(0);
+        shared.record_action_send(4);
+        shared.record_action_drop(4);
+        let text = shared.to_string();
+        assert!(text.contains("A0: sent 1 delivered 1 dropped 0"), "{text}");
+        assert!(text.contains("A4: sent 1 delivered 0 dropped 1"), "{text}");
     }
 
     #[test]

@@ -17,16 +17,23 @@ use std::collections::BTreeMap;
 /// Builds folded flame-graph stacks from an event stream. Feed it a
 /// whole run (directly as an engine's observer, or by replaying a
 /// recorded stream), then render with [`FlameBuilder::folded`].
+///
+/// Dwell is keyed internally by the full `(ActionId, round)` span, so
+/// one builder can profile a whole fleet of multiplexed actions: use
+/// [`FlameBuilder::folded_for_action`] or
+/// [`FlameBuilder::folded_for_span`] to isolate one action's profile,
+/// and the round-only views to sum across actions.
 #[derive(Debug, Default)]
 pub struct FlameBuilder {
     /// Live frame stack per object (root `O<i>` frame included).
     stacks: BTreeMap<NodeId, Vec<String>>,
     /// Timestamp of each object's previous event.
     last_at: BTreeMap<NodeId, SimTime>,
-    /// The round each object's current dwell interval started in.
-    round: BTreeMap<NodeId, u32>,
-    /// Accumulated microseconds per `(round, folded stack)`.
-    folded: BTreeMap<(u32, String), u64>,
+    /// The span each object's current dwell interval started in, as
+    /// `(action index, round)`.
+    span: BTreeMap<NodeId, (u32, u32)>,
+    /// Accumulated microseconds per `(action index, round, folded stack)`.
+    folded: BTreeMap<(u32, u32, String), u64>,
 }
 
 impl FlameBuilder {
@@ -47,8 +54,8 @@ impl FlameBuilder {
         let prev = self.last_at.get(&object).copied().unwrap_or(now);
         let dwell = now.saturating_sub(prev).as_micros();
         if dwell > 0 {
-            let round = self.round.get(&object).copied().unwrap_or(0);
-            *self.folded.entry((round, key)).or_default() += dwell;
+            let (action, round) = self.span.get(&object).copied().unwrap_or((0, 0));
+            *self.folded.entry((action, round, key)).or_default() += dwell;
         }
         self.last_at.insert(object, now);
     }
@@ -68,9 +75,40 @@ impl FlameBuilder {
     /// output for identical streams). Counts are microseconds.
     #[must_use]
     pub fn folded(&self) -> String {
+        self.render(|_, _| true)
+    }
+
+    /// Like [`FlameBuilder::folded`], restricted to dwell accumulated
+    /// while `round` was the object's active resolution round (round
+    /// `0` is time outside any resolution), summed across actions.
+    #[must_use]
+    pub fn folded_for_round(&self, round: u32) -> String {
+        self.render(|_, r| r == round)
+    }
+
+    /// Like [`FlameBuilder::folded`], restricted to dwell accumulated
+    /// under spans of the action with index `action` — one action's
+    /// profile out of a multiplexed fleet.
+    #[must_use]
+    pub fn folded_for_action(&self, action: u32) -> String {
+        self.render(|a, _| a == action)
+    }
+
+    /// Like [`FlameBuilder::folded`], restricted to one exact
+    /// `(action index, round)` span.
+    #[must_use]
+    pub fn folded_for_span(&self, action: u32, round: u32) -> String {
+        self.render(|a, r| a == action && r == round)
+    }
+
+    /// Folded lines over the spans selected by `keep`, one line per
+    /// distinct stack (dwell summed across selected spans), sorted.
+    fn render(&self, keep: impl Fn(u32, u32) -> bool) -> String {
         let mut merged: BTreeMap<&str, u64> = BTreeMap::new();
-        for ((_, stack), us) in &self.folded {
-            *merged.entry(stack).or_default() += us;
+        for ((a, r, stack), us) in &self.folded {
+            if keep(*a, *r) {
+                *merged.entry(stack).or_default() += us;
+            }
         }
         let mut out = String::new();
         for (stack, us) in merged {
@@ -79,34 +117,31 @@ impl FlameBuilder {
         out
     }
 
-    /// Like [`FlameBuilder::folded`], restricted to dwell accumulated
-    /// while `round` was the object's active resolution round (round
-    /// `0` is time outside any resolution).
-    #[must_use]
-    pub fn folded_for_round(&self, round: u32) -> String {
-        let mut out = String::new();
-        for ((r, stack), us) in &self.folded {
-            if *r == round {
-                out.push_str(&format!("{stack} {us}\n"));
-            }
-        }
-        out
-    }
-
     /// Every round that accumulated any dwell, sorted.
     #[must_use]
     pub fn rounds(&self) -> Vec<u32> {
-        let mut rounds: Vec<u32> = self.folded.keys().map(|(r, _)| *r).collect();
+        let mut rounds: Vec<u32> = self.folded.keys().map(|(_, r, _)| *r).collect();
         rounds.sort_unstable();
         rounds.dedup();
         rounds
+    }
+
+    /// Every `(action index, round)` span that accumulated any dwell,
+    /// sorted.
+    #[must_use]
+    pub fn spans(&self) -> Vec<(u32, u32)> {
+        let mut spans: Vec<(u32, u32)> = self.folded.keys().map(|(a, r, _)| (*a, *r)).collect();
+        spans.sort_unstable();
+        spans.dedup();
+        spans
     }
 }
 
 impl Observer for FlameBuilder {
     fn on_event(&mut self, event: &ObsEvent) {
         self.charge(event.object, event.at);
-        self.round.insert(event.object, event.span.round);
+        self.span
+            .insert(event.object, (event.span.action.index(), event.span.round));
         let stack = self
             .stacks
             .entry(event.object)
@@ -194,6 +229,39 @@ mod tests {
         assert!(flame.folded_for_round(0).contains("O0;A1 20\n"));
         assert!(flame.folded_for_round(1).contains("O0;A1 30\n"));
         assert!(flame.folded().contains("O0;A1 50\n"));
+    }
+
+    #[test]
+    fn per_action_views_split_a_multiplexed_stream() {
+        // Two actions interleaved on disjoint objects, as a fleet
+        // engine would produce them on one shared net.
+        fn span_ev(at: u64, object: u32, action: u32, round: u32, kind: ObsKind) -> ObsEvent {
+            ObsEvent {
+                at: SimTime::from_micros(at),
+                wall_micros: None,
+                object: NodeId::new(object),
+                span: CorrelationId { action: ActionId::new(action), round },
+                kind,
+            }
+        }
+        let mut flame = FlameBuilder::new();
+        flame.on_event(&span_ev(0, 0, 0, 0, ObsKind::ActionEnter));
+        flame.on_event(&span_ev(0, 9, 5, 0, ObsKind::ActionEnter));
+        flame.on_event(&span_ev(30, 0, 0, 1, ObsKind::ResolutionStart));
+        flame.on_event(&span_ev(40, 9, 5, 1, ObsKind::ResolutionStart));
+        flame.on_event(&span_ev(50, 0, 0, 1, ObsKind::ActionLeave));
+        flame.on_event(&span_ev(100, 9, 5, 1, ObsKind::ActionLeave));
+        flame.on_run_end(SimTime::from_micros(100));
+        assert_eq!(flame.spans(), vec![(0, 0), (0, 1), (5, 0), (5, 1)]);
+        // Action 0: O0 enters A0, 0→50. Action 5: O9 enters A5, 0→100.
+        assert!(flame.folded_for_action(0).contains("O0;A0 50\n"));
+        assert!(!flame.folded_for_action(0).contains("O9"));
+        assert!(flame.folded_for_action(5).contains("O9;A5 100\n"));
+        assert!(flame.folded_for_span(5, 1).contains("O9;A5 60\n"));
+        // Round views still sum across the fleet.
+        let round1 = flame.folded_for_round(1);
+        assert!(round1.contains("O0;A0 20\n"), "{round1}");
+        assert!(round1.contains("O9;A5 60\n"), "{round1}");
     }
 
     #[test]

@@ -111,6 +111,45 @@ impl Histogram {
         out
     }
 
+    /// Nearest-rank percentile estimate for `q` in `(0, 1]`: the
+    /// inclusive upper bound of the bucket holding the `q`-th sample,
+    /// clamped to the exact maximum (so the `+Inf` bucket reports
+    /// `max`, not infinity). Returns 0 with no samples.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut running = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            running += c;
+            if running >= rank {
+                return self.bounds.get(i).copied().unwrap_or(self.max).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Histogram::percentile`]).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile estimate (see [`Histogram::percentile`]).
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th-percentile estimate (see [`Histogram::percentile`]).
+    #[must_use]
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
     /// A plain-data copy for snapshots.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -119,6 +158,9 @@ impl Histogram {
             counts: self.counts.clone(),
             sum: self.sum,
             count: self.count,
+            p50: self.p50(),
+            p99: self.p99(),
+            p999: self.p999(),
         }
     }
 }
@@ -134,6 +176,12 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Number of samples.
     pub count: u64,
+    /// Median estimate at snapshot time (see [`Histogram::percentile`]).
+    pub p50: u64,
+    /// 99th-percentile estimate at snapshot time.
+    pub p99: u64,
+    /// 99.9th-percentile estimate at snapshot time.
+    pub p999: u64,
 }
 
 /// Per-resolution-round metrics, finalized at end of run.
@@ -584,6 +632,9 @@ fn hist_to_json(h: &HistogramSnapshot) -> JsonValue {
         ),
         ("sum".into(), JsonValue::num(h.sum)),
         ("count".into(), JsonValue::num(h.count)),
+        ("p50".into(), JsonValue::num(h.p50)),
+        ("p99".into(), JsonValue::num(h.p99)),
+        ("p999".into(), JsonValue::num(h.p999)),
     ])
 }
 
@@ -595,17 +646,20 @@ fn hist_from_json(value: Option<&JsonValue>) -> HistogramSnapshot {
             .map(|a| a.iter().filter_map(JsonValue::as_u64).collect())
             .unwrap_or_default()
     };
+    let num = |key: &str| -> u64 {
+        value
+            .and_then(|v| v.get(key))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+    };
     HistogramSnapshot {
         bounds: nums("bounds"),
         counts: nums("counts"),
-        sum: value
-            .and_then(|v| v.get("sum"))
-            .and_then(JsonValue::as_u64)
-            .unwrap_or(0),
-        count: value
-            .and_then(|v| v.get("count"))
-            .and_then(JsonValue::as_u64)
-            .unwrap_or(0),
+        sum: num("sum"),
+        count: num("count"),
+        p50: num("p50"),
+        p99: num("p99"),
+        p999: num("p999"),
     }
 }
 
@@ -731,6 +785,35 @@ mod tests {
             span: CorrelationId { action: ActionId::new(0), round },
             kind,
         }
+    }
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let mut h = Histogram::new(&[50, 100]);
+        assert_eq!(h.p50(), 0); // empty
+        for v in 1..=100u64 {
+            h.observe(v); // 50 samples ≤50, the rest ≤100
+        }
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.p999(), 100);
+        // The +Inf bucket reports the exact max, not infinity.
+        h.observe(50_000);
+        assert_eq!(h.p999(), 50_000);
+        // Snapshot carries the percentile fields.
+        let snap = h.snapshot();
+        assert_eq!(snap.p50, 100); // rank 51 of 101 lands in ≤100
+        assert_eq!(snap.p999, 50_000);
+    }
+
+    #[test]
+    fn histogram_percentile_clamps_to_max_within_bucket() {
+        let mut h = Histogram::new(&[1_000]);
+        h.observe(5);
+        h.observe(7);
+        // Both samples land in the ≤1000 bucket; the estimate is
+        // clamped to the observed max rather than the loose bound.
+        assert_eq!(h.p99(), 7);
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub mod drive;
 pub mod explore;
 pub mod obs;
 pub mod program;
+pub mod shard;
 pub mod thread_engine;
 pub mod timeline;
 pub mod workloads;

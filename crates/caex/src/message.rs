@@ -132,6 +132,10 @@ impl Kinded for Msg {
     fn wire_len(&self) -> usize {
         crate::codec::encoded_len(self)
     }
+
+    fn action_index(&self) -> Option<u32> {
+        Some(self.action().index())
+    }
 }
 
 impl fmt::Display for Msg {
@@ -233,6 +237,13 @@ impl Kinded for Event {
             Event::DeserterSuspected { .. } => "local_deserter_suspected",
             Event::PeerSuspected { .. } => "local_peer_suspected",
             Event::PeerRejoined { .. } => "local_peer_rejoined",
+        }
+    }
+
+    fn action_index(&self) -> Option<u32> {
+        match self {
+            Event::Msg(m) => m.action_index(),
+            _ => None,
         }
     }
 

@@ -1,0 +1,742 @@
+//! Multi-action engine sharding: one process multiplexing a fleet of
+//! independent CA actions.
+//!
+//! [`Scenario`](crate::Scenario) owns a single action structure per
+//! run. Under load, a resolution server faces a different shape: many
+//! independent top-level actions arriving over time, each resolving
+//! its own exceptions, sharing the process. This module supplies that
+//! shape:
+//!
+//! - [`ActionInstance`] — one action structure plus its scripted
+//!   timeline, relocated to a private `NodeId` range and a private
+//!   [`ActionId`] range (via [`ActionRegistry::with_base`]), so every
+//!   instance keys its protocol state, metrics and observability by
+//!   its own `(ActionId, round)` spans;
+//! - [`FleetEngine`] — shards instances round-robin across worker
+//!   threads; each shard is one [`SimNet`] event loop interleaving all
+//!   of its instances' deliveries in virtual-time order, with
+//!   admission control (`capacity` concurrent slots per shard) so that
+//!   offered load beyond capacity queues, exactly like a bounded
+//!   worker pool;
+//! - [`ActionOutcome`] / [`FleetReport`] — per-action arrival,
+//!   admission, commit and completion times, message counts and the
+//!   §4.4 `(N−1)(2P+3Q+1)` law verdict, plus fleet-wide stats.
+//!
+//! All measured quantities are *virtual time*: worker threads give
+//! wall-clock speedup, but reports are bit-identical for a given seed
+//! regardless of the host's scheduling.
+
+use crate::{Effect, Event, LeaveMode, NestedStrategy, Note, Participant, Scenario};
+use caex_action::{ActionId, ActionRegistry, HandlerTable};
+use caex_net::{NetConfig, NetStats, NodeId, SimNet, SimTime};
+use caex_tree::Exception;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// One relocatable action structure plus its scripted timeline, ready
+/// to be multiplexed by a [`FleetEngine`].
+///
+/// Build one from any single-top-level-action [`Scenario`] (the
+/// canonical path is [`crate::workloads::general_at`], which relocates
+/// the §4.4 workload to per-instance node/action bases).
+#[derive(Debug)]
+pub struct ActionInstance {
+    registry: Arc<ActionRegistry>,
+    /// Scripted events as offsets from the instance's admission time.
+    steps: Vec<(SimTime, NodeId, Event)>,
+    handlers: Vec<(NodeId, ActionId, HandlerTable)>,
+    strategy: NestedStrategy,
+    resolver_group: u32,
+    leave_mode: LeaveMode,
+    failover: bool,
+    /// Open-loop arrival time (absolute virtual time).
+    arrival: SimTime,
+    /// Latency budget from arrival, if the request carries a deadline.
+    deadline: Option<SimTime>,
+    /// The single top-level action; commit of this action defines the
+    /// instance's latency.
+    key: ActionId,
+    nodes: Vec<NodeId>,
+}
+
+impl ActionInstance {
+    /// Wraps a scenario as a fleet instance arriving at `arrival`.
+    /// The scenario's scripted times become offsets from admission.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the scenario declares exactly one top-level
+    /// action (an instance is one request; script several instances
+    /// for several requests).
+    #[must_use]
+    pub fn from_scenario(scenario: Scenario, arrival: SimTime) -> Self {
+        let strategy = scenario.strategy();
+        let resolver_group = scenario.resolver_group_size();
+        let leave_mode = scenario.leave_mode();
+        let failover = scenario.failover();
+        let (registry, steps, handlers) = scenario.into_script();
+        let top = registry.top_level();
+        assert_eq!(
+            top.len(),
+            1,
+            "an ActionInstance is one top-level action, got {}",
+            top.len()
+        );
+        let key = top[0];
+        let nodes = registry
+            .scope(key)
+            .expect("top-level action is declared")
+            .participants()
+            .to_vec();
+        ActionInstance {
+            registry,
+            steps,
+            handlers,
+            strategy,
+            resolver_group,
+            leave_mode,
+            failover,
+            arrival,
+            deadline: None,
+            key,
+            nodes,
+        }
+    }
+
+    /// Attaches a per-request latency budget, measured from arrival.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The instance's open-loop arrival time.
+    #[must_use]
+    pub fn arrival(&self) -> SimTime {
+        self.arrival
+    }
+
+    /// The instance's top-level action id.
+    #[must_use]
+    pub fn key(&self) -> ActionId {
+        self.key
+    }
+
+    /// The nodes this instance occupies (participants of the top-level
+    /// action; nested participants are a subset by §3.1).
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The instance's action-id range as `base..base+len`.
+    #[must_use]
+    pub fn action_range(&self) -> std::ops::Range<u32> {
+        self.registry.base()..self.registry.base() + self.registry.len() as u32
+    }
+}
+
+/// Fleet engine configuration: how many shards, how many concurrent
+/// admission slots each shard serves, and the shared network model.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker shards. Instances are assigned round-robin by index;
+    /// shard `s` seeds its network with `net.seed` plus a per-shard
+    /// offset (shard 0 keeps `net.seed` exactly, so a one-shard fleet
+    /// of one instance reproduces `Scenario::run` bit-for-bit).
+    pub shards: usize,
+    /// Concurrent action slots per shard. Arrivals beyond capacity
+    /// queue in arrival order; queueing delay shows up in virtual
+    /// time, which is what the saturation curves measure.
+    pub capacity: usize,
+    /// Network model template applied per shard.
+    pub net: NetConfig,
+    /// Per-shard delivery cap (livelock guard).
+    pub max_deliveries: u64,
+    /// §4.4 message law injected into the per-round metrics check,
+    /// e.g. [`crate::analysis::messages_general`].
+    pub law: Option<fn(u64, u64, u64) -> u64>,
+    /// Collect folded flame-graph stacks per shard (costs one string
+    /// per distinct stack; off for pure throughput runs).
+    pub collect_flame: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 1,
+            capacity: 8,
+            net: NetConfig::default(),
+            max_deliveries: 50_000_000,
+            law: None,
+            collect_flame: false,
+        }
+    }
+}
+
+/// What happened to one action instance under load.
+#[derive(Debug, Clone)]
+pub struct ActionOutcome {
+    /// Global instance index (fleet submission order).
+    pub instance: usize,
+    /// Shard that served the instance.
+    pub shard: usize,
+    /// The instance's top-level action id.
+    pub key: ActionId,
+    /// Open-loop arrival time.
+    pub arrival: SimTime,
+    /// Admission time (`>= arrival`; the difference is queueing delay).
+    pub admitted: SimTime,
+    /// Commit time of the resolution, if one committed.
+    pub committed: Option<SimTime>,
+    /// Time the instance fully drained (handlers done, participants
+    /// back to normal) and released its slot.
+    pub finished: Option<SimTime>,
+    /// The elected resolver, if a resolution committed.
+    pub resolver: Option<NodeId>,
+    /// The resolving exception everyone handled.
+    pub resolved: Option<Exception>,
+    /// Protocol messages sent on behalf of this instance's actions.
+    pub messages: u64,
+    /// The §4.4 prediction for the instance's rounds, when a law was
+    /// injected and applicable.
+    pub law_predicted: Option<u64>,
+    /// Per-instance law verdict: `Some(true)` iff every resolution
+    /// round of this instance matched the prediction.
+    pub law_holds: Option<bool>,
+    /// Absolute deadline (arrival + budget), if one was attached.
+    pub deadline: Option<SimTime>,
+}
+
+impl ActionOutcome {
+    /// Queueing delay: admission minus arrival, in µs.
+    #[must_use]
+    pub fn queue_wait_us(&self) -> u64 {
+        self.admitted.saturating_sub(self.arrival).as_micros()
+    }
+
+    /// Arrival-to-commit latency in µs (`None` if never committed).
+    #[must_use]
+    pub fn latency_us(&self) -> Option<u64> {
+        self.committed
+            .map(|c| c.saturating_sub(self.arrival).as_micros())
+    }
+
+    /// `true` if the instance carried a deadline and blew it (either
+    /// committed late or never committed).
+    #[must_use]
+    pub fn deadline_missed(&self) -> bool {
+        match self.deadline {
+            None => false,
+            Some(d) => self.committed.is_none_or(|c| c > d),
+        }
+    }
+}
+
+/// Everything a fleet run produced.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// One outcome per instance, in submission order.
+    pub outcomes: Vec<ActionOutcome>,
+    /// Merged network statistics across shards (per-action counters
+    /// included, since every shard's net is shared by many actions).
+    pub stats: NetStats,
+    /// Virtual time each shard went quiescent.
+    pub shard_finished: Vec<SimTime>,
+    /// Objects stuck mid-resolution at quiescence, across shards.
+    pub deadlocked: Vec<NodeId>,
+    /// `true` if any shard hit its delivery cap.
+    pub hit_delivery_limit: bool,
+    /// Folded flame-graph stacks merged across shards (only with
+    /// [`FleetConfig::collect_flame`]).
+    pub folded: Option<String>,
+}
+
+impl FleetReport {
+    /// The fleet makespan: the latest shard quiescence time.
+    #[must_use]
+    pub fn makespan(&self) -> SimTime {
+        self.shard_finished.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Instances whose resolution committed.
+    #[must_use]
+    pub fn committed_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.committed.is_some()).count()
+    }
+
+    /// Instances that carried a deadline and missed it.
+    #[must_use]
+    pub fn deadline_misses(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.deadline_missed()).count()
+    }
+
+    /// `true` iff the §4.4 law held on every instance it applied to.
+    #[must_use]
+    pub fn law_all_hold(&self) -> bool {
+        self.outcomes.iter().all(|o| o.law_holds != Some(false))
+    }
+
+    /// Arrival-to-commit latencies of all committed instances, µs.
+    #[must_use]
+    pub fn latencies_us(&self) -> Vec<u64> {
+        self.outcomes.iter().filter_map(ActionOutcome::latency_us).collect()
+    }
+
+    /// Achieved throughput in actions per virtual second (committed
+    /// count over the makespan).
+    #[must_use]
+    pub fn throughput_per_sec(&self) -> f64 {
+        let span_us = self.makespan().as_micros();
+        if span_us == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.committed_count() as f64 * 1_000_000.0 / span_us as f64
+        }
+    }
+}
+
+/// The multi-action engine: shards a fleet of [`ActionInstance`]s
+/// across worker threads and runs each shard's event loop to
+/// quiescence.
+///
+/// # Examples
+///
+/// Two relocated §4.4 instances through one single-shard engine:
+///
+/// ```
+/// use caex::shard::{ActionInstance, FleetConfig, FleetEngine};
+/// use caex::{analysis, workloads};
+/// use caex_net::SimTime;
+///
+/// let instances = (0..2)
+///     .map(|i| {
+///         let w = workloads::general_at(3, 1, 0, i * 3, i, Default::default());
+///         ActionInstance::from_scenario(w.scenario, SimTime::from_micros(u64::from(i) * 10))
+///     })
+///     .collect();
+/// let config = FleetConfig { law: Some(analysis::messages_general), ..Default::default() };
+/// let report = FleetEngine::new(config).run(instances);
+/// assert_eq!(report.committed_count(), 2);
+/// assert!(report.law_all_hold());
+/// assert_eq!(report.outcomes[0].messages, analysis::messages_general(3, 1, 0));
+/// ```
+#[derive(Debug, Default)]
+pub struct FleetEngine {
+    config: FleetConfig,
+}
+
+/// Per-shard golden-ratio seed stride, so shards draw independent
+/// latency streams while shard 0 keeps the configured seed exactly.
+const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl FleetEngine {
+    /// Creates an engine with the given fleet configuration.
+    #[must_use]
+    pub fn new(config: FleetConfig) -> Self {
+        FleetEngine { config }
+    }
+
+    /// Runs the fleet to quiescence. Instances are assigned to shards
+    /// round-robin by index; give them non-decreasing arrival times
+    /// for open-loop semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `capacity` is zero, if two instances in
+    /// one shard overlap in node range, or on scenario programming
+    /// errors surfaced by participants.
+    #[must_use]
+    pub fn run(&self, instances: Vec<ActionInstance>) -> FleetReport {
+        assert!(self.config.shards >= 1, "need at least one shard");
+        assert!(self.config.capacity >= 1, "need at least one slot");
+        let shards = self.config.shards;
+        let mut per_shard: Vec<Vec<(usize, ActionInstance)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for (i, inst) in instances.into_iter().enumerate() {
+            per_shard[i % shards].push((i, inst));
+        }
+
+        let outputs: Vec<ShardOutput> = if shards == 1 {
+            let batch = per_shard.pop().expect("one shard");
+            vec![run_shard(batch, 0, &self.config, &mut ())]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = per_shard
+                    .into_iter()
+                    .enumerate()
+                    .map(|(s, batch)| {
+                        let config = &self.config;
+                        scope.spawn(move || run_shard(batch, s, config, &mut ()))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard thread")).collect()
+            })
+        };
+        merge_outputs(outputs, self.config.collect_flame)
+    }
+
+    /// Like [`FleetEngine::run`], but streams every shard's
+    /// [`caex_obs::ObsEvent`]s to `obs`. Only available single-shard
+    /// (an external observer cannot be shared across worker threads
+    /// without destroying determinism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration asks for more than one shard, plus
+    /// the conditions of [`FleetEngine::run`].
+    #[must_use]
+    pub fn run_observed(
+        &self,
+        instances: Vec<ActionInstance>,
+        obs: &mut dyn caex_obs::Observer,
+    ) -> FleetReport {
+        assert_eq!(self.config.shards, 1, "run_observed is single-shard");
+        assert!(self.config.capacity >= 1, "need at least one slot");
+        let batch = instances.into_iter().enumerate().collect();
+        let output = run_shard(batch, 0, &self.config, obs);
+        merge_outputs(vec![output], self.config.collect_flame)
+    }
+}
+
+/// What one shard hands back to the merger.
+struct ShardOutput {
+    outcomes: Vec<ActionOutcome>,
+    stats: NetStats,
+    finished_at: SimTime,
+    deadlocked: Vec<NodeId>,
+    hit_delivery_limit: bool,
+    folded: Option<String>,
+}
+
+fn merge_outputs(outputs: Vec<ShardOutput>, collect_flame: bool) -> FleetReport {
+    let mut outcomes = Vec::new();
+    let mut stats = NetStats::default();
+    let mut shard_finished = Vec::new();
+    let mut deadlocked = Vec::new();
+    let mut hit_delivery_limit = false;
+    let mut folded_merged: BTreeMap<String, u64> = BTreeMap::new();
+    for out in outputs {
+        outcomes.extend(out.outcomes);
+        stats.merge(&out.stats);
+        shard_finished.push(out.finished_at);
+        deadlocked.extend(out.deadlocked);
+        hit_delivery_limit |= out.hit_delivery_limit;
+        if let Some(folded) = out.folded {
+            for line in folded.lines() {
+                if let Some((stack, count)) = line.rsplit_once(' ') {
+                    if let Ok(us) = count.parse::<u64>() {
+                        *folded_merged.entry(stack.to_owned()).or_default() += us;
+                    }
+                }
+            }
+        }
+    }
+    outcomes.sort_by_key(|o| o.instance);
+    deadlocked.sort_unstable();
+    let folded = collect_flame.then(|| {
+        let mut out = String::new();
+        for (stack, us) in &folded_merged {
+            out.push_str(&format!("{stack} {us}\n"));
+        }
+        out
+    });
+    FleetReport {
+        outcomes,
+        stats,
+        shard_finished,
+        deadlocked,
+        hit_delivery_limit,
+        folded,
+    }
+}
+
+/// Tracking state for one admitted instance.
+struct Live {
+    admitted: SimTime,
+    committed: Option<SimTime>,
+    finished: Option<SimTime>,
+    resolver: Option<NodeId>,
+    resolved: Option<Exception>,
+    handlers_open: u64,
+}
+
+/// Runs one shard's event loop: interleave all assigned instances'
+/// deliveries in virtual-time order, admitting instances into
+/// `capacity` slots in arrival order.
+#[allow(clippy::too_many_lines)]
+fn run_shard(
+    mut batch: Vec<(usize, ActionInstance)>,
+    shard: usize,
+    config: &FleetConfig,
+    obs: &mut dyn caex_obs::Observer,
+) -> ShardOutput {
+    let num_nodes = batch
+        .iter()
+        .flat_map(|(_, inst)| inst.nodes.iter())
+        .map(|n| n.index() + 1)
+        .max()
+        .unwrap_or(0);
+    // Node ranges must be disjoint: one node serves one instance.
+    {
+        let mut owners: HashMap<NodeId, usize> = HashMap::new();
+        for (i, inst) in &batch {
+            for &n in &inst.nodes {
+                assert!(
+                    owners.insert(n, *i).is_none(),
+                    "node {n} assigned to two instances in shard {shard}"
+                );
+            }
+        }
+    }
+
+    let mut net_config = config.net.clone();
+    net_config.seed = net_config
+        .seed
+        .wrapping_add(SHARD_SEED_STRIDE.wrapping_mul(shard as u64));
+    let mut net: SimNet<Event> = SimNet::new(net_config, num_nodes);
+
+    let mut metrics = match config.law {
+        Some(law) => caex_obs::MetricsRegistry::new().with_law(law),
+        None => caex_obs::MetricsRegistry::new(),
+    };
+    let mut flame = caex_obs::FlameBuilder::new();
+
+    // node -> local slot in `batch`; action id -> local slot.
+    let mut node_owner: HashMap<NodeId, usize> = HashMap::new();
+    let mut action_owner: HashMap<ActionId, usize> = HashMap::new();
+    for (local, (_, inst)) in batch.iter().enumerate() {
+        for &n in &inst.nodes {
+            node_owner.insert(n, local);
+        }
+        for a in inst.action_range() {
+            action_owner.insert(ActionId::new(a), local);
+        }
+    }
+
+    let mut participants: HashMap<NodeId, Participant> = HashMap::new();
+    let mut live: Vec<Option<Live>> = (0..batch.len()).map(|_| None).collect();
+    let mut pending: VecDeque<usize> = (0..batch.len()).collect();
+    let mut active = 0usize;
+    let mut bridge = crate::ObsBridge::new();
+    let mut leave_requests: HashMap<ActionId, std::collections::BTreeSet<NodeId>> = HashMap::new();
+    let mut hit_delivery_limit = false;
+
+    // Admission: fill free slots in arrival order. Steps are offsets
+    // from admission time, so an instance admitted after its arrival
+    // (all slots were busy) starts late — that wait is the queueing
+    // delay the saturation study measures.
+    macro_rules! admit_ready {
+        () => {
+            while active < config.capacity {
+                let Some(local) = pending.pop_front() else { break };
+                // Handler tables are moved into participants once, at
+                // admission (`HandlerTable` is not `Clone`).
+                let handlers = std::mem::take(&mut batch[local].1.handlers);
+                let (_, inst) = &batch[local];
+                let start = inst.arrival.max(net.now());
+                for &n in &inst.nodes {
+                    let mut p = Participant::new(n, Arc::clone(&inst.registry), inst.strategy);
+                    p.set_resolver_group(inst.resolver_group);
+                    p.set_leave_mode(inst.leave_mode);
+                    p.set_failover(inst.failover);
+                    participants.insert(n, p);
+                }
+                for (object, action, table) in handlers {
+                    participants
+                        .get_mut(&object)
+                        .expect("handler for unknown object")
+                        .set_handlers(action, table);
+                }
+                for (offset, object, event) in &inst.steps {
+                    net.schedule_local(start + *offset, *object, event.clone());
+                }
+                live[local] = Some(Live {
+                    admitted: start,
+                    committed: None,
+                    finished: None,
+                    resolver: None,
+                    resolved: None,
+                    handlers_open: 0,
+                });
+                active += 1;
+            }
+        };
+    }
+    admit_ready!();
+
+    while let Some(delivery) = net.next_delivery() {
+        if net.delivered_count() > config.max_deliveries {
+            hit_delivery_limit = true;
+            break;
+        }
+        let at = delivery.at;
+        let object = delivery.to;
+        let local = node_owner.get(&object).copied();
+        let is_handler_done = matches!(delivery.payload, Event::HandlerDone { .. });
+        let participant = participants
+            .get_mut(&object)
+            .expect("delivery to unknown object");
+        let mut tee = caex_obs::Tee::new().with(&mut metrics);
+        if config.collect_flame {
+            tee = tee.with(&mut flame);
+        }
+        let mut tee = tee.with(obs);
+        if let caex_net::DeliverySource::Remote(from) = delivery.source {
+            bridge.on_receive(object, &delivery.payload, from, at, None, &mut tee);
+        }
+        let pre = bridge.pre(participant, &delivery.payload);
+        let effects = participant.handle(delivery.payload);
+        bridge.post(&pre, participant, &effects, at, None, &mut tee);
+        drop(tee);
+        if is_handler_done {
+            if let Some(slot) = local.and_then(|l| live[l].as_mut()) {
+                slot.handlers_open = slot.handlers_open.saturating_sub(1);
+            }
+        }
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => net.send(object, to, Event::Msg(msg)),
+                Effect::After { delay, event } => net.schedule_local_in(delay, object, event),
+                Effect::Note(note) => match &note {
+                    Note::ResolutionCommitted {
+                        action,
+                        resolver,
+                        resolved,
+                        ..
+                    } => {
+                        if let Some(slot) = action_owner
+                            .get(action)
+                            .copied()
+                            .and_then(|l| live[l].as_mut())
+                        {
+                            if slot.committed.is_none() {
+                                slot.committed = Some(at);
+                                slot.resolver = Some(*resolver);
+                                slot.resolved = Some(resolved.clone());
+                            }
+                        }
+                    }
+                    Note::HandlerStarted { action, .. } => {
+                        if let Some(slot) = action_owner
+                            .get(action)
+                            .copied()
+                            .and_then(|l| live[l].as_mut())
+                        {
+                            slot.handlers_open += 1;
+                        }
+                    }
+                    Note::LeaveRequested { object: o, action } => {
+                        let instance_mode = local
+                            .map(|l| batch[l].1.leave_mode)
+                            .unwrap_or(LeaveMode::Managed);
+                        if instance_mode == LeaveMode::Managed {
+                            let waiting = leave_requests.entry(*action).or_default();
+                            waiting.insert(*o);
+                            let registry = &batch[local.expect("leave from owned node")].1.registry;
+                            let everyone = registry
+                                .scope(*action)
+                                .expect("declared action")
+                                .participants();
+                            if waiting.len() == everyone.len() {
+                                for &member in everyone {
+                                    net.schedule_local(
+                                        net.now(),
+                                        member,
+                                        Event::LeaveGranted(*action),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                },
+            }
+        }
+        // Completion check for the instance that just made progress:
+        // resolution committed, every handler it started has finished,
+        // and all of its participants are back to normal.
+        if let Some(l) = local {
+            let done = match live[l].as_ref() {
+                Some(slot) => {
+                    slot.finished.is_none()
+                        && slot.committed.is_some()
+                        && slot.handlers_open == 0
+                        && batch[l]
+                            .1
+                            .nodes
+                            .iter()
+                            .all(|n| participants.get(n).is_none_or(Participant::is_normal))
+                }
+                None => false,
+            };
+            if done {
+                if let Some(slot) = live[l].as_mut() {
+                    slot.finished = Some(at);
+                }
+                active -= 1;
+                admit_ready!();
+            }
+        }
+    }
+    obs.on_run_end(net.now());
+
+    // Per-instance law verdicts from the metrics registry's rounds.
+    let mut law_predicted: HashMap<usize, u64> = HashMap::new();
+    let mut law_holds: HashMap<usize, bool> = HashMap::new();
+    for r in metrics.resolutions() {
+        if let Some(&l) = action_owner.get(&r.action) {
+            if let Some(pred) = r.predicted {
+                *law_predicted.entry(l).or_insert(0) += pred;
+            }
+            if let Some(holds) = r.law_holds {
+                let entry = law_holds.entry(l).or_insert(true);
+                *entry = *entry && holds;
+            }
+        }
+    }
+
+    let deadlocked: Vec<NodeId> = participants
+        .values()
+        .filter(|p| !p.is_normal())
+        .map(Participant::id)
+        .collect();
+
+    let outcomes = batch
+        .iter()
+        .enumerate()
+        .map(|(l, (global, inst))| {
+            let slot = live[l].as_ref();
+            let messages = inst
+                .action_range()
+                .map(|a| net.stats().action_counters(a).sent)
+                .sum();
+            ActionOutcome {
+                instance: *global,
+                shard,
+                key: inst.key,
+                arrival: inst.arrival,
+                admitted: slot.map_or(inst.arrival, |s| s.admitted),
+                committed: slot.and_then(|s| s.committed),
+                finished: slot.and_then(|s| s.finished),
+                resolver: slot.and_then(|s| s.resolver),
+                resolved: slot.and_then(|s| s.resolved.clone()),
+                messages,
+                law_predicted: law_predicted.get(&l).copied(),
+                law_holds: law_holds.get(&l).copied(),
+                deadline: inst.deadline.map(|d| inst.arrival + d),
+            }
+        })
+        .collect();
+
+    ShardOutput {
+        outcomes,
+        stats: net.stats().clone(),
+        finished_at: net.now(),
+        deadlocked,
+        hit_delivery_limit,
+        folded: config.collect_flame.then(|| flame.folded()),
+    }
+}

@@ -70,14 +70,35 @@ impl Workload {
 /// ```
 #[must_use]
 pub fn general(n: u32, p: u32, q: u32, config: NetConfig) -> Workload {
+    general_at(n, p, q, 0, 0, config)
+}
+
+/// [`general`], relocated to `node_base`/`action_base` offsets: nodes
+/// are `node_base..node_base+n` and action ids start at `action_base`.
+/// Distinct bases give a fleet of independent instances disjoint node
+/// and `(ActionId, round)` key spaces, so one engine process can
+/// multiplex many of them (see [`crate::shard`]).
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ p` and `p + q ≤ n`.
+#[must_use]
+pub fn general_at(
+    n: u32,
+    p: u32,
+    q: u32,
+    node_base: u32,
+    action_base: u32,
+    config: NetConfig,
+) -> Workload {
     assert!(p >= 1, "at least one raiser");
     assert!(p + q <= n, "raisers and nested objects must be disjoint");
     let tree = Arc::new(chain_tree(p));
-    let mut registry = ActionRegistry::new();
+    let mut registry = ActionRegistry::with_base(action_base);
     let top = registry
         .declare(ActionScope::top_level(
             "top",
-            (0..n).map(NodeId::new),
+            (node_base..node_base + n).map(NodeId::new),
             Arc::clone(&tree),
         ))
         .expect("top-level declaration is valid");
@@ -86,7 +107,7 @@ pub fn general(n: u32, p: u32, q: u32, config: NetConfig) -> Workload {
             registry
                 .declare(ActionScope::nested(
                     format!("nested-{i}"),
-                    [NodeId::new(i)],
+                    [NodeId::new(node_base + i)],
                     Arc::clone(&tree),
                     top,
                 ))
@@ -98,19 +119,19 @@ pub fn general(n: u32, p: u32, q: u32, config: NetConfig) -> Workload {
         .with_config(config)
         .enter_all_at(SimTime::ZERO, top);
     for (i, &na) in nested.iter().enumerate() {
-        scenario = scenario.enter_at(SimTime::from_micros(1), NodeId::new(i as u32), na);
+        scenario = scenario.enter_at(SimTime::from_micros(1), NodeId::new(node_base + i as u32), na);
     }
     // The last p objects raise e1..ep concurrently, before any
     // Exception message can arrive (default latency >> 2us).
     for j in 0..p {
-        let raiser = NodeId::new(n - 1 - j);
+        let raiser = NodeId::new(node_base + n - 1 - j);
         let exc = Exception::new(ExceptionId::new(j + 1)).with_origin(format!("{raiser}"));
         scenario = scenario.raise_at(SimTime::from_micros(2), raiser, exc);
     }
     Workload {
         scenario,
         action: top,
-        participants: (0..n).map(NodeId::new).collect(),
+        participants: (node_base..node_base + n).map(NodeId::new).collect(),
     }
 }
 

@@ -1,0 +1,156 @@
+//! Golden equivalence of the fleet engine at `K = 1`: a one-instance,
+//! one-shard, one-slot [`FleetEngine`] must reproduce exactly what
+//! [`Scenario::run`] produces for the same action — same message
+//! counts, same resolution pick, same observability stream. This is
+//! the safety net under the multi-action sharding refactor: the load
+//! generator's engine *is* the single-action engine when the fleet
+//! degenerates.
+
+use caex::shard::{ActionInstance, FleetConfig, FleetEngine};
+use caex::{analysis, workloads};
+use caex_net::{NetConfig, NodeId, SimTime};
+use caex_obs::{ObsEvent, Observer};
+use proptest::prelude::*;
+
+/// Collects the raw event stream.
+#[derive(Default)]
+struct Recorder {
+    events: Vec<ObsEvent>,
+}
+
+impl Observer for Recorder {
+    fn on_event(&mut self, event: &ObsEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Runs one scenario both ways and returns
+/// `(scenario events, fleet events, fleet report, scenario report)`.
+fn both_ways(
+    build: impl Fn() -> caex::Scenario,
+) -> (Vec<ObsEvent>, Vec<ObsEvent>, caex::shard::FleetReport, caex::RunReport) {
+    let mut direct_obs = Recorder::default();
+    let direct = build().run_observed(&mut direct_obs);
+
+    let mut fleet_obs = Recorder::default();
+    let instance = ActionInstance::from_scenario(build(), SimTime::ZERO);
+    let config = FleetConfig {
+        shards: 1,
+        capacity: 1,
+        law: Some(analysis::messages_general),
+        ..Default::default()
+    };
+    let fleet = FleetEngine::new(config).run_observed(vec![instance], &mut fleet_obs);
+    (direct_obs.events, fleet_obs.events, fleet, direct)
+}
+
+fn assert_golden_equivalence(
+    direct_events: &[ObsEvent],
+    fleet_events: &[ObsEvent],
+    fleet: &caex::shard::FleetReport,
+    direct: &caex::RunReport,
+) {
+    // Message accounting is identical, kind by kind.
+    assert_eq!(fleet.stats.sent_total(), direct.stats.sent_total());
+    for kind in ["exception", "ack", "have_nested", "nested_completed", "commit"] {
+        assert_eq!(
+            fleet.stats.sent_of_kind(kind),
+            direct.stats.sent_of_kind(kind),
+            "kind {kind}"
+        );
+    }
+    // The resolution pick matches.
+    let outcome = &fleet.outcomes[0];
+    match direct.resolution_for(outcome.key) {
+        Some(r) => {
+            assert_eq!(outcome.resolver, Some(r.resolver));
+            assert_eq!(
+                outcome.resolved.as_ref().map(|e| e.id()),
+                Some(r.resolved.id())
+            );
+            assert_eq!(outcome.committed, Some(r.at));
+        }
+        None => assert_eq!(outcome.resolver, None),
+    }
+    // The observability stream is bit-identical (same spans, same
+    // order, same timestamps), which subsumes span balance.
+    assert_eq!(direct_events, fleet_events);
+}
+
+#[test]
+fn example1_through_the_fleet_matches_the_scenario_engine() {
+    let (de, fe, fleet, direct) =
+        both_ways(|| workloads::example1(NetConfig::default()).0.scenario);
+    assert_golden_equivalence(&de, &fe, &fleet, &direct);
+    assert_eq!(fleet.outcomes[0].resolver, Some(NodeId::new(2)));
+    assert!(fleet.law_all_hold());
+}
+
+#[test]
+fn example2_through_the_fleet_matches_the_scenario_engine() {
+    let (de, fe, fleet, direct) =
+        both_ways(|| workloads::example2(NetConfig::default()).0.scenario);
+    assert_golden_equivalence(&de, &fe, &fleet, &direct);
+    // O2 resolves in A1 after the nested resolution is eliminated
+    // (§4.3 Example 2's narration).
+    assert_eq!(fleet.outcomes[0].resolver, Some(NodeId::new(2)));
+}
+
+/// Valid §4.4 shapes: `N` participants, `1 <= P`, `P + Q <= N`, plus a
+/// relocation offset pair for the fleet instance.
+fn arb_shape() -> impl Strategy<Value = (u32, u32, u32, u32, u32)> {
+    (2u32..7)
+        .prop_flat_map(|n| (Just(n), 1..=n))
+        .prop_flat_map(|(n, p)| (Just(n), Just(p), 0..=(n - p)))
+        .prop_flat_map(|(n, p, q)| (Just(n), Just(p), Just(q), 0u32..40, 0u32..40))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A relocated general workload through the degenerate fleet
+    /// reproduces the direct engine's outcomes: the §4.4 law count,
+    /// the resolver (shifted by the node base), and the obs stream
+    /// (shifted spans aside, verified via per-span event counts).
+    #[test]
+    fn relocated_k1_fleet_reproduces_the_general_workload(
+        (n, p, q, node_base, action_base) in arb_shape()
+    ) {
+        let direct = workloads::general(n, p, q, NetConfig::default()).run();
+
+        let w = workloads::general_at(n, p, q, node_base, action_base, NetConfig::default());
+        let instance = ActionInstance::from_scenario(w.scenario, SimTime::ZERO);
+        let config = FleetConfig {
+            shards: 1,
+            capacity: 1,
+            law: Some(analysis::messages_general),
+            ..Default::default()
+        };
+        let fleet = FleetEngine::new(config).run(vec![instance]);
+
+        let outcome = &fleet.outcomes[0];
+        // Message counts: fleet == direct == the closed-form law.
+        prop_assert_eq!(fleet.stats.sent_total(), direct.stats.sent_total());
+        prop_assert_eq!(
+            outcome.messages,
+            analysis::messages_general(u64::from(n), u64::from(p), u64::from(q))
+        );
+        prop_assert!(fleet.law_all_hold(), "§4.4 law after relocation");
+        // Resolution pick: same resolver modulo the node relocation,
+        // same exception, same commit time.
+        let r = direct
+            .resolution_for(direct.resolutions[0].action)
+            .expect("general workload resolves");
+        prop_assert_eq!(
+            outcome.resolver,
+            Some(NodeId::new(r.resolver.index() + node_base))
+        );
+        prop_assert_eq!(
+            outcome.resolved.as_ref().map(caex_tree::Exception::id),
+            Some(r.resolved.id())
+        );
+        prop_assert_eq!(outcome.committed, Some(r.at));
+        prop_assert_eq!(outcome.finished, Some(direct.finished_at));
+        prop_assert!(fleet.deadlocked.is_empty());
+    }
+}

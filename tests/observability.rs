@@ -215,11 +215,14 @@ fn example2_golden_metrics_snapshot_roundtrips() {
         r#""exception":3,"have_nested":9,"nested_completed":9},"n":4,"p":2,"q":3,"#,
         r#""predicted":null,"law_holds":null,"resolved":"e1"}],"resolution_latency":"#,
         r#"{"bounds":[1,10,100,1000,10000,100000,1000000,10000000],"#,
-        r#""counts":[0,0,0,1,0,0,0,0,0],"sum":305,"count":1},"resolution_latency_wall":"#,
+        r#""counts":[0,0,0,1,0,0,0,0,0],"sum":305,"count":1,"#,
+        r#""p50":305,"p99":305,"p999":305},"resolution_latency_wall":"#,
         r#"{"bounds":[1,10,100,1000,10000,100000,1000000,10000000],"#,
-        r#""counts":[0,0,0,0,0,0,0,0,0],"sum":0,"count":0},"handler_durations":"#,
+        r#""counts":[0,0,0,0,0,0,0,0,0],"sum":0,"count":0,"#,
+        r#""p50":0,"p99":0,"p999":0},"handler_durations":"#,
         r#"{"bounds":[1,10,100,1000,10000,100000,1000000,10000000],"#,
-        r#""counts":[4,0,0,0,0,0,0,0,0],"sum":0,"count":4}}"#,
+        r#""counts":[4,0,0,0,0,0,0,0,0],"sum":0,"count":4,"#,
+        r#""p50":0,"p99":0,"p999":0}}"#,
     );
     assert_eq!(json, golden);
     let parsed = MetricsSnapshot::from_json(&json).expect("snapshot json parses");
